@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ablation A3 — LaxP2P slack sweep (paper §3.6.3 / §4.3).
+ *
+ * "The slack value for LaxP2P was chosen to give a good trade-off
+ * between performance and accuracy, which was determined to be 100,000
+ * cycles." Sweeps the slack and reports the trade-off curve: wall-clock
+ * cost (sleep time) against deviation from the LaxBarrier reference.
+ */
+
+#include <cmath>
+
+#include "bench_common.h"
+
+using namespace graphite;
+
+namespace
+{
+
+struct Sample
+{
+    cycle_t cycles = 0;
+    double wall = 0;
+    stat_t sleeps = 0;
+    stat_t sleepMicros = 0;
+};
+
+Sample
+run(const std::string& model, cycle_t slack)
+{
+    workloads::WorkloadParams p =
+        workloads::findWorkload("ocean_cont").defaults;
+    p.threads = 32;
+
+    Config cfg = bench::benchConfig(32);
+    cfg.set("sync/model", model);
+    cfg.setInt("sync/slack", static_cast<std::int64_t>(slack));
+    cfg.setInt("sync/quantum", 1000);
+
+    const workloads::WorkloadInfo& w =
+        workloads::findWorkload("ocean_cont");
+    Simulator sim(std::move(cfg));
+    workloads::SimRunResult r = workloads::runSim(sim, w, p);
+    return Sample{r.simulatedCycles, r.wallSeconds,
+                  sim.syncModel().syncEvents(),
+                  sim.syncModel().syncWaitMicroseconds()};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation — LaxP2P slack sweep",
+                  "ocean_cont, 32 tiles; accuracy/performance trade-off "
+                  "vs the slack parameter.");
+
+    Sample reference = run("lax_barrier", 0);
+    Sample lax = run("lax", 0);
+
+    TextTable table;
+    table.header({"slack (cycles)", "sim cycles", "error vs barrier",
+                  "wall(s)", "sleeps", "slept(ms)"});
+    auto err = [&](cycle_t cycles) {
+        return TextTable::num(
+                   100.0 *
+                       std::fabs(static_cast<double>(cycles) -
+                                 static_cast<double>(reference.cycles)) /
+                       static_cast<double>(reference.cycles),
+                   2) +
+               "%";
+    };
+
+    for (cycle_t slack : {1000ull, 10000ull, 100000ull, 1000000ull}) {
+        Sample s = run("lax_p2p", slack);
+        table.row({std::to_string(slack), std::to_string(s.cycles),
+                   err(s.cycles), TextTable::num(s.wall, 3),
+                   std::to_string(s.sleeps),
+                   TextTable::num(s.sleepMicros / 1000.0, 1)});
+    }
+    table.row({"(lax)", std::to_string(lax.cycles), err(lax.cycles),
+               TextTable::num(lax.wall, 3), "0", "0"});
+    table.row({"(barrier ref)", std::to_string(reference.cycles), "0%",
+               TextTable::num(reference.wall, 3), "-", "-"});
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Expected: small slack -> barrier-like accuracy but "
+                "more sleeping; large\nslack -> approaches plain Lax. "
+                "The paper picked 100k cycles.\n");
+    return 0;
+}

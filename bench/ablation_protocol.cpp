@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation A4 — MSI vs MESI coherence protocol.
+ *
+ * The MESI extension grants first readers an Exclusive clean copy, so
+ * private read-then-write data upgrades silently instead of paying a
+ * directory round trip. Compares upgrade-transaction counts, memory
+ * latency, and simulated run-time on upgrade-heavy kernels.
+ */
+
+#include "bench_common.h"
+
+using namespace graphite;
+
+int
+main()
+{
+    bench::banner("Ablation — MSI vs MESI",
+                  "Upgrade transactions saved by the Exclusive state "
+                  "(32 tiles).");
+
+    for (const char* app : {"lu_cont", "matmul", "water_nsquared"}) {
+        TextTable table;
+        table.header({"protocol", "sim cycles", "upgrades", "recalls",
+                      "avg mem lat"});
+        for (const char* proto : {"dir_msi", "dir_mesi"}) {
+            workloads::WorkloadParams p =
+                workloads::findWorkload(app).defaults;
+            p.threads = 32;
+
+            Config cfg = bench::benchConfig(32);
+            cfg.set("caching_protocol/type", proto);
+
+            const workloads::WorkloadInfo& w =
+                workloads::findWorkload(app);
+            Simulator sim(std::move(cfg));
+            workloads::SimRunResult r = workloads::runSim(sim, w, p);
+
+            stat_t upg = 0, recalls = 0, acc = 0, lat = 0;
+            for (tile_id_t t = 0; t < sim.totalTiles(); ++t) {
+                const TileMemoryStats& ms = sim.memory().stats(t);
+                upg += ms.l2UpgradeMisses;
+                recalls += ms.recalls;
+                acc += ms.totalAccesses;
+                lat += ms.totalLatency;
+            }
+            table.row({proto, std::to_string(r.simulatedCycles),
+                       std::to_string(upg), std::to_string(recalls),
+                       TextTable::num(acc ? static_cast<double>(lat) /
+                                                static_cast<double>(acc)
+                                          : 0,
+                                      1)});
+        }
+        std::printf("--- %s ---\n%s\n", app, table.render().c_str());
+    }
+    std::printf(
+        "Expected: MESI helps where data is privately read before "
+        "being written\n(silent E->M upgrade) and wherever clean "
+        "owners are recalled (no memory\nwriteback): lu_cont's "
+        "producer-consumer columns gain the most; kernels\nwhose "
+        "first touch is a write (matmul's C) see no benefit.\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Experiment E1 — Figure 4: "Scaling of SPLASH benchmarks across
+ * different numbers of [host] cores. Speed-up is normalized to a single
+ * core. From 1 to 8 cores, simulation runs on a single machine. Above 8
+ * cores, simulation is distributed across multiple machines."
+ *
+ * One functional run per benchmark (32 target tiles, 32 threads, Lax)
+ * produces the event profile; the host model evaluates the cluster
+ * layouts (1 machine at 1/2/4/8 cores, then 2/4/8 machines of 8 cores —
+ * 16/32/64 host cores). See DESIGN.md substitution 2.
+ */
+
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace graphite;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 4 — simulator speedup vs host cores",
+        "Speed-up of each SPLASH simulation normalized to one host "
+        "core; machine boundary at 8 cores (8 cores/machine).");
+
+    const std::vector<std::string> apps = {
+        "cholesky",       "fft",        "fmm",
+        "lu_cont",        "lu_non_cont", "ocean_cont",
+        "ocean_non_cont", "radix",      "water_nsquared",
+        "water_spatial"};
+    // (machines, cores per machine) — the paper's x-axis points.
+    const std::vector<std::pair<int, int>> points = {
+        {1, 1}, {1, 2}, {1, 4}, {1, 8}, {2, 8}, {4, 8}, {8, 8}};
+
+    TextTable table;
+    table.header({"benchmark", "1", "2", "4", "8", "16", "32", "64"});
+
+    for (const std::string& app : apps) {
+        workloads::WorkloadParams p =
+            workloads::findWorkload(app).defaults;
+        p.threads = 32;
+        Config cfg = bench::benchConfig(32);
+        bench::ScaleFactors sf = bench::paperScale(app);
+        SimulationProfile prof = scaleProfile(
+            bench::profileRun(app, cfg, p), sf.compute, sf.comm);
+        HostModel host(HostCosts::fromConfig(cfg));
+
+        std::vector<std::string> row = {app};
+        double base = 0;
+        for (auto [machines, cores] : points) {
+            HostEstimate est = host.estimate(prof, machines, cores);
+            // Scaling excludes fixed startup (the paper normalizes
+            // runtime of the simulation work).
+            double t = est.totalSeconds - est.initSeconds;
+            if (base == 0)
+                base = t;
+            row.push_back(TextTable::num(base / t, 2));
+        }
+        table.row(row);
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Host cores: 1-8 on one machine, 16/32/64 on 2/4/8 "
+                "machines.\nExpected shape: near-linear within one "
+                "machine; communication-bound\napps (fft) flatten or "
+                "dip at the 8->16 machine boundary.\n");
+    return 0;
+}

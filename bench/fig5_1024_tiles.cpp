@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Experiment E3 — Figure 5: "Run-times of matrix-multiply kernel with
+ * 1024 threads mapped onto 1024 target tiles across different no. of
+ * host machines."
+ *
+ * One functional run with 1024 tiles / 1024 application threads, then
+ * host-model estimates for 1..10 machines. The paper reports a 3.85x
+ * speedup at 10 machines with near-linear growth, countered by the
+ * sequential per-process initialization.
+ */
+
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace graphite;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 5 — 1024-tile matrix-multiply scaling across machines",
+        "1024 threads on 1024 target tiles; speed-up normalized to one "
+        "8-core machine (includes per-process init, as in the paper).");
+
+    workloads::WorkloadParams p =
+        workloads::findWorkload("matmul").defaults;
+    p.threads = 1024;
+    p.size = bench::fastMode() ? 64 : 96; // cells >= threads
+
+    Config cfg = bench::benchConfig(1024);
+    // Extrapolate the reduced functional run to the paper's long-running
+    // 102,400-element kernel (EXPERIMENTS.md): compute grows with n^3,
+    // sharing with n^2 x threads.
+    SimulationProfile prof =
+        scaleProfile(bench::profileRun("matmul", cfg, p), 1500, 150);
+    HostModel host(HostCosts::fromConfig(cfg));
+
+    TextTable table;
+    table.header({"machines", "est. run-time(s)", "speed-up"});
+    double base = 0;
+    for (int machines : {1, 2, 4, 6, 8, 10}) {
+        HostEstimate est = host.estimate(prof, machines);
+        if (base == 0)
+            base = est.totalSeconds;
+        table.row({std::to_string(machines),
+                   TextTable::num(est.totalSeconds, 2),
+                   TextTable::num(base / est.totalSeconds, 2)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Expected shape: steady improvement to 10 machines "
+                "(paper: 3.85x), sub-linear\nbecause sequential "
+                "per-process initialization grows with machine count.\n");
+    return 0;
+}

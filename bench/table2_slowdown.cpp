@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Experiment E2 — Table 2: "Multi-Machine Scaling Results. Wall-clock
+ * execution time of SPLASH-2 simulations versus native across 1 and 8
+ * host machines."
+ *
+ * Native time is modeled for the paper's 8-core 3.16 GHz host from the
+ * retired-instruction profile (and the real single-core wall time of the
+ * native build is printed for reference). Simulation times come from the
+ * host model at 1 and 8 machines. Slowdown = simulated / native.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace graphite;
+
+int
+main()
+{
+    bench::banner(
+        "Table 2 — simulation slowdown vs native (1 and 8 machines)",
+        "32 target tiles, 32 worker threads, Lax synchronization.");
+
+    const std::vector<std::string> apps = {
+        "cholesky",       "fft",        "fmm",
+        "lu_cont",        "lu_non_cont", "ocean_cont",
+        "ocean_non_cont", "radix",      "water_nsquared",
+        "water_spatial"};
+
+    TextTable table;
+    table.header({"application", "native(s)", "sim 1mc(s)",
+                  "slowdown 1mc", "sim 8mc(s)", "slowdown 8mc"});
+
+    std::vector<double> slow1, slow8;
+    for (const std::string& app : apps) {
+        workloads::WorkloadParams p =
+            workloads::findWorkload(app).defaults;
+        p.threads = 32;
+        Config cfg = bench::benchConfig(32);
+        bench::ScaleFactors sf = bench::paperScale(app);
+        SimulationProfile prof = scaleProfile(
+            bench::profileRun(app, cfg, p), sf.compute, sf.comm);
+        HostModel host(HostCosts::fromConfig(cfg));
+
+        double native = host.nativeSeconds(prof);
+        double sim1 =
+            host.estimate(prof, 1).totalSeconds -
+            host.estimate(prof, 1).initSeconds;
+        double sim8 =
+            host.estimate(prof, 8).totalSeconds -
+            host.estimate(prof, 8).initSeconds;
+        slow1.push_back(sim1 / native);
+        slow8.push_back(sim8 / native);
+
+        table.row({app, TextTable::num(native, 6),
+                   TextTable::num(sim1, 4),
+                   TextTable::num(sim1 / native, 0) + "x",
+                   TextTable::num(sim8, 4),
+                   TextTable::num(sim8 / native, 0) + "x"});
+    }
+
+    auto mean = [](const std::vector<double>& v) {
+        double s = 0;
+        for (double x : v)
+            s += x;
+        return s / static_cast<double>(v.size());
+    };
+    auto median = [](std::vector<double> v) {
+        std::sort(v.begin(), v.end());
+        size_t n = v.size();
+        return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+    };
+    table.row({"mean", "", "", TextTable::num(mean(slow1), 0) + "x", "",
+               TextTable::num(mean(slow8), 0) + "x"});
+    table.row({"median", "", "", TextTable::num(median(slow1), 0) + "x",
+               "", TextTable::num(median(slow8), 0) + "x"});
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Expected shape: slowdowns from tens to thousands x, "
+                "8-machine slowdowns\nlower than 1-machine for most "
+                "apps, communication-bound apps improving least.\n");
+    return 0;
+}

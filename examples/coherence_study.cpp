@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Architectural-study example: compare cache-coherence directory schemes
+ * on one workload, the §4.4 methodology in ~60 lines of user code.
+ *
+ * Runs the blackscholes kernel on a configurable target under each of
+ * the four directory schemes and prints simulated run-time, average
+ * memory latency, invalidations, pointer evictions and LimitLESS traps —
+ * the raw material behind Figure 9.
+ *
+ *   ./examples/coherence_study [tiles] [options]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/config.h"
+#include "common/table.h"
+#include "core/simulator.h"
+#include "workloads/registry.h"
+
+using namespace graphite;
+
+int
+main(int argc, char** argv)
+{
+    int tiles = argc > 1 ? std::atoi(argv[1]) : 16;
+    int options = argc > 2 ? std::atoi(argv[2]) : 1024;
+
+    struct Scheme
+    {
+        const char* label;
+        const char* type;
+        int sharers;
+    };
+    const Scheme schemes[] = {
+        {"Dir4NB", "limited_no_broadcast", 4},
+        {"Dir16NB", "limited_no_broadcast", 16},
+        {"Full-map", "full_map", 0},
+        {"LimitLESS(4)", "limitless", 4},
+    };
+
+    TextTable table;
+    table.header({"scheme", "sim cycles", "avg mem lat", "invals",
+                  "ptr evicts", "sw traps"});
+
+    const workloads::WorkloadInfo& w =
+        workloads::findWorkload("blackscholes");
+    for (const Scheme& s : schemes) {
+        Config cfg = defaultTargetConfig();
+        cfg.setInt("general/total_tiles", tiles);
+        cfg.set("caching_protocol/directory_type", s.type);
+        if (s.sharers > 0)
+            cfg.setInt("caching_protocol/max_sharers", s.sharers);
+
+        Simulator sim(cfg);
+        workloads::WorkloadParams p = w.defaults;
+        p.threads = tiles;
+        p.size = options;
+        workloads::SimRunResult r = workloads::runSim(sim, w, p);
+
+        stat_t accesses = 0, latency = 0, invals = 0, evicts = 0,
+               traps = 0;
+        for (tile_id_t t = 0; t < tiles; ++t) {
+            const TileMemoryStats& ms = sim.memory().stats(t);
+            accesses += ms.totalAccesses;
+            latency += ms.totalLatency;
+            invals += ms.invalidationsSent;
+            evicts += sim.memory().directory(t).pointerEvictions();
+            traps += sim.memory().directory(t).softwareTraps();
+        }
+        table.row({s.label,
+                   std::to_string(r.regionCycles ? r.regionCycles
+                                                 : r.simulatedCycles),
+                   TextTable::num(accesses
+                                      ? static_cast<double>(latency) /
+                                            static_cast<double>(accesses)
+                                      : 0,
+                                  1),
+                   std::to_string(invals), std::to_string(evicts),
+                   std::to_string(traps)});
+    }
+
+    std::printf("blackscholes, %d tiles, %d options\n\n%s\n", tiles,
+                options, table.render().c_str());
+    std::printf("Limited directories (Dir4NB/Dir16NB) evict sharer "
+                "pointers on heavily\nread-shared lines, inflating "
+                "memory latency; LimitLESS pays software traps\ninstead "
+                "and tracks the full-map directory closely (paper "
+                "§4.4).\n");
+    return 0;
+}

@@ -1,0 +1,43 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace graphite
+{
+namespace log_detail
+{
+
+int&
+verbosity()
+{
+    static int level = 1;
+    return level;
+}
+
+void
+emit(std::string_view tag, std::string_view msg)
+{
+    // Serialize output lines across threads.
+    static std::mutex mtx;
+    std::scoped_lock lock(mtx);
+    std::fprintf(stderr, "[%.*s] %.*s\n", static_cast<int>(tag.size()),
+                 tag.data(), static_cast<int>(msg.size()), msg.data());
+    std::fflush(stderr);
+}
+
+} // namespace log_detail
+
+void
+setLogVerbosity(int level)
+{
+    log_detail::verbosity() = level;
+}
+
+int
+logVerbosity()
+{
+    return log_detail::verbosity();
+}
+
+} // namespace graphite

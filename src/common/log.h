@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Status-message and error-handling helpers.
+ *
+ * Follows the gem5 discipline:
+ *  - panic():  a simulator bug — something that must never happen regardless
+ *              of user input. Aborts (may dump core).
+ *  - fatal():  the simulation cannot continue due to a user error (bad
+ *              configuration, invalid arguments). Exits with an error code
+ *              by throwing FatalError so tests can assert on it.
+ *  - warn():   functionality may be imprecise but the run can continue.
+ *  - inform(): purely informational status.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "common/strfmt.h"
+
+namespace graphite
+{
+
+/** Exception thrown by fatal(); carries the formatted message. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+namespace log_detail
+{
+/** Global verbosity: 0 = quiet (errors only), 1 = warn, 2 = inform. */
+int& verbosity();
+
+void emit(std::string_view tag, std::string_view msg);
+} // namespace log_detail
+
+/** Set global log verbosity (0 quiet, 1 warnings, 2 informational). */
+void setLogVerbosity(int level);
+
+/** Get global log verbosity. */
+int logVerbosity();
+
+/**
+ * Report a condition that is the user's fault and abort the simulation by
+ * throwing FatalError.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(std::string_view fmt, Args&&... args)
+{
+    std::string msg = strfmt(fmt, std::forward<Args>(args)...);
+    log_detail::emit("fatal", msg);
+    throw FatalError(msg);
+}
+
+/**
+ * Report a simulator bug and abort the process.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(std::string_view fmt, Args&&... args)
+{
+    std::string msg = strfmt(fmt, std::forward<Args>(args)...);
+    log_detail::emit("panic", msg);
+    std::abort();
+}
+
+/** Warn about possibly-imprecise behavior; the run continues. */
+template <typename... Args>
+void
+warn(std::string_view fmt, Args&&... args)
+{
+    if (log_detail::verbosity() >= 1)
+        log_detail::emit("warn", strfmt(fmt, std::forward<Args>(args)...));
+}
+
+/** Informational status message. */
+template <typename... Args>
+void
+inform(std::string_view fmt, Args&&... args)
+{
+    if (log_detail::verbosity() >= 2)
+        log_detail::emit("info", strfmt(fmt, std::forward<Args>(args)...));
+}
+
+/**
+ * Assert a simulator invariant; violation is a bug (panics).
+ * Enabled in all build types, unlike assert().
+ */
+#define GRAPHITE_ASSERT(cond, ...)                                         \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::graphite::panic("assertion failed: {} ({}:{})", #cond,       \
+                              __FILE__, __LINE__);                         \
+        }                                                                  \
+    } while (0)
+
+} // namespace graphite

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Small, fast, seedable random number generator.
+ *
+ * All randomized model decisions (LaxP2P partner choice, workload inputs)
+ * draw from explicitly seeded Rng instances so simulations are reproducible
+ * given identical thread interleavings. Never uses global state.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace graphite
+{
+
+/**
+ * xorshift64* generator. Tiny state, good quality for simulation use,
+ * and trivially copyable so each tile/thread owns an independent stream.
+ */
+class Rng
+{
+  public:
+    /** Seed the generator; a zero seed is remapped to a fixed constant. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+        : state_(seed ? seed : 0x9E3779B97F4A7C15ull)
+    {}
+
+    /** @return next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545F4914F6CDD1Dull;
+    }
+
+    /** @return uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        // Multiply-shift; bias is negligible for simulation purposes.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** @return uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Derive an independent stream for entity @p index. */
+    Rng
+    fork(std::uint64_t index) const
+    {
+        // SplitMix-style mix of (state, index).
+        std::uint64_t z = state_ + (index + 1) * 0x9E3779B97F4A7C15ull;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        z = z ^ (z >> 31);
+        return Rng(z);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace graphite

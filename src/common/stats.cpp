@@ -1,0 +1,85 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+#include "common/log.h"
+
+namespace graphite
+{
+
+void
+StatsRegistry::registerCounter(const std::string& name,
+                               const stat_t* counter)
+{
+    std::scoped_lock lock(mutex_);
+    auto [it, inserted] = counters_.emplace(name, counter);
+    if (!inserted)
+        panic("duplicate stat registration: {}", name);
+}
+
+stat_t
+StatsRegistry::get(const std::string& name) const
+{
+    std::scoped_lock lock(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        fatal("unknown statistic '{}'", name);
+    return *it->second;
+}
+
+bool
+StatsRegistry::has(const std::string& name) const
+{
+    std::scoped_lock lock(mutex_);
+    return counters_.count(name) != 0;
+}
+
+stat_t
+StatsRegistry::sumMatching(const std::string& prefix,
+                           const std::string& suffix) const
+{
+    std::scoped_lock lock(mutex_);
+    stat_t total = 0;
+    for (auto it = counters_.lower_bound(prefix); it != counters_.end();
+         ++it) {
+        const std::string& name = it->first;
+        if (name.compare(0, prefix.size(), prefix) != 0)
+            break;
+        if (name.size() >= prefix.size() + suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+            total += *it->second;
+        }
+    }
+    return total;
+}
+
+std::vector<std::string>
+StatsRegistry::names() const
+{
+    std::scoped_lock lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(counters_.size());
+    for (const auto& [name, ptr] : counters_)
+        out.push_back(name);
+    return out;
+}
+
+std::string
+StatsRegistry::dump() const
+{
+    std::scoped_lock lock(mutex_);
+    std::ostringstream os;
+    for (const auto& [name, ptr] : counters_)
+        os << name << " = " << *ptr << "\n";
+    return os.str();
+}
+
+void
+StatsRegistry::clear()
+{
+    std::scoped_lock lock(mutex_);
+    counters_.clear();
+}
+
+} // namespace graphite

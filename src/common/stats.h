@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Simple named-counter statistics registry.
+ *
+ * Models register counters per tile under hierarchical names
+ * ("tile.3.l2_cache.misses"). Counters are plain 64-bit values owned by
+ * the registering model; the registry only stores (name -> pointer) so
+ * increments are free of any locking on the hot path. Aggregation helpers
+ * sum counters across tiles at reporting time.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace graphite
+{
+
+/** One statistic: a 64-bit counter with atomic-free single-writer usage. */
+using stat_t = std::uint64_t;
+
+/**
+ * Registry of named counters.
+ *
+ * Thread-safety: registration is mutex-protected (cold path); reads used
+ * for reporting take the same mutex. Counter increments touch only the
+ * owner's memory.
+ */
+class StatsRegistry
+{
+  public:
+    /**
+     * Register a counter. The pointed-to storage must outlive the
+     * registry or be unregistered via clear().
+     */
+    void registerCounter(const std::string& name, const stat_t* counter);
+
+    /** @return value of a named counter; fatal if unknown. */
+    stat_t get(const std::string& name) const;
+
+    /** @return true if the counter exists. */
+    bool has(const std::string& name) const;
+
+    /**
+     * Sum all counters whose name matches "prefix<id>suffix" over ids —
+     * e.g. sumOver("tile.", ".l2.misses") adds tile.0.l2.misses,
+     * tile.1.l2.misses, ... Missing entries contribute zero.
+     */
+    stat_t sumMatching(const std::string& prefix,
+                       const std::string& suffix) const;
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    /** Render "name = value" lines for every counter. */
+    std::string dump() const;
+
+    /** Drop all registrations. */
+    void clear();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, const stat_t*> counters_;
+};
+
+} // namespace graphite

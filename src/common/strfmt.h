@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimal "{}"-style string formatting.
+ *
+ * The toolchain (GCC 12) does not ship std::format, so this header
+ * provides the tiny subset the simulator needs: positional "{}"
+ * placeholders filled via operator<<. Escapes: "{{" and "}}" produce
+ * literal braces. Surplus placeholders render as "{}"; surplus arguments
+ * are appended — both are treated as programmer errors in debug but must
+ * never crash logging paths.
+ */
+
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace graphite
+{
+
+namespace strfmt_detail
+{
+
+inline void
+appendRest(std::ostringstream& os, std::string_view fmt)
+{
+    for (size_t i = 0; i < fmt.size(); ++i) {
+        if ((fmt[i] == '{' || fmt[i] == '}') && i + 1 < fmt.size() &&
+            fmt[i + 1] == fmt[i]) {
+            os << fmt[i];
+            ++i;
+        } else {
+            os << fmt[i];
+        }
+    }
+}
+
+template <typename Arg, typename... Rest>
+void
+format1(std::ostringstream& os, std::string_view fmt, Arg&& arg,
+        Rest&&... rest)
+{
+    for (size_t i = 0; i < fmt.size(); ++i) {
+        char c = fmt[i];
+        if (c == '{' && i + 1 < fmt.size() && fmt[i + 1] == '{') {
+            os << '{';
+            ++i;
+            continue;
+        }
+        if (c == '}' && i + 1 < fmt.size() && fmt[i + 1] == '}') {
+            os << '}';
+            ++i;
+            continue;
+        }
+        if (c == '{' && i + 1 < fmt.size() && fmt[i + 1] == '}') {
+            os << arg;
+            std::string_view tail = fmt.substr(i + 2);
+            if constexpr (sizeof...(rest) > 0) {
+                format1(os, tail, std::forward<Rest>(rest)...);
+            } else {
+                appendRest(os, tail);
+            }
+            return;
+        }
+        os << c;
+    }
+    // No placeholder found; append surplus argument(s) for diagnosis.
+    os << " [" << arg << "]";
+    if constexpr (sizeof...(rest) > 0)
+        format1(os, "", std::forward<Rest>(rest)...);
+}
+
+} // namespace strfmt_detail
+
+/** Format @p fmt, replacing successive "{}" with @p args. */
+template <typename... Args>
+std::string
+strfmt(std::string_view fmt, Args&&... args)
+{
+    std::ostringstream os;
+    if constexpr (sizeof...(args) == 0) {
+        strfmt_detail::appendRest(os, fmt);
+    } else {
+        strfmt_detail::format1(os, fmt, std::forward<Args>(args)...);
+    }
+    return os.str();
+}
+
+} // namespace graphite

@@ -1,0 +1,68 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace graphite
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << v;
+    return os.str();
+}
+
+std::string
+TextTable::render() const
+{
+    size_t ncols = header_.size();
+    for (const auto& r : rows_)
+        ncols = std::max(ncols, r.size());
+    std::vector<size_t> width(ncols, 0);
+    auto measure = [&](const std::vector<std::string>& r) {
+        for (size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    };
+    measure(header_);
+    for (const auto& r : rows_)
+        measure(r);
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& r) {
+        for (size_t i = 0; i < ncols; ++i) {
+            std::string cell = i < r.size() ? r[i] : "";
+            os << cell << std::string(width[i] - cell.size(), ' ');
+            if (i + 1 < ncols)
+                os << "  ";
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t i = 0; i < ncols; ++i)
+            total += width[i] + (i + 1 < ncols ? 2 : 0);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto& r : rows_)
+        emit(r);
+    return os.str();
+}
+
+} // namespace graphite

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Aligned text-table rendering for benchmark harness output.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures by
+ * printing rows; this helper keeps their output uniform and diff-friendly.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace graphite
+{
+
+/** Builds and renders a column-aligned table. */
+class TextTable
+{
+  public:
+    /** Set header cells. */
+    void header(std::vector<std::string> cells);
+
+    /** Append one row. Rows may be ragged; short rows are padded. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision digits. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render with 2-space gutters and a separator under the header. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace graphite

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The target application programming interface.
+ *
+ * This is the repo's substitute for Pin-based dynamic binary translation
+ * (see DESIGN.md): applications written against this API generate exactly
+ * the event streams the paper's front end produced —
+ *
+ *  - memory references  -> the memory system (cache hierarchy, MSI
+ *                          coherence, DRAM), returning modeled latency
+ *                          consumed by the core model's load/store units;
+ *  - instruction events -> the core performance model (direct execution:
+ *                          arithmetic really runs on the host, only class
+ *                          and count are modeled);
+ *  - branch outcomes    -> the branch predictor;
+ *  - system calls       -> the MCP (futex, file I/O, thread management);
+ *  - user-level messages-> the application network (§3.3).
+ *
+ * All functions operate on the calling application thread's tile, bound
+ * by the threading infrastructure. The sync library at the bottom
+ * (mutex/barrier/condvar) is implemented purely with the target's atomic
+ * operations and the emulated futex system call, mirroring how pthreads
+ * are built on Linux — so application synchronization exercises the full
+ * coherence + syscall stack.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_types.h"
+#include "core/thread_manager.h"
+#include "perf/instruction.h"
+
+namespace graphite
+{
+
+class Simulator;
+
+namespace api
+{
+
+namespace detail
+{
+/** Bind the calling host thread to @p tile of @p sim. */
+void bindContext(Simulator& sim, tile_id_t tile);
+/** Unbind the calling host thread. */
+void unbindContext();
+/** True when the calling thread is bound to a tile. */
+bool bound();
+} // namespace detail
+
+/** @name Identity and time @{ */
+tile_id_t tileId();
+tile_id_t numTiles();
+cycle_t cycle();
+/** @} */
+
+/** @name Dynamic memory (target address space) @{ */
+addr_t malloc(std::uint64_t size);
+void free(addr_t addr);
+addr_t brk(addr_t new_brk);
+addr_t mmap(std::uint64_t length);
+void munmap(addr_t addr, std::uint64_t length);
+/** @} */
+
+/** @name Memory references (timed, coherent) @{ */
+void readMem(addr_t addr, void* out, size_t size);
+void writeMem(addr_t addr, const void* in, size_t size);
+
+template <typename T>
+T
+read(addr_t addr)
+{
+    T v;
+    readMem(addr, &v, sizeof(T));
+    return v;
+}
+
+template <typename T>
+void
+write(addr_t addr, const T& v)
+{
+    writeMem(addr, &v, sizeof(T));
+}
+/** @} */
+
+/** @name Atomic operations (single coherence transaction) @{ */
+
+/** Compare-and-swap; @return the previous value. */
+std::uint32_t atomicCas32(addr_t addr, std::uint32_t expected,
+                          std::uint32_t desired);
+/** Unconditional exchange; @return the previous value. */
+std::uint32_t atomicExchange32(addr_t addr, std::uint32_t value);
+/** Fetch-and-add; @return the previous value. */
+std::uint32_t atomicAdd32(addr_t addr, std::int32_t delta);
+std::uint64_t atomicAdd64(addr_t addr, std::int64_t delta);
+/** @} */
+
+/** @name Instruction events (direct execution) @{ */
+
+/** Report @p count natively executed instructions of class @p c. */
+void exec(InstrClass c, std::uint64_t count = 1);
+
+/** Report a branch at static site @p site that went @p taken. */
+void branch(addr_t site, bool taken);
+/** @} */
+
+/** @name Emulated futex system call (§3.4) @{ */
+
+/**
+ * Sleep until woken, provided the 32-bit word at @p addr still equals
+ * @p expected. @return 0 when woken by futexWake, -1 on value mismatch.
+ */
+int futexWait(addr_t addr, std::uint32_t expected);
+
+/** Wake up to @p count waiters. @return the number woken. */
+std::uint32_t futexWake(addr_t addr, std::uint32_t count);
+/** @} */
+
+/** @name Threading (§3.5) @{ */
+
+/**
+ * Spawn an application thread; the MCP assigns a free tile and the
+ * owning process's LCP starts it. Fatal when every tile is occupied.
+ * @return the assigned tile, which doubles as the thread handle.
+ */
+tile_id_t threadSpawn(thread_func_t func, void* arg);
+
+/** Wait for the thread on @p tile to finish (clock forwards). */
+void threadJoin(tile_id_t tile);
+/** @} */
+
+/** @name User-level messaging (§3.3) @{ */
+
+/** A received user message. */
+struct Message
+{
+    tile_id_t sender = INVALID_TILE_ID;
+    std::vector<std::uint8_t> data;
+};
+
+/** Send @p len bytes to @p dst's tile. */
+void msgSend(tile_id_t dst, const void* data, size_t len);
+
+/** Blocking receive of the next user message for this tile. */
+Message msgRecv();
+/** @} */
+
+/** @name File I/O, executed at the MCP (§3.4) @{ */
+int fileOpen(const char* path, int flags); ///< flags: 0 read, 1 write
+std::int64_t fileRead(int fd, addr_t buf, std::uint64_t len);
+std::int64_t fileWrite(int fd, addr_t buf, std::uint64_t len);
+std::int64_t fileSeek(int fd, std::int64_t offset, int whence);
+int fileClose(int fd);
+/** @} */
+
+/**
+ * @name Synchronization library
+ * Target-space primitives built on atomics + futex. Storage must be
+ * allocated in target memory by the application:
+ * mutex 4 bytes, barrier 16 bytes, condition variable 4 bytes.
+ * @{
+ */
+inline constexpr std::uint64_t MUTEX_BYTES = 4;
+inline constexpr std::uint64_t BARRIER_BYTES = 16;
+inline constexpr std::uint64_t COND_BYTES = 4;
+
+void mutexInit(addr_t m);
+void mutexLock(addr_t m);
+void mutexUnlock(addr_t m);
+
+void barrierInit(addr_t b, std::uint32_t participants);
+void barrierWait(addr_t b);
+
+void condInit(addr_t cv);
+void condWait(addr_t cv, addr_t m); ///< may wake spuriously; re-check
+void condSignal(addr_t cv);
+void condBroadcast(addr_t cv);
+/** @} */
+
+} // namespace api
+} // namespace graphite

@@ -1,0 +1,190 @@
+#include "core/simulator.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "transport/socket_transport.h"
+
+namespace graphite
+{
+
+Simulator*&
+Simulator::currentSlot()
+{
+    static Simulator* current = nullptr;
+    return current;
+}
+
+Simulator*
+Simulator::current()
+{
+    Simulator* sim = currentSlot();
+    GRAPHITE_ASSERT(sim != nullptr);
+    return sim;
+}
+
+Simulator::Simulator(Config cfg)
+    : cfg_(std::move(cfg)),
+      topo_(static_cast<tile_id_t>(cfg_.getInt("general/total_tiles")),
+            static_cast<proc_id_t>(
+                cfg_.getInt("general/num_processes", 1)),
+            static_cast<int>(
+                cfg_.getInt("host/processes_per_machine", 1)))
+{
+    transport_ = createTransport(topo_, cfg_);
+    fabric_ = std::make_unique<NetworkFabric>(topo_, cfg_);
+    memory_ = std::make_unique<MemorySystem>(topo_, *fabric_, cfg_);
+    sync_ = SyncModel::create(cfg_, topo_.totalTiles());
+
+    tiles_.reserve(topo_.totalTiles());
+    for (tile_id_t t = 0; t < topo_.totalTiles(); ++t)
+        tiles_.push_back(
+            std::make_unique<Tile>(t, cfg_, *fabric_, *transport_));
+
+    threads_ = std::make_unique<ThreadManager>(*this);
+
+    syncCheckInterval_ = cfg_.getInt("sync/check_interval", 200);
+    syscallCost_ = cfg_.getInt("system/syscall_cost", 100);
+    spawnCost_ = cfg_.getInt("system/spawn_cost", 1000);
+}
+
+Simulator::~Simulator()
+{
+    if (currentSlot() == this)
+        currentSlot() = nullptr;
+}
+
+void
+Simulator::attachSkewTracker(SkewTracker* tracker)
+{
+    skew_ = tracker;
+    if (tracker != nullptr) {
+        std::vector<SkewSource> cores;
+        cores.reserve(tiles_.size());
+        for (const auto& t : tiles_)
+            cores.push_back(SkewSource{&t->core(), t->runningFlag()});
+        tracker->attachCores(std::move(cores));
+    }
+}
+
+Tile&
+Simulator::tile(tile_id_t id)
+{
+    GRAPHITE_ASSERT(id >= 0 && id < topo_.totalTiles());
+    return *tiles_[id];
+}
+
+SimulationSummary
+Simulator::run(thread_func_t app_main, void* arg)
+{
+    GRAPHITE_ASSERT(currentSlot() == nullptr);
+    currentSlot() = this;
+
+    auto t0 = std::chrono::steady_clock::now();
+    threads_->start();
+    threads_->launchMain(app_main, arg);
+    threads_->waitForShutdown();
+    auto t1 = std::chrono::steady_clock::now();
+
+    currentSlot() = nullptr;
+
+    SimulationSummary summary;
+    summary.simulatedCycles = simulatedTime();
+    summary.totalInstructions = totalInstructions();
+    summary.wallSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    summary.threadsSpawned = threads_->threadsSpawned();
+    return summary;
+}
+
+cycle_t
+Simulator::simulatedTime() const
+{
+    cycle_t max_clock = 0;
+    for (const auto& tile : tiles_)
+        max_clock = std::max(max_clock, tile->core().cycle());
+    return max_clock;
+}
+
+std::string
+Simulator::statsReport() const
+{
+    std::ostringstream os;
+    os << "=== simulation summary ===\n";
+    os << "target tiles      : " << topo_.totalTiles() << "\n";
+    os << "host processes    : " << topo_.numProcesses() << "\n";
+    os << "simulated cycles  : " << simulatedTime() << "\n";
+    os << "instructions      : " << totalInstructions() << "\n";
+    os << "threads spawned   : " << threads_->threadsSpawned() << "\n";
+    os << "syscalls          : " << threads_->totalSyscalls() << "\n";
+    os << "sync model        : " << sync_->name() << " (events "
+       << sync_->syncEvents() << ", waited "
+       << sync_->syncWaitMicroseconds() << " us)\n";
+    os << "target heap       : "
+       << memory_->manager().bytesAllocated() << " bytes in "
+       << memory_->manager().allocationCount() << " allocations\n";
+
+    os << "\n=== network models ===\n";
+    TextTable net;
+    net.header({"network", "model", "packets", "bytes", "hops",
+                "total latency"});
+    auto type_name = [](PacketType t) {
+        switch (t) {
+          case PacketType::App: return "app";
+          case PacketType::Memory: return "memory";
+          case PacketType::System: return "system";
+          default: return "?";
+        }
+    };
+    for (PacketType t : {PacketType::App, PacketType::Memory,
+                         PacketType::System}) {
+        const NetworkModel& m =
+            const_cast<NetworkFabric&>(*fabric_).modelFor(t);
+        net.row({type_name(t), m.name(),
+                 std::to_string(m.packetsRouted()),
+                 std::to_string(m.bytesRouted()),
+                 std::to_string(m.totalHops()),
+                 std::to_string(m.totalLatency())});
+    }
+    os << net.render();
+
+    os << "\n=== per-tile detail ===\n";
+    TextTable tiles;
+    tiles.header({"tile", "cycles", "instr", "l1d acc", "l1d miss",
+                  "l2 miss", "cold", "cap", "true", "false", "upgr",
+                  "wb"});
+    for (tile_id_t t = 0; t < topo_.totalTiles(); ++t) {
+        const CoreModel& core = tiles_[t]->core();
+        if (core.instructionsRetired() == 0)
+            continue; // idle tile
+        MemorySystem& mem = *memory_;
+        const TileMemoryStats& ms = mem.stats(t);
+        Cache* l1d = mem.l1d(t);
+        tiles.row({std::to_string(t), std::to_string(core.cycle()),
+                   std::to_string(core.instructionsRetired()),
+                   std::to_string(l1d ? l1d->accesses() : 0),
+                   std::to_string(l1d ? l1d->misses() : 0),
+                   std::to_string(mem.l2(t).misses()),
+                   std::to_string(ms.l2ColdMisses),
+                   std::to_string(ms.l2CapacityMisses),
+                   std::to_string(ms.l2TrueSharingMisses),
+                   std::to_string(ms.l2FalseSharingMisses),
+                   std::to_string(ms.l2UpgradeMisses),
+                   std::to_string(ms.writebacks)});
+    }
+    os << tiles.render();
+    return os.str();
+}
+
+stat_t
+Simulator::totalInstructions() const
+{
+    stat_t total = 0;
+    for (const auto& tile : tiles_)
+        total += tile->core().instructionsRetired();
+    return total;
+}
+
+} // namespace graphite

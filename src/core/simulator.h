@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Top-level simulator: owns every subsystem and drives a simulation
+ * (paper §2).
+ *
+ * A simulation executes a multi-threaded application (written against
+ * graphite::api, the Pin-substitute instrumentation interface — see
+ * DESIGN.md) on a target architecture defined by the models and the
+ * runtime configuration. Tiles are striped across simulated host
+ * processes; the MCP/LCP service threads maintain the single-process
+ * illusion.
+ *
+ * Usage:
+ * @code
+ *   Config cfg = defaultTargetConfig();
+ *   cfg.setInt("general/total_tiles", 64);
+ *   Simulator sim(cfg);
+ *   sim.run(&app_main, nullptr);
+ *   cycle_t t = sim.simulatedTime();
+ * @endcode
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "common/fixed_types.h"
+#include "core/thread_manager.h"
+#include "core/tile.h"
+#include "mem/memory_system.h"
+#include "network/network.h"
+#include "sync/skew_tracker.h"
+#include "sync/sync_model.h"
+#include "transport/transport.h"
+
+namespace graphite
+{
+
+/** Aggregate results of one simulation run. */
+struct SimulationSummary
+{
+    cycle_t simulatedCycles = 0;   ///< max final tile clock
+    stat_t totalInstructions = 0;  ///< across all tiles
+    double wallSeconds = 0;        ///< host wall-clock of run()
+    stat_t threadsSpawned = 0;
+};
+
+/** The simulation: models + functional infrastructure + lifecycle. */
+class Simulator
+{
+  public:
+    explicit Simulator(Config cfg);
+    ~Simulator();
+
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    /**
+     * Execute the application: @p app_main runs as the thread on tile 0;
+     * it may spawn further threads via the API. Returns when every
+     * application thread has finished and the MCP has shut down.
+     */
+    SimulationSummary run(thread_func_t app_main, void* arg);
+
+    /** @name Component access @{ */
+    const Config& config() const { return cfg_; }
+    const ClusterTopology& topology() const { return topo_; }
+    Transport& transport() { return *transport_; }
+    NetworkFabric& fabric() { return *fabric_; }
+    MemorySystem& memory() { return *memory_; }
+    SyncModel& syncModel() { return *sync_; }
+    ThreadManager& threadManager() { return *threads_; }
+    Tile& tile(tile_id_t id);
+    tile_id_t totalTiles() const { return topo_.totalTiles(); }
+    /** @} */
+
+    /** Largest tile clock observed (the simulated run time). */
+    cycle_t simulatedTime() const;
+
+    /** Sum of instructions retired on all tiles. */
+    stat_t totalInstructions() const;
+
+    /**
+     * Render a full post-run statistics report: run summary, per-tile
+     * core/cache/miss-class tables, network-model totals, sync-model
+     * overhead, and memory-manager usage. Call after run().
+     */
+    std::string statsReport() const;
+
+    /** Attach an optional skew tracker (Figure 7 experiments). */
+    void attachSkewTracker(SkewTracker* tracker);
+    SkewTracker* skewTracker() { return skew_; }
+
+    /** Cycles between periodic sync-model checks. */
+    cycle_t syncCheckInterval() const { return syncCheckInterval_; }
+
+    /** Modeled cost of one system call round trip, cycles. */
+    cycle_t syscallCost() const { return syscallCost_; }
+
+    /** Modeled cost charged to a freshly spawned thread, cycles. */
+    cycle_t spawnCost() const { return spawnCost_; }
+
+    /**
+     * The simulator the calling application thread belongs to.
+     * Valid only inside run() on application threads.
+     */
+    static Simulator* current();
+
+  private:
+    friend class ThreadManager;
+    static Simulator*& currentSlot();
+
+    Config cfg_;
+    ClusterTopology topo_;
+    std::unique_ptr<Transport> transport_;
+    std::unique_ptr<NetworkFabric> fabric_;
+    std::unique_ptr<MemorySystem> memory_;
+    std::unique_ptr<SyncModel> sync_;
+    std::vector<std::unique_ptr<Tile>> tiles_;
+    std::unique_ptr<ThreadManager> threads_;
+    SkewTracker* skew_ = nullptr;
+    cycle_t syncCheckInterval_;
+    cycle_t syscallCost_;
+    cycle_t spawnCost_;
+};
+
+} // namespace graphite

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Simulator-internal control messages (MCP/LCP protocol).
+ *
+ * The MCP (Master Control Program, one per simulation) and the LCPs
+ * (Local Control Programs, one per simulated host process) provide
+ * "services for synchronization, system call execution and thread
+ * management" (paper §2.2). These messages flow over the physical
+ * transport between tile endpoints and the MCP/LCP endpoints.
+ *
+ * Function pointers cross (simulated) process boundaries as raw values:
+ * the paper relies on every process executing the same statically linked
+ * binary so code addresses agree (§3.2.1); within this in-process cluster
+ * simulation that property holds trivially.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/fixed_types.h"
+#include "common/log.h"
+
+namespace graphite
+{
+
+/** Sender id used in packets originating at the MCP. */
+inline constexpr tile_id_t MCP_SENDER = -2;
+
+/** MCP/LCP message opcodes. */
+enum class SysMsgType : std::uint32_t
+{
+    SpawnRequest = 1,  ///< app -> MCP: create a thread
+    SpawnReply,        ///< MCP -> app: allocated tile (or error)
+    SpawnToLcp,        ///< MCP -> LCP: start the host thread
+    JoinRequest,       ///< app -> MCP: wait for a tile's thread
+    JoinReply,         ///< MCP -> app: thread finished
+    ThreadExit,        ///< app -> MCP: this tile's thread is done
+    FutexWait,         ///< app -> MCP
+    FutexWaitReply,    ///< MCP -> app: woken (or value mismatch)
+    FutexWake,         ///< app -> MCP
+    FutexWakeReply,    ///< MCP -> app: number woken
+    FileOp,            ///< app -> MCP: open/read/write/close/seek
+    FileOpReply,       ///< MCP -> app
+    Shutdown,          ///< simulator -> MCP: drain and stop
+    ShutdownAck,       ///< MCP -> simulator
+    LcpShutdown        ///< MCP -> LCP: stop
+};
+
+/** Header common to all system messages. */
+struct SysMsgHeader
+{
+    SysMsgType type;
+    tile_id_t srcTile;   ///< requesting tile (or INVALID for simulator)
+    cycle_t timestamp;   ///< sender's simulated clock
+};
+
+/** Spawn request/forward payload. */
+struct SpawnBody
+{
+    std::uint64_t func; ///< void(*)(void*) as integer
+    std::uint64_t arg;  ///< void* as integer
+    tile_id_t tile;     ///< chosen tile (SpawnToLcp / SpawnReply)
+    std::int32_t error; ///< 0 ok; nonzero when no tile free
+};
+
+/** Join request/reply payload. */
+struct JoinBody
+{
+    tile_id_t tile;      ///< tile whose thread to join
+    cycle_t exitClock;   ///< joined thread's clock at exit (reply)
+};
+
+/** Futex payload. */
+struct FutexBody
+{
+    addr_t addr;
+    std::uint32_t value;   ///< expected value (wait)
+    std::uint32_t count;   ///< wake count (wake) / woken (reply)
+    std::int32_t result;   ///< 0 ok, EAGAIN-style mismatch = -1
+};
+
+/** File-operation payload (fixed header; data follows inline). */
+struct FileOpBody
+{
+    enum Op : std::uint32_t { Open = 1, Close, Read, Write, Seek };
+    std::uint32_t op;
+    std::int32_t fd;
+    std::int64_t result;
+    std::uint64_t length;  ///< data length / requested byte count
+    std::int64_t offset;   ///< seek offset
+    std::uint32_t flags;   ///< open flags (0 read, 1 write-create) / whence
+    addr_t bufAddr;        ///< target buffer address (Read)
+    // Open: path bytes follow. Write: data bytes follow.
+};
+
+/** Serialize header + body + optional trailing bytes into a buffer. */
+template <typename Body>
+std::vector<std::uint8_t>
+packSysMsg(const SysMsgHeader& hdr, const Body& body,
+           const void* extra = nullptr, size_t extra_len = 0)
+{
+    std::vector<std::uint8_t> out(sizeof(SysMsgHeader) + sizeof(Body) +
+                                  extra_len);
+    std::memcpy(out.data(), &hdr, sizeof(hdr));
+    std::memcpy(out.data() + sizeof(hdr), &body, sizeof(body));
+    if (extra_len > 0)
+        std::memcpy(out.data() + sizeof(hdr) + sizeof(body), extra,
+                    extra_len);
+    return out;
+}
+
+/** Header-only message. */
+inline std::vector<std::uint8_t>
+packSysMsg(const SysMsgHeader& hdr)
+{
+    std::vector<std::uint8_t> out(sizeof(SysMsgHeader));
+    std::memcpy(out.data(), &hdr, sizeof(hdr));
+    return out;
+}
+
+/** Read the header from a raw buffer. */
+inline SysMsgHeader
+peekHeader(const std::vector<std::uint8_t>& buf)
+{
+    if (buf.size() < sizeof(SysMsgHeader))
+        panic("system message too short ({} bytes)", buf.size());
+    SysMsgHeader hdr;
+    std::memcpy(&hdr, buf.data(), sizeof(hdr));
+    return hdr;
+}
+
+/** Read the body following the header. */
+template <typename Body>
+Body
+unpackBody(const std::vector<std::uint8_t>& buf)
+{
+    if (buf.size() < sizeof(SysMsgHeader) + sizeof(Body))
+        panic("system message body too short ({} bytes)", buf.size());
+    Body body;
+    std::memcpy(&body, buf.data() + sizeof(SysMsgHeader), sizeof(body));
+    return body;
+}
+
+/** Trailing bytes after header + body. */
+template <typename Body>
+std::vector<std::uint8_t>
+unpackExtra(const std::vector<std::uint8_t>& buf)
+{
+    size_t off = sizeof(SysMsgHeader) + sizeof(Body);
+    GRAPHITE_ASSERT(buf.size() >= off);
+    return std::vector<std::uint8_t>(buf.begin() + off, buf.end());
+}
+
+} // namespace graphite

@@ -1,0 +1,476 @@
+#include "core/thread_manager.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.h"
+#include "core/api.h"
+#include "core/simulator.h"
+
+namespace graphite
+{
+
+ThreadManager::ThreadManager(Simulator& sim) : sim_(sim)
+{
+}
+
+ThreadManager::~ThreadManager()
+{
+    // Normal teardown happens in waitForShutdown(); this is a backstop
+    // for error paths so the process does not terminate with detached
+    // threads touching freed state.
+    if (mcpThread_.joinable())
+        mcpThread_.join();
+    for (auto& t : lcpThreads_) {
+        if (t.joinable())
+            t.join();
+    }
+    std::scoped_lock lock(appThreadsMutex_);
+    for (auto& t : appThreads_) {
+        if (t.joinable())
+            t.join();
+    }
+}
+
+void
+ThreadManager::start()
+{
+    const ClusterTopology& topo = sim_.topology();
+    tileState_.assign(topo.totalTiles(), TileState::Free);
+    syscalls_.assign(topo.totalTiles(), 0);
+
+    // Reserve tile 0 for the application's main thread before any MCP
+    // processing can begin.
+    tileState_[0] = TileState::Busy;
+    busyTiles_ = 1;
+
+    mcpThread_ = std::thread([this] { mcpLoop(); });
+    for (proc_id_t p = 0; p < topo.numProcesses(); ++p)
+        lcpThreads_.emplace_back([this, p] { lcpLoop(p); });
+}
+
+void
+ThreadManager::launchMain(thread_func_t func, void* arg)
+{
+    std::scoped_lock lock(appThreadsMutex_);
+    appThreads_.emplace_back([this, func, arg] {
+        appTrampoline(0, func, arg, 0, /*is_main=*/true);
+    });
+}
+
+void
+ThreadManager::waitForShutdown()
+{
+    // The MCP defers the actual shutdown until every tile is free, so
+    // this is safe to send while application threads still run.
+    SysMsgHeader hdr{SysMsgType::Shutdown, INVALID_THREAD_ID, 0};
+    NetPacket pkt;
+    pkt.type = PacketType::System;
+    pkt.sender = MCP_SENDER;
+    pkt.receiver = INVALID_TILE_ID;
+    pkt.payload = packSysMsg(hdr);
+    endpoint_id_t mcp = sim_.topology().mcpEndpoint();
+    sim_.transport().send(mcp, mcp, pkt.serialize());
+
+    if (mcpThread_.joinable())
+        mcpThread_.join();
+    for (auto& t : lcpThreads_) {
+        if (t.joinable())
+            t.join();
+    }
+    std::scoped_lock lock(appThreadsMutex_);
+    for (auto& t : appThreads_) {
+        if (t.joinable())
+            t.join();
+    }
+}
+
+// --------------------------------------------------------------- app thread
+
+void
+ThreadManager::appTrampoline(tile_id_t tile, thread_func_t func,
+                             void* arg, cycle_t start_clock, bool is_main)
+{
+    api::detail::bindContext(sim_, tile);
+    Tile& t = sim_.tile(tile);
+    CoreModel& core = t.core();
+    core.forwardClock(start_clock);
+    if (!is_main)
+        core.executePseudo(PseudoInstr::Spawn, sim_.spawnCost());
+    t.setOccupied(true);
+    t.setRunning(true);
+    sim_.syncModel().threadStart(core);
+
+    func(arg);
+
+    sim_.syncModel().threadExit(core);
+    t.setRunning(false);
+    t.setOccupied(false);
+
+    // Tell the MCP this tile is free; join waiters observe our clock.
+    SysMsgHeader hdr{SysMsgType::ThreadExit, tile, core.cycle()};
+    NetPacket pkt;
+    pkt.type = PacketType::System;
+    pkt.sender = tile;
+    pkt.receiver = INVALID_TILE_ID;
+    pkt.time = core.cycle();
+    pkt.payload = packSysMsg(hdr);
+    sim_.transport().send(sim_.topology().tileEndpoint(tile),
+                          sim_.topology().mcpEndpoint(),
+                          pkt.serialize());
+    api::detail::unbindContext();
+}
+
+// --------------------------------------------------------------------- LCP
+
+void
+ThreadManager::lcpLoop(proc_id_t proc)
+{
+    endpoint_id_t ep = sim_.topology().lcpEndpoint(proc);
+    while (true) {
+        TransportBuffer buf = sim_.transport().recv(ep);
+        if (buf.src < 0)
+            return; // transport shut down
+        NetPacket pkt = NetPacket::deserialize(buf.data);
+        SysMsgHeader hdr = peekHeader(pkt.payload);
+        switch (hdr.type) {
+          case SysMsgType::SpawnToLcp: {
+            auto body = unpackBody<SpawnBody>(pkt.payload);
+            auto func = reinterpret_cast<thread_func_t>(body.func);
+            auto* arg = reinterpret_cast<void*>(body.arg);
+            tile_id_t tile = body.tile;
+            cycle_t clock = hdr.timestamp;
+            std::scoped_lock lock(appThreadsMutex_);
+            appThreads_.emplace_back([this, tile, func, arg, clock] {
+                appTrampoline(tile, func, arg, clock, /*is_main=*/false);
+            });
+            break;
+          }
+          case SysMsgType::LcpShutdown:
+            return;
+          default:
+            panic("LCP {}: unexpected message type {}", proc,
+                  static_cast<int>(hdr.type));
+        }
+    }
+}
+
+// --------------------------------------------------------------------- MCP
+
+void
+ThreadManager::mcpReplyToTile(tile_id_t tile, cycle_t timestamp,
+                              std::vector<std::uint8_t> payload)
+{
+    NetPacket pkt;
+    pkt.type = PacketType::System;
+    pkt.sender = MCP_SENDER;
+    pkt.receiver = tile;
+    pkt.time = timestamp;
+    pkt.payload = std::move(payload);
+    sim_.transport().send(sim_.topology().mcpEndpoint(),
+                          sim_.topology().tileEndpoint(tile),
+                          pkt.serialize());
+}
+
+void
+ThreadManager::mcpSendToLcp(proc_id_t proc,
+                            std::vector<std::uint8_t> payload)
+{
+    NetPacket pkt;
+    pkt.type = PacketType::System;
+    pkt.sender = MCP_SENDER;
+    pkt.receiver = INVALID_TILE_ID;
+    pkt.payload = std::move(payload);
+    sim_.transport().send(sim_.topology().mcpEndpoint(),
+                          sim_.topology().lcpEndpoint(proc),
+                          pkt.serialize());
+}
+
+void
+ThreadManager::mcpLoop()
+{
+    endpoint_id_t ep = sim_.topology().mcpEndpoint();
+    while (!shutdownDone_) {
+        TransportBuffer buf = sim_.transport().recv(ep);
+        if (buf.src < 0)
+            return;
+        NetPacket pkt = NetPacket::deserialize(buf.data);
+        SysMsgHeader hdr = peekHeader(pkt.payload);
+        switch (hdr.type) {
+          case SysMsgType::SpawnRequest:
+            handleSpawn(hdr, unpackBody<SpawnBody>(pkt.payload));
+            break;
+          case SysMsgType::JoinRequest:
+            handleJoin(hdr, unpackBody<JoinBody>(pkt.payload));
+            break;
+          case SysMsgType::ThreadExit:
+            handleThreadExit(hdr);
+            break;
+          case SysMsgType::FutexWait:
+            ++syscalls_[hdr.srcTile];
+            handleFutexWait(hdr, unpackBody<FutexBody>(pkt.payload));
+            break;
+          case SysMsgType::FutexWake:
+            ++syscalls_[hdr.srcTile];
+            handleFutexWake(hdr, unpackBody<FutexBody>(pkt.payload));
+            break;
+          case SysMsgType::FileOp:
+            ++syscalls_[hdr.srcTile];
+            handleFileOp(hdr, pkt.payload);
+            break;
+          case SysMsgType::Shutdown:
+            shutdownRequested_ = true;
+            maybeFinishShutdown();
+            break;
+          default:
+            panic("MCP: unexpected message type {}",
+                  static_cast<int>(hdr.type));
+        }
+    }
+}
+
+void
+ThreadManager::handleSpawn(const SysMsgHeader& hdr, const SpawnBody& body)
+{
+    // Pick the lowest-numbered free tile; striping of tiles across
+    // processes makes low ids spread over processes (§3.5).
+    tile_id_t chosen = INVALID_TILE_ID;
+    for (tile_id_t t = 0;
+         t < static_cast<tile_id_t>(tileState_.size()); ++t) {
+        if (tileState_[t] == TileState::Free) {
+            chosen = t;
+            break;
+        }
+    }
+
+    SpawnBody reply = body;
+    if (chosen == INVALID_TILE_ID) {
+        // "The maximum number of threads at any time may not exceed the
+        // total number of cores" — a spawn beyond that is a user error.
+        reply.error = 1;
+        reply.tile = INVALID_TILE_ID;
+    } else {
+        tileState_[chosen] = TileState::Busy;
+        ++busyTiles_;
+        ++threadsSpawned_;
+        exitClock_.erase(chosen);
+        reply.error = 0;
+        reply.tile = chosen;
+
+        SysMsgHeader fwd{SysMsgType::SpawnToLcp, hdr.srcTile,
+                         hdr.timestamp};
+        SpawnBody fwd_body = body;
+        fwd_body.tile = chosen;
+        mcpSendToLcp(sim_.topology().processForTile(chosen),
+                     packSysMsg(fwd, fwd_body));
+    }
+
+    SysMsgHeader rh{SysMsgType::SpawnReply, hdr.srcTile, hdr.timestamp};
+    mcpReplyToTile(hdr.srcTile, hdr.timestamp, packSysMsg(rh, reply));
+}
+
+void
+ThreadManager::handleJoin(const SysMsgHeader& hdr, const JoinBody& body)
+{
+    tile_id_t target = body.tile;
+    GRAPHITE_ASSERT(target >= 0 &&
+                    target < static_cast<tile_id_t>(tileState_.size()));
+    auto it = exitClock_.find(target);
+    if (tileState_[target] == TileState::Free && it != exitClock_.end()) {
+        JoinBody reply{target, it->second};
+        SysMsgHeader rh{SysMsgType::JoinReply, hdr.srcTile, it->second};
+        mcpReplyToTile(hdr.srcTile, it->second, packSysMsg(rh, reply));
+    } else {
+        joinWaiters_[target].push_back(hdr.srcTile);
+    }
+}
+
+void
+ThreadManager::handleThreadExit(const SysMsgHeader& hdr)
+{
+    tile_id_t tile = hdr.srcTile;
+    GRAPHITE_ASSERT(tile >= 0 &&
+                    tile < static_cast<tile_id_t>(tileState_.size()));
+    GRAPHITE_ASSERT(tileState_[tile] == TileState::Busy);
+    tileState_[tile] = TileState::Free;
+    --busyTiles_;
+    exitClock_[tile] = hdr.timestamp;
+
+    auto wit = joinWaiters_.find(tile);
+    if (wit != joinWaiters_.end()) {
+        for (tile_id_t waiter : wit->second) {
+            JoinBody reply{tile, hdr.timestamp};
+            SysMsgHeader rh{SysMsgType::JoinReply, waiter,
+                            hdr.timestamp};
+            mcpReplyToTile(waiter, hdr.timestamp, packSysMsg(rh, reply));
+        }
+        joinWaiters_.erase(wit);
+    }
+    maybeFinishShutdown();
+}
+
+void
+ThreadManager::handleFutexWait(const SysMsgHeader& hdr,
+                               const FutexBody& body)
+{
+    std::uint32_t current = 0;
+    sim_.memory().readCoherent(body.addr, &current, sizeof(current));
+    if (current != body.value) {
+        FutexBody reply = body;
+        reply.result = -1; // EWOULDBLOCK
+        SysMsgHeader rh{SysMsgType::FutexWaitReply, hdr.srcTile,
+                        hdr.timestamp};
+        mcpReplyToTile(hdr.srcTile, hdr.timestamp, packSysMsg(rh, reply));
+        return;
+    }
+    futexQueues_[body.addr].push_back(
+        FutexWaiter{hdr.srcTile, body.value});
+}
+
+void
+ThreadManager::handleFutexWake(const SysMsgHeader& hdr,
+                               const FutexBody& body)
+{
+    auto qit = futexQueues_.find(body.addr);
+    std::uint32_t woken = 0;
+    if (qit != futexQueues_.end()) {
+        auto& queue = qit->second;
+        while (woken < body.count && !queue.empty()) {
+            FutexWaiter w = queue.front();
+            queue.pop_front();
+            ++woken;
+            // The wakeup "occurs" at the waker's simulated time; the
+            // waiter forwards its clock to this timestamp (§3.6.1).
+            FutexBody reply{};
+            reply.addr = body.addr;
+            reply.result = 0;
+            SysMsgHeader rh{SysMsgType::FutexWaitReply, w.tile,
+                            hdr.timestamp};
+            mcpReplyToTile(w.tile, hdr.timestamp, packSysMsg(rh, reply));
+        }
+        if (queue.empty())
+            futexQueues_.erase(qit);
+    }
+    FutexBody reply = body;
+    reply.count = woken;
+    reply.result = 0;
+    SysMsgHeader rh{SysMsgType::FutexWakeReply, hdr.srcTile,
+                    hdr.timestamp};
+    mcpReplyToTile(hdr.srcTile, hdr.timestamp, packSysMsg(rh, reply));
+}
+
+void
+ThreadManager::handleFileOp(const SysMsgHeader& hdr,
+                            const std::vector<std::uint8_t>& raw)
+{
+    auto body = unpackBody<FileOpBody>(raw);
+    auto extra = unpackExtra<FileOpBody>(raw);
+    FileOpBody reply = body;
+    std::vector<std::uint8_t> reply_extra;
+
+    switch (body.op) {
+      case FileOpBody::Open: {
+        std::string path(extra.begin(), extra.end());
+        const char* mode = body.flags == 1 ? "wb" : "rb";
+        std::FILE* f = std::fopen(path.c_str(), mode);
+        if (f == nullptr) {
+            reply.result = -1;
+        } else {
+            std::int32_t fd = nextFd_++;
+            files_[fd] = f;
+            reply.result = fd;
+        }
+        break;
+      }
+      case FileOpBody::Close: {
+        auto it = files_.find(body.fd);
+        if (it == files_.end()) {
+            reply.result = -1;
+        } else {
+            std::fclose(it->second);
+            files_.erase(it);
+            reply.result = 0;
+        }
+        break;
+      }
+      case FileOpBody::Read: {
+        auto it = files_.find(body.fd);
+        if (it == files_.end()) {
+            reply.result = -1;
+            break;
+        }
+        std::vector<std::uint8_t> data(body.length);
+        size_t n = std::fread(data.data(), 1, data.size(), it->second);
+        // Kernel-style copy into the target buffer.
+        if (n > 0)
+            sim_.memory().writeCoherent(body.bufAddr, data.data(), n);
+        reply.result = static_cast<std::int64_t>(n);
+        break;
+      }
+      case FileOpBody::Write: {
+        auto it = files_.find(body.fd);
+        if (it == files_.end()) {
+            reply.result = -1;
+            break;
+        }
+        size_t n =
+            std::fwrite(extra.data(), 1, extra.size(), it->second);
+        reply.result = static_cast<std::int64_t>(n);
+        break;
+      }
+      case FileOpBody::Seek: {
+        auto it = files_.find(body.fd);
+        if (it == files_.end()) {
+            reply.result = -1;
+            break;
+        }
+        int whence = static_cast<int>(body.flags);
+        reply.result =
+            std::fseek(it->second, static_cast<long>(body.offset),
+                       whence) == 0
+                ? static_cast<std::int64_t>(std::ftell(it->second))
+                : -1;
+        break;
+      }
+      default:
+        panic("MCP: bad file op {}", body.op);
+    }
+
+    SysMsgHeader rh{SysMsgType::FileOpReply, hdr.srcTile, hdr.timestamp};
+    mcpReplyToTile(hdr.srcTile, hdr.timestamp,
+                   packSysMsg(rh, reply, reply_extra.data(),
+                              reply_extra.size()));
+}
+
+void
+ThreadManager::maybeFinishShutdown()
+{
+    if (!shutdownRequested_ || busyTiles_ != 0 || shutdownDone_)
+        return;
+    shutdownDone_ = true;
+    for (auto& [fd, f] : files_)
+        std::fclose(f);
+    files_.clear();
+    SysMsgHeader hdr{SysMsgType::LcpShutdown, INVALID_THREAD_ID, 0};
+    for (proc_id_t p = 0; p < sim_.topology().numProcesses(); ++p)
+        mcpSendToLcp(p, packSysMsg(hdr));
+}
+
+stat_t
+ThreadManager::syscallCount(tile_id_t tile) const
+{
+    GRAPHITE_ASSERT(tile >= 0 &&
+                    tile < static_cast<tile_id_t>(syscalls_.size()));
+    return syscalls_[tile];
+}
+
+stat_t
+ThreadManager::totalSyscalls() const
+{
+    stat_t total = 0;
+    for (stat_t s : syscalls_)
+        total += s;
+    return total;
+}
+
+} // namespace graphite

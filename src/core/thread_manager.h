@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Threading infrastructure and consistent OS interface:
+ * the MCP and LCP service threads (paper §2.2, §3.4, §3.5).
+ *
+ * "Graphite spawns additional threads called the Master Control Program
+ * (MCP) and the Local Control Program (LCP). There is one LCP per process
+ * but only one MCP for the entire simulation. The MCP and LCP ensure the
+ * functional correctness of the simulation by providing services for
+ * synchronization, system call execution and thread management."
+ *
+ * Thread management (§3.5): spawn requests are intercepted at the callee,
+ * forwarded to the MCP which picks an available tile and forwards the
+ * request to the owning process's LCP; the LCP creates the host thread.
+ * Joins synchronize through the MCP.
+ *
+ * System calls (§3.4): futex emulation and file I/O execute *at the MCP*
+ * so all simulated processes observe one consistent kernel state.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/fixed_types.h"
+#include "common/stats.h"
+#include "core/sys_msg.h"
+#include "network/net_packet.h"
+#include "transport/transport.h"
+
+namespace graphite
+{
+
+class Simulator;
+
+/** Application thread entry point (pthread-style). */
+using thread_func_t = void (*)(void*);
+
+/**
+ * Owns the MCP thread, the per-process LCP threads, the tile allocation
+ * table, the futex wait queues, and the MCP-resident file table.
+ */
+class ThreadManager
+{
+  public:
+    explicit ThreadManager(Simulator& sim);
+    ~ThreadManager();
+
+    ThreadManager(const ThreadManager&) = delete;
+    ThreadManager& operator=(const ThreadManager&) = delete;
+
+    /** Start the MCP and LCP service threads. */
+    void start();
+
+    /**
+     * Launch the application's main thread on tile 0 and return
+     * immediately; Simulator::run() waits for completion via
+     * waitForShutdown().
+     */
+    void launchMain(thread_func_t func, void* arg);
+
+    /**
+     * Request shutdown: the MCP drains until every tile is free, stops
+     * the LCPs, and exits; all host threads are joined.
+     */
+    void waitForShutdown();
+
+    /** @name Statistics @{ */
+    stat_t threadsSpawned() const { return threadsSpawned_; }
+    stat_t syscallCount(tile_id_t tile) const;
+    stat_t totalSyscalls() const;
+    /** @} */
+
+  private:
+    friend class Api; // the API layer sends requests directly
+
+    enum class TileState : std::uint8_t { Free, Busy };
+
+    struct FutexWaiter
+    {
+        tile_id_t tile;
+        std::uint32_t expected;
+    };
+
+    void mcpLoop();
+    void lcpLoop(proc_id_t proc);
+    void appTrampoline(tile_id_t tile, thread_func_t func, void* arg,
+                       cycle_t start_clock, bool is_main);
+
+    /** Send a system packet from the MCP to a tile endpoint. */
+    void mcpReplyToTile(tile_id_t tile, cycle_t timestamp,
+                        std::vector<std::uint8_t> payload);
+
+    /** Send a system packet from the MCP to an LCP endpoint. */
+    void mcpSendToLcp(proc_id_t proc, std::vector<std::uint8_t> payload);
+
+    /** @name MCP request handlers @{ */
+    void handleSpawn(const SysMsgHeader& hdr, const SpawnBody& body);
+    void handleJoin(const SysMsgHeader& hdr, const JoinBody& body);
+    void handleThreadExit(const SysMsgHeader& hdr);
+    void handleFutexWait(const SysMsgHeader& hdr, const FutexBody& body);
+    void handleFutexWake(const SysMsgHeader& hdr, const FutexBody& body);
+    void handleFileOp(const SysMsgHeader& hdr,
+                      const std::vector<std::uint8_t>& raw);
+    void maybeFinishShutdown();
+    /** @} */
+
+    Simulator& sim_;
+
+    std::thread mcpThread_;
+    std::vector<std::thread> lcpThreads_;
+
+    /** App host threads, created by LCPs; guarded by appThreadsMutex_. */
+    std::mutex appThreadsMutex_;
+    std::vector<std::thread> appThreads_;
+
+    // ---- MCP-private state (touched only by the MCP thread) ----
+    std::vector<TileState> tileState_;
+    std::unordered_map<tile_id_t, cycle_t> exitClock_;
+    std::unordered_map<tile_id_t, std::vector<tile_id_t>> joinWaiters_;
+    std::unordered_map<addr_t, std::deque<FutexWaiter>> futexQueues_;
+    std::unordered_map<std::int32_t, std::FILE*> files_;
+    std::int32_t nextFd_ = 3;
+    bool shutdownRequested_ = false;
+    bool shutdownDone_ = false;
+    int busyTiles_ = 0;
+
+    stat_t threadsSpawned_ = 0;
+    std::vector<stat_t> syscalls_; ///< per-tile, incremented by MCP only
+};
+
+} // namespace graphite

@@ -1,0 +1,167 @@
+#include "mem/cache.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/log.h"
+
+namespace graphite
+{
+
+Cache::Cache(std::string name, std::uint64_t size_bytes,
+             int associativity, std::uint64_t line_size)
+    : name_(std::move(name)),
+      capacity_(size_bytes),
+      assoc_(associativity),
+      lineSize_(line_size)
+{
+    if (line_size == 0 || !std::has_single_bit(line_size))
+        fatal("cache {}: line size {} is not a power of two", name_,
+              line_size);
+    if (associativity <= 0)
+        fatal("cache {}: associativity must be positive", name_);
+    if (size_bytes == 0 ||
+        size_bytes % (line_size * static_cast<std::uint64_t>(assoc_)) != 0)
+        fatal("cache {}: size {} not divisible by line*assoc", name_,
+              size_bytes);
+    numSets_ = size_bytes / (line_size * assoc_);
+    lines_.resize(numSets_ * assoc_);
+}
+
+std::uint64_t
+Cache::setIndex(addr_t line_addr) const
+{
+    return (line_addr / lineSize_) % numSets_;
+}
+
+CacheLine*
+Cache::lookup(addr_t line_addr)
+{
+    std::uint64_t set = setIndex(line_addr);
+    CacheLine* base = &lines_[set * assoc_];
+    for (int w = 0; w < assoc_; ++w) {
+        if (base[w].valid() && base[w].lineAddr == line_addr)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+CacheLine*
+Cache::find(addr_t addr)
+{
+    return lookup(lineAlign(addr));
+}
+
+const CacheLine*
+Cache::find(addr_t addr) const
+{
+    return const_cast<Cache*>(this)->lookup(lineAlign(addr));
+}
+
+CacheLine*
+Cache::access(addr_t addr, bool is_write)
+{
+    ++accesses_;
+    CacheLine* line = find(addr);
+    if (line == nullptr) {
+        ++misses_;
+        return nullptr;
+    }
+    if (is_write && line->state == CacheState::Exclusive) {
+        // MESI silent upgrade: the sole clean owner gains write
+        // permission without a directory transaction.
+        line->state = CacheState::Modified;
+    }
+    if (is_write && line->state != CacheState::Modified) {
+        // Upgrade required: treated as a miss by the caller's protocol
+        // logic, but the probe itself found data. Count as miss so
+        // write-permission misses show up in the stats.
+        ++misses_;
+        line->lruStamp = ++lruCounter_;
+        return nullptr;
+    }
+    line->lruStamp = ++lruCounter_;
+    return line;
+}
+
+std::optional<Eviction>
+Cache::insert(addr_t line_addr, CacheState state,
+              std::vector<std::uint8_t> data)
+{
+    GRAPHITE_ASSERT(lineAlign(line_addr) == line_addr);
+    GRAPHITE_ASSERT(data.size() == lineSize_);
+    GRAPHITE_ASSERT(state != CacheState::Invalid);
+    GRAPHITE_ASSERT(lookup(line_addr) == nullptr);
+
+    std::uint64_t set = setIndex(line_addr);
+    CacheLine* base = &lines_[set * assoc_];
+    CacheLine* victim = nullptr;
+    for (int w = 0; w < assoc_; ++w) {
+        if (!base[w].valid()) {
+            victim = &base[w];
+            break;
+        }
+        if (victim == nullptr || base[w].lruStamp < victim->lruStamp)
+            victim = &base[w];
+    }
+
+    std::optional<Eviction> evicted;
+    if (victim->valid()) {
+        ++evictions_;
+        evicted = Eviction{victim->lineAddr,
+                           victim->state == CacheState::Modified,
+                           std::move(victim->data)};
+    }
+    victim->lineAddr = line_addr;
+    victim->state = state;
+    victim->lruStamp = ++lruCounter_;
+    victim->data = std::move(data);
+    return evicted;
+}
+
+std::optional<Eviction>
+Cache::invalidate(addr_t line_addr)
+{
+    CacheLine* line = lookup(line_addr);
+    if (line == nullptr)
+        return std::nullopt;
+    ++invalidations_;
+    Eviction out{line->lineAddr, line->state == CacheState::Modified,
+                 std::move(line->data)};
+    line->state = CacheState::Invalid;
+    line->data.clear();
+    return out;
+}
+
+std::optional<std::vector<std::uint8_t>>
+Cache::downgrade(addr_t line_addr)
+{
+    CacheLine* line = lookup(line_addr);
+    if (line == nullptr || (line->state != CacheState::Modified &&
+                            line->state != CacheState::Exclusive))
+        return std::nullopt;
+    line->state = CacheState::Shared;
+    return line->data; // copy: line keeps its data in Shared state
+}
+
+double
+Cache::missRate() const
+{
+    return accesses_ == 0
+               ? 0.0
+               : static_cast<double>(misses_) /
+                     static_cast<double>(accesses_);
+}
+
+std::vector<const CacheLine*>
+Cache::validLines() const
+{
+    std::vector<const CacheLine*> out;
+    for (const auto& line : lines_) {
+        if (line.valid())
+            out.push_back(&line);
+    }
+    return out;
+}
+
+} // namespace graphite

@@ -1,0 +1,251 @@
+#include "mem/directory.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace graphite
+{
+
+namespace
+{
+
+/** Full bit-vector of sharers (one bit per tile). */
+class FullMapDirectoryEntry : public DirectoryEntry
+{
+  public:
+    explicit FullMapDirectoryEntry(tile_id_t total_tiles)
+        : bits_(total_tiles, false)
+    {}
+
+    AddSharerResult
+    addSharer(tile_id_t tile) override
+    {
+        bits_[tile] = true;
+        return {};
+    }
+
+    void removeSharer(tile_id_t tile) override { bits_[tile] = false; }
+
+    void
+    clearSharers() override
+    {
+        std::fill(bits_.begin(), bits_.end(), false);
+    }
+
+    bool isSharer(tile_id_t tile) const override { return bits_[tile]; }
+
+    std::vector<tile_id_t>
+    sharers() const override
+    {
+        std::vector<tile_id_t> out;
+        for (tile_id_t t = 0; t < static_cast<tile_id_t>(bits_.size());
+             ++t) {
+            if (bits_[t])
+                out.push_back(t);
+        }
+        return out;
+    }
+
+    size_t
+    numSharers() const override
+    {
+        return std::count(bits_.begin(), bits_.end(), true);
+    }
+
+  private:
+    std::vector<bool> bits_;
+};
+
+} // namespace
+
+/**
+ * Dir_iNB: at most i pointers; "no broadcast" means an (i+1)-th sharer
+ * can only be admitted by invalidating one of the existing i.
+ */
+class LimitedDirectoryEntry : public DirectoryEntry
+{
+  public:
+    LimitedDirectoryEntry(int max_sharers, Directory* parent)
+        : max_(max_sharers), parent_(parent)
+    {
+        ptrs_.reserve(max_);
+    }
+
+    AddSharerResult
+    addSharer(tile_id_t tile) override
+    {
+        if (isSharer(tile))
+            return {};
+        if (static_cast<int>(ptrs_.size()) < max_) {
+            ptrs_.push_back(tile);
+            return {};
+        }
+        // Evict the oldest pointer (FIFO), per Dir_iNB semantics.
+        tile_id_t victim = ptrs_.front();
+        ptrs_.erase(ptrs_.begin());
+        ptrs_.push_back(tile);
+        ++parent_->pointerEvictions_;
+        return {victim, 0};
+    }
+
+    void
+    removeSharer(tile_id_t tile) override
+    {
+        auto it = std::find(ptrs_.begin(), ptrs_.end(), tile);
+        if (it != ptrs_.end())
+            ptrs_.erase(it);
+    }
+
+    void clearSharers() override { ptrs_.clear(); }
+
+    bool
+    isSharer(tile_id_t tile) const override
+    {
+        return std::find(ptrs_.begin(), ptrs_.end(), tile) != ptrs_.end();
+    }
+
+    std::vector<tile_id_t> sharers() const override { return ptrs_; }
+
+    size_t numSharers() const override { return ptrs_.size(); }
+
+  private:
+    int max_;
+    Directory* parent_;
+    std::vector<tile_id_t> ptrs_;
+};
+
+/**
+ * LimitLESS(i): i hardware pointers plus a software-managed overflow
+ * list; overflow handling charges the software-trap penalty.
+ */
+class LimitlessDirectoryEntry : public DirectoryEntry
+{
+  public:
+    LimitlessDirectoryEntry(int hw_pointers, cycle_t trap_penalty,
+                            Directory* parent)
+        : max_(hw_pointers), trapPenalty_(trap_penalty), parent_(parent)
+    {}
+
+    AddSharerResult
+    addSharer(tile_id_t tile) override
+    {
+        if (isSharer(tile))
+            return {};
+        if (static_cast<int>(hw_.size()) < max_) {
+            hw_.push_back(tile);
+            return {};
+        }
+        // Software trap: the sharer is recorded, at a cost.
+        sw_.push_back(tile);
+        ++parent_->softwareTraps_;
+        return {std::nullopt, trapPenalty_};
+    }
+
+    void
+    removeSharer(tile_id_t tile) override
+    {
+        auto it = std::find(hw_.begin(), hw_.end(), tile);
+        if (it != hw_.end()) {
+            hw_.erase(it);
+            // Promote a software-list sharer into the freed pointer.
+            if (!sw_.empty()) {
+                hw_.push_back(sw_.back());
+                sw_.pop_back();
+            }
+            return;
+        }
+        it = std::find(sw_.begin(), sw_.end(), tile);
+        if (it != sw_.end())
+            sw_.erase(it);
+    }
+
+    void
+    clearSharers() override
+    {
+        hw_.clear();
+        sw_.clear();
+    }
+
+    bool
+    isSharer(tile_id_t tile) const override
+    {
+        return std::find(hw_.begin(), hw_.end(), tile) != hw_.end() ||
+               std::find(sw_.begin(), sw_.end(), tile) != sw_.end();
+    }
+
+    std::vector<tile_id_t>
+    sharers() const override
+    {
+        std::vector<tile_id_t> out = hw_;
+        out.insert(out.end(), sw_.begin(), sw_.end());
+        return out;
+    }
+
+    size_t numSharers() const override { return hw_.size() + sw_.size(); }
+
+  private:
+    int max_;
+    cycle_t trapPenalty_;
+    Directory* parent_;
+    std::vector<tile_id_t> hw_;
+    std::vector<tile_id_t> sw_;
+};
+
+DirectoryType
+parseDirectoryType(const std::string& name)
+{
+    if (name == "full_map")
+        return DirectoryType::FullMap;
+    if (name == "limited_no_broadcast")
+        return DirectoryType::LimitedNoBroadcast;
+    if (name == "limitless")
+        return DirectoryType::Limitless;
+    fatal("unknown directory type '{}'", name);
+}
+
+Directory::Directory(DirectoryType type, int max_sharers,
+                     tile_id_t total_tiles, cycle_t software_trap_penalty)
+    : type_(type),
+      maxSharers_(max_sharers),
+      totalTiles_(total_tiles),
+      trapPenalty_(software_trap_penalty)
+{
+    if (max_sharers <= 0 && type != DirectoryType::FullMap)
+        fatal("directory: max_sharers must be positive for limited "
+              "schemes (got {})",
+              max_sharers);
+}
+
+std::unique_ptr<DirectoryEntry>
+Directory::makeEntry()
+{
+    switch (type_) {
+      case DirectoryType::FullMap:
+        return std::make_unique<FullMapDirectoryEntry>(totalTiles_);
+      case DirectoryType::LimitedNoBroadcast:
+        return std::make_unique<LimitedDirectoryEntry>(maxSharers_, this);
+      case DirectoryType::Limitless:
+        return std::make_unique<LimitlessDirectoryEntry>(
+            maxSharers_, trapPenalty_, this);
+    }
+    panic("bad directory type");
+}
+
+DirectoryEntry&
+Directory::entry(addr_t line_addr)
+{
+    auto it = entries_.find(line_addr);
+    if (it == entries_.end())
+        it = entries_.emplace(line_addr, makeEntry()).first;
+    return *it->second;
+}
+
+DirectoryEntry*
+Directory::peek(addr_t line_addr)
+{
+    auto it = entries_.find(line_addr);
+    return it == entries_.end() ? nullptr : it->second.get();
+}
+
+} // namespace graphite

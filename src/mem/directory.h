@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Directory state for the MSI cache-coherence protocol (paper §3.2, §4.4).
+ *
+ * "Cache coherence is maintained using a directory-based MSI protocol in
+ * which the directory is uniformly distributed across all the tiles."
+ * Three sharer-tracking schemes are provided, matching the coherence
+ * study of §4.4:
+ *
+ *  - full-map:            one presence bit per tile [Agarwal et al.];
+ *  - Dir_iNB (limited):   i sharer pointers, no broadcast — adding a
+ *                         sharer beyond i forces the eviction of an
+ *                         existing sharer;
+ *  - LimitLESS(i):        i hardware pointers; overflowing sharers are
+ *                         kept in a software list at a configurable
+ *                         software-trap penalty [Chaiken et al.].
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/fixed_types.h"
+#include "common/stats.h"
+
+namespace graphite
+{
+
+/** Global state of a memory line at its home directory. */
+enum class DirectoryState : std::uint8_t
+{
+    Uncached = 0, ///< no cache holds the line
+    Shared,       ///< one or more read-only copies
+    Modified      ///< exactly one writable copy (the owner)
+};
+
+/** Outcome of DirectoryEntry::addSharer(). */
+struct AddSharerResult
+{
+    /** Set when the scheme had to evict an existing sharer to make room
+     *  (Dir_iNB); the protocol must invalidate it before proceeding. */
+    std::optional<tile_id_t> evicted;
+    /** Extra modeled latency (LimitLESS software trap). */
+    cycle_t extraLatency = 0;
+};
+
+/**
+ * Per-line directory entry. Sharer-set representation varies by scheme;
+ * state/owner handling is common.
+ */
+class DirectoryEntry
+{
+  public:
+    virtual ~DirectoryEntry() = default;
+
+    DirectoryState state() const { return state_; }
+    void setState(DirectoryState s) { state_ = s; }
+
+    /** Owner tile; only meaningful in Modified state. */
+    tile_id_t owner() const { return owner_; }
+    void setOwner(tile_id_t t) { owner_ = t; }
+
+    /** Record @p tile as a sharer (see AddSharerResult). */
+    virtual AddSharerResult addSharer(tile_id_t tile) = 0;
+
+    /** Remove @p tile from the sharer set (no-op when absent). */
+    virtual void removeSharer(tile_id_t tile) = 0;
+
+    /** Drop all sharers. */
+    virtual void clearSharers() = 0;
+
+    virtual bool isSharer(tile_id_t tile) const = 0;
+    virtual std::vector<tile_id_t> sharers() const = 0;
+    virtual size_t numSharers() const = 0;
+
+  private:
+    DirectoryState state_ = DirectoryState::Uncached;
+    tile_id_t owner_ = INVALID_TILE_ID;
+};
+
+/** Scheme selector, parsed from config. */
+enum class DirectoryType
+{
+    FullMap,
+    LimitedNoBroadcast,
+    Limitless
+};
+
+/** Parse "full_map" | "limited_no_broadcast" | "limitless". */
+DirectoryType parseDirectoryType(const std::string& name);
+
+/**
+ * The distributed directory slice homed on one tile: entries for every
+ * line whose home is this tile, created on demand.
+ */
+class Directory
+{
+  public:
+    /**
+     * @param type                  sharer-tracking scheme
+     * @param max_sharers           pointer count i for Dir_iNB/LimitLESS
+     * @param total_tiles           number of tiles (full-map width)
+     * @param software_trap_penalty LimitLESS overflow cost, cycles
+     */
+    Directory(DirectoryType type, int max_sharers, tile_id_t total_tiles,
+              cycle_t software_trap_penalty);
+
+    /** Get or create the entry for @p line_addr. */
+    DirectoryEntry& entry(addr_t line_addr);
+
+    /** @return the entry, or nullptr if never touched. */
+    DirectoryEntry* peek(addr_t line_addr);
+
+    /** Number of allocated entries. */
+    size_t size() const { return entries_.size(); }
+
+    DirectoryType type() const { return type_; }
+
+    /** @name Statistics @{ */
+    stat_t pointerEvictions() const { return pointerEvictions_; }
+    stat_t softwareTraps() const { return softwareTraps_; }
+    /** @} */
+
+  private:
+    friend class LimitedDirectoryEntry;
+    friend class LimitlessDirectoryEntry;
+
+    std::unique_ptr<DirectoryEntry> makeEntry();
+
+    DirectoryType type_;
+    int maxSharers_;
+    tile_id_t totalTiles_;
+    cycle_t trapPenalty_;
+    std::unordered_map<addr_t, std::unique_ptr<DirectoryEntry>> entries_;
+    stat_t pointerEvictions_ = 0;
+    stat_t softwareTraps_ = 0;
+};
+
+} // namespace graphite

@@ -1,0 +1,37 @@
+#include "mem/dram_controller.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace graphite
+{
+
+DramController::DramController(cycle_t latency_cycles,
+                               double bytes_per_cycle,
+                               const GlobalProgress* progress,
+                               cycle_t outlier_window,
+                               cycle_t max_backlog)
+    : latency_(latency_cycles),
+      bytesPerCycle_(bytes_per_cycle),
+      queueEnabled_(progress != nullptr),
+      queue_(progress, outlier_window, max_backlog)
+{
+    if (bytes_per_cycle <= 0.0)
+        fatal("dram controller: bandwidth must be positive (got {})",
+              bytes_per_cycle);
+}
+
+cycle_t
+DramController::access(cycle_t arrival_time, size_t bytes)
+{
+    ++accesses_;
+    auto service = static_cast<cycle_t>(
+        std::ceil(static_cast<double>(bytes) / bytesPerCycle_));
+    serviceTime_ += service;
+    cycle_t queue_delay =
+        queueEnabled_ ? queue_.enqueue(arrival_time, service) : 0;
+    return latency_ + service + queue_delay;
+}
+
+} // namespace graphite

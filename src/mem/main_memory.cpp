@@ -1,0 +1,71 @@
+#include "mem/main_memory.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace graphite
+{
+
+MainMemory::Page*
+MainMemory::findPage(addr_t page_addr) const
+{
+    std::scoped_lock lock(mutex_);
+    auto it = pages_.find(page_addr);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+MainMemory::Page&
+MainMemory::ensurePage(addr_t page_addr)
+{
+    std::scoped_lock lock(mutex_);
+    auto& slot = pages_[page_addr];
+    if (!slot)
+        slot = std::make_unique<Page>();
+    return *slot;
+}
+
+void
+MainMemory::read(addr_t addr, void* buf, size_t size) const
+{
+    auto* out = static_cast<std::uint8_t*>(buf);
+    while (size > 0) {
+        addr_t page_addr = addr & ~(PAGE_SIZE - 1);
+        std::uint64_t off = addr - page_addr;
+        size_t chunk =
+            std::min<std::uint64_t>(size, PAGE_SIZE - off);
+        if (const Page* page = findPage(page_addr)) {
+            std::memcpy(out, page->bytes + off, chunk);
+        } else {
+            std::memset(out, 0, chunk);
+        }
+        out += chunk;
+        addr += chunk;
+        size -= chunk;
+    }
+}
+
+void
+MainMemory::write(addr_t addr, const void* buf, size_t size)
+{
+    const auto* in = static_cast<const std::uint8_t*>(buf);
+    while (size > 0) {
+        addr_t page_addr = addr & ~(PAGE_SIZE - 1);
+        std::uint64_t off = addr - page_addr;
+        size_t chunk =
+            std::min<std::uint64_t>(size, PAGE_SIZE - off);
+        Page& page = ensurePage(page_addr);
+        std::memcpy(page.bytes + off, in, chunk);
+        in += chunk;
+        addr += chunk;
+        size -= chunk;
+    }
+}
+
+size_t
+MainMemory::pagesAllocated() const
+{
+    std::scoped_lock lock(mutex_);
+    return pages_.size();
+}
+
+} // namespace graphite

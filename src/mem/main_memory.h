@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Functional backing store for the simulated (target) address space.
+ *
+ * Plays the role of DRAM contents: the authoritative copy of every line
+ * not currently Modified in some cache. Sparse, page-granular, allocated
+ * on demand so a 1024-tile simulation with large stack reservations does
+ * not commit host memory it never touches.
+ *
+ * Thread-safety: page creation is locked; byte access within existing
+ * pages is unlocked and relies on the MemorySystem's transaction
+ * serialization (reads/writes only happen inside coherence transactions).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/fixed_types.h"
+
+namespace graphite
+{
+
+/** Sparse byte-addressable target memory. */
+class MainMemory
+{
+  public:
+    static constexpr std::uint64_t PAGE_SIZE = 4096;
+
+    /** Copy @p size bytes at @p addr into @p buf. Untouched pages read 0. */
+    void read(addr_t addr, void* buf, size_t size) const;
+
+    /** Copy @p size bytes from @p buf into memory at @p addr. */
+    void write(addr_t addr, const void* buf, size_t size);
+
+    /** Number of materialized pages (for tests / footprint stats). */
+    size_t pagesAllocated() const;
+
+  private:
+    struct Page
+    {
+        std::uint8_t bytes[PAGE_SIZE] = {};
+    };
+
+    Page* findPage(addr_t page_addr) const;
+    Page& ensurePage(addr_t page_addr);
+
+    mutable std::mutex mutex_;
+    std::unordered_map<addr_t, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace graphite

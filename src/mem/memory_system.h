@@ -1,0 +1,260 @@
+/**
+ * @file
+ * The memory system: functional + timing model of the target cache
+ * hierarchy and directory-based MSI coherence (paper §3.2).
+ *
+ * Functional role: maintains the single target address space. Every
+ * application memory reference is redirected here; data actually lives in
+ * the modeled cache lines and the backing MainMemory, so "the correct
+ * operation [of the coherence protocol] is essential for the completion
+ * of simulation" — the protocol is self-verifying.
+ *
+ * Timing role: the latency of an access is assembled from L1/L2 access
+ * costs, directory access cost, network-model latencies of every
+ * coherence message (requests, invalidations, recalls, data replies), and
+ * DRAM controller latency including lax-compatible queueing delay.
+ *
+ * Concurrency: coherence transactions are serialized by a single engine
+ * mutex. On the paper's real cluster, per-home-tile servers provided
+ * parallelism; on this single-core host, serialization costs nothing and
+ * guarantees the atomicity that per-line lock ordering would otherwise
+ * have to provide (see DESIGN.md).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/fixed_types.h"
+#include "common/stats.h"
+#include "mem/address_space.h"
+#include "mem/cache.h"
+#include "mem/directory.h"
+#include "mem/dram_controller.h"
+#include "mem/main_memory.h"
+#include "network/network.h"
+
+namespace graphite
+{
+
+class Config;
+
+/** Kind of memory reference. */
+enum class MemAccessType : std::uint8_t
+{
+    Read = 0,
+    Write,
+    Fetch ///< instruction fetch (L1I path)
+};
+
+/** Classification of an L2 miss (paper §4.4 / Woo et al.). */
+enum class MissClass : std::uint8_t
+{
+    None = 0,     ///< not a miss / classification disabled
+    Cold,         ///< first reference to the line by this tile
+    Capacity,     ///< line lost to replacement
+    TrueSharing,  ///< line lost to coherence; the accessed word changed
+    FalseSharing, ///< line lost to coherence; only other words changed
+    Upgrade       ///< write-permission miss (data was present in S)
+};
+
+/** Result of one application memory access. */
+struct AccessResult
+{
+    cycle_t latency = 0;
+    bool l1Hit = false;
+    bool l2Hit = false;
+    MissClass missClass = MissClass::None;
+};
+
+/** Per-tile memory statistics beyond the raw cache counters. */
+struct TileMemoryStats
+{
+    stat_t totalAccesses = 0;
+    stat_t totalLatency = 0;
+    stat_t l2ColdMisses = 0;
+    stat_t l2CapacityMisses = 0;
+    stat_t l2TrueSharingMisses = 0;
+    stat_t l2FalseSharingMisses = 0;
+    stat_t l2UpgradeMisses = 0;
+    stat_t invalidationsSent = 0;
+    stat_t recalls = 0;
+    stat_t writebacks = 0;
+};
+
+/**
+ * Simulation-wide memory system. One instance owns the per-tile cache
+ * hierarchies, directory slices, DRAM controllers, the backing store,
+ * and the target memory manager.
+ */
+class MemorySystem
+{
+  public:
+    MemorySystem(const ClusterTopology& topo, NetworkFabric& fabric,
+                 const Config& cfg);
+    ~MemorySystem();
+
+    MemorySystem(const MemorySystem&) = delete;
+    MemorySystem& operator=(const MemorySystem&) = delete;
+
+    /**
+     * Perform one application memory access on behalf of @p tile.
+     * For reads/fetches @p buf receives the data; for writes @p buf
+     * supplies it. Accesses may span line boundaries (split internally).
+     *
+     * @param start_time the requesting core's clock at issue
+     * @return aggregate timing and classification of the access
+     */
+    AccessResult access(tile_id_t tile, MemAccessType type, addr_t addr,
+                        void* buf, size_t size, cycle_t start_time);
+
+    /** Result of an atomic read-modify-write. */
+    struct AtomicResult
+    {
+        std::uint64_t oldValue = 0;
+        cycle_t latency = 0;
+    };
+
+    /**
+     * Atomically apply @p op to the @p size-byte (4 or 8) integer at
+     * @p addr with write semantics (line acquired Modified). The entire
+     * RMW is one coherence transaction.
+     */
+    AtomicResult atomicRmw(tile_id_t tile, addr_t addr, size_t size,
+                           const std::function<std::uint64_t(
+                               std::uint64_t)>& op,
+                           cycle_t start_time);
+
+    /**
+     * @name Untimed coherent access (syscall emulation, loaders)
+     * Reads observe the newest value regardless of where it is cached;
+     * writes invalidate stale cached copies first. No latency is modeled
+     * (kernel accesses are outside the target's timing domain).
+     * @{
+     */
+    void readCoherent(addr_t addr, void* buf, size_t size);
+    void writeCoherent(addr_t addr, const void* buf, size_t size);
+    /** @} */
+
+    /** @name Component access (stats, tests) @{ */
+    Cache* l1i(tile_id_t tile);
+    Cache* l1d(tile_id_t tile);
+    Cache& l2(tile_id_t tile);
+    Directory& directory(tile_id_t tile);
+    DramController& dram(tile_id_t tile);
+    const TileMemoryStats& stats(tile_id_t tile) const;
+    MemoryManager& manager() { return *manager_; }
+    MainMemory& backing() { return backing_; }
+    /** @} */
+
+    /** Home tile of the line containing @p addr. */
+    tile_id_t homeTile(addr_t addr) const;
+
+    /** Cache line size in bytes. */
+    std::uint64_t lineSize() const { return lineSize_; }
+
+    /**
+     * Check every coherence invariant (single writer, inclusion,
+     * directory/cache agreement, data agreement for shared lines).
+     * @return empty string when consistent, else a description of the
+     * first violation. For tests.
+     */
+    std::string validateCoherence();
+
+  private:
+    /** State one tile lost a line with, for miss classification. */
+    struct LostLine
+    {
+        EvictReason reason = EvictReason::None;
+        /** Per-word version snapshot at loss time. */
+        std::vector<std::uint32_t> versions;
+    };
+
+    struct TileMemory
+    {
+        std::unique_ptr<Cache> l1i;
+        std::unique_ptr<Cache> l1d;
+        std::unique_ptr<Cache> l2;
+        std::unique_ptr<Directory> directory;
+        std::unique_ptr<DramController> dram;
+        TileMemoryStats stats;
+        /** Lines ever present in this tile's L2 (cold-miss tracking). */
+        std::unordered_set<addr_t> everCached;
+        /** How lines were lost, for coherence-miss classification. */
+        std::unordered_map<addr_t, LostLine> lostLines;
+    };
+
+    static constexpr size_t CTRL_BYTES = 8;
+    static constexpr std::uint32_t WORD_BYTES = 4;
+
+    addr_t lineAlign(addr_t a) const { return a & ~(lineSize_ - 1); }
+
+    /** Model one coherence message; returns its network latency. */
+    cycle_t msg(tile_id_t src, tile_id_t dst, size_t payload_bytes,
+                cycle_t send_time);
+
+    /** One-line access; addr..addr+size must stay within a line. */
+    AccessResult accessLine(tile_id_t tile, MemAccessType type,
+                            addr_t addr, void* buf, size_t size,
+                            cycle_t start_time);
+
+    /**
+     * Acquire the line into @p tile's L2 with read or write permission,
+     * running the full directory transaction. On return the L2 holds the
+     * line in Shared (read) or Modified (write) state.
+     * @param addr,size the bytes the triggering access touches (miss
+     *                  classification compares exactly these words)
+     * @return added latency.
+     */
+    cycle_t fetchLine(tile_id_t tile, addr_t line_addr, bool for_write,
+                      addr_t addr, size_t size, cycle_t now,
+                      MissClass& miss_class);
+
+    /** Invalidate every cached copy at @p holder (L2 + L1s). */
+    void invalidateTile(tile_id_t holder, addr_t line_addr,
+                        bool coherence, std::vector<std::uint8_t>* data_out);
+
+    /** Handle an L2 victim: writeback + directory update (off path). */
+    void handleL2Eviction(tile_id_t tile, const Eviction& ev,
+                          cycle_t now);
+
+    /** Classify an L2 data miss for @p tile (before state changes). */
+    MissClass classifyMiss(tile_id_t tile, addr_t line_addr, addr_t addr,
+                           size_t size);
+
+    void recordMiss(TileMemory& tm, MissClass mc);
+
+    /** Bump per-word versions for a write of [addr, addr+size). */
+    void bumpVersions(addr_t addr, size_t size);
+
+    /** Snapshot versions for a lost line. */
+    void snapshotLoss(tile_id_t tile, addr_t line_addr,
+                      EvictReason reason);
+
+    /** Fill L1 (D or I) with a Shared copy of the L2 line. */
+    void fillL1(Cache* l1, const CacheLine& l2line);
+
+    ClusterTopology topo_;
+    NetworkFabric& fabric_;
+    std::uint64_t lineSize_;
+    cycle_t l1Latency_;
+    cycle_t l2Latency_;
+    cycle_t dirLatency_;
+    bool classify_;
+    bool mesi_ = false;
+    std::mutex engineMutex_;
+    std::vector<TileMemory> tiles_;
+    MainMemory backing_;
+    std::unique_ptr<MemoryManager> manager_;
+    /** Per-line, per-word write version counters (classification). */
+    std::unordered_map<addr_t, std::vector<std::uint32_t>> wordVersions_;
+};
+
+} // namespace graphite

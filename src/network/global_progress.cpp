@@ -1,0 +1,45 @@
+#include "network/global_progress.h"
+
+#include "common/log.h"
+
+namespace graphite
+{
+
+GlobalProgress::GlobalProgress(size_t window_size)
+{
+    if (window_size == 0)
+        fatal("global progress window size must be >= 1");
+    window_.resize(window_size, 0);
+}
+
+void
+GlobalProgress::observe(cycle_t timestamp)
+{
+    std::scoped_lock lock(mutex_);
+    if (count_ < window_.size()) {
+        ++count_;
+    } else {
+        sum_ -= window_[next_];
+    }
+    window_[next_] = timestamp;
+    sum_ += timestamp;
+    next_ = (next_ + 1) % window_.size();
+}
+
+cycle_t
+GlobalProgress::estimate() const
+{
+    std::scoped_lock lock(mutex_);
+    if (count_ == 0)
+        return 0;
+    return static_cast<cycle_t>(sum_ / count_);
+}
+
+size_t
+GlobalProgress::samples() const
+{
+    std::scoped_lock lock(mutex_);
+    return count_;
+}
+
+} // namespace graphite

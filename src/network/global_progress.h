@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Windowed estimate of global simulation progress (paper §3.6.1).
+ *
+ * Under lax synchronization there is no global cycle count, yet shared
+ * resources (DRAM controllers, mesh links) need a notion of "now" to model
+ * queueing — especially on tiles with no active thread, whose local clocks
+ * never advance. Graphite's solution: "packet time-stamps [are used] to
+ * build an approximation of global progress. A window of the most
+ * recently-seen time-stamps is kept, on the order of the number of tiles
+ * in the simulation. The average of these time stamps gives an
+ * approximation of global progress."
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/fixed_types.h"
+
+namespace graphite
+{
+
+/**
+ * Sliding-window average of recently observed message timestamps.
+ * Thread-safe; observe() is called on every modeled message.
+ */
+class GlobalProgress
+{
+  public:
+    /** @param window_size number of samples retained (>= 1). */
+    explicit GlobalProgress(size_t window_size);
+
+    /** Record a message timestamp. */
+    void observe(cycle_t timestamp);
+
+    /** @return current estimate of global progress (0 before any data). */
+    cycle_t estimate() const;
+
+    /** Number of samples observed so far (saturates at window size). */
+    size_t samples() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<cycle_t> window_;
+    size_t next_ = 0;
+    size_t count_ = 0;
+    /** Running sum of the samples currently in the window. */
+    unsigned __int128 sum_ = 0;
+};
+
+} // namespace graphite

@@ -1,0 +1,51 @@
+#include "network/net_packet.h"
+
+#include <cstring>
+
+#include "common/log.h"
+
+namespace graphite
+{
+
+std::vector<std::uint8_t>
+NetPacket::serialize() const
+{
+    std::vector<std::uint8_t> out;
+    out.resize(1 + 4 + 4 + 8 + payload.size());
+    size_t off = 0;
+    out[off++] = static_cast<std::uint8_t>(type);
+    std::memcpy(out.data() + off, &sender, 4);
+    off += 4;
+    std::memcpy(out.data() + off, &receiver, 4);
+    off += 4;
+    std::memcpy(out.data() + off, &time, 8);
+    off += 8;
+    if (!payload.empty())
+        std::memcpy(out.data() + off, payload.data(), payload.size());
+    return out;
+}
+
+NetPacket
+NetPacket::deserialize(const std::vector<std::uint8_t>& bytes)
+{
+    constexpr size_t WIRE_HEADER = 1 + 4 + 4 + 8;
+    if (bytes.size() < WIRE_HEADER)
+        panic("net packet deserialize: short buffer ({} bytes)",
+              bytes.size());
+    NetPacket pkt;
+    size_t off = 0;
+    pkt.type = static_cast<PacketType>(bytes[off++]);
+    if (static_cast<int>(pkt.type) >= NUM_PACKET_TYPES)
+        panic("net packet deserialize: bad type {}",
+              static_cast<int>(pkt.type));
+    std::memcpy(&pkt.sender, bytes.data() + off, 4);
+    off += 4;
+    std::memcpy(&pkt.receiver, bytes.data() + off, 4);
+    off += 4;
+    std::memcpy(&pkt.time, bytes.data() + off, 8);
+    off += 8;
+    pkt.payload.assign(bytes.begin() + off, bytes.end());
+    return pkt;
+}
+
+} // namespace graphite

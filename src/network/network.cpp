@@ -1,0 +1,187 @@
+#include "network/network.h"
+
+#include "common/config.h"
+#include "common/log.h"
+
+namespace graphite
+{
+
+// ------------------------------------------------------------ NetworkFabric
+
+NetworkFabric::NetworkFabric(const ClusterTopology& topo,
+                             const Config& cfg)
+    : topo_(topo),
+      progress_(std::max<size_t>(
+          cfg.getInt("network/queue_model_window", 64),
+          static_cast<size_t>(topo.totalTiles())))
+{
+    auto make = [&](const char* key, const char* dflt) {
+        return NetworkModel::create(cfg.getString(key, dflt),
+                                    topo_.totalTiles(), cfg, &progress_);
+    };
+    models_[static_cast<int>(PacketType::App)] =
+        make("network/app_model", "emesh_contention");
+    models_[static_cast<int>(PacketType::Memory)] =
+        make("network/memory_model", "emesh_contention");
+    models_[static_cast<int>(PacketType::System)] =
+        make("network/system_model", "magic");
+
+    if (cfg.getBool("network/record_traffic_matrix", true)) {
+        size_t n = static_cast<size_t>(topo_.totalTiles()) *
+                   static_cast<size_t>(topo_.totalTiles());
+        msgMatrix_ = std::vector<std::atomic<stat_t>>(n);
+        byteMatrix_ = std::vector<std::atomic<stat_t>>(n);
+    }
+}
+
+cycle_t
+NetworkFabric::model(PacketType type, tile_id_t src, tile_id_t dst,
+                     size_t bytes, cycle_t send_time)
+{
+    if (!msgMatrix_.empty() && type != PacketType::System) {
+        size_t idx = static_cast<size_t>(src) * topo_.totalTiles() + dst;
+        msgMatrix_[idx].fetch_add(1, std::memory_order_relaxed);
+        byteMatrix_[idx].fetch_add(bytes, std::memory_order_relaxed);
+    }
+    LocalityCounters& ctr = counters_[static_cast<int>(type)];
+    if (topo_.sameProcess(src, dst)) {
+        ctr.intraMsgs.fetch_add(1, std::memory_order_relaxed);
+        ctr.intraBytes.fetch_add(bytes, std::memory_order_relaxed);
+    } else {
+        ctr.interMsgs.fetch_add(1, std::memory_order_relaxed);
+        ctr.interBytes.fetch_add(bytes, std::memory_order_relaxed);
+    }
+    return modelFor(type).computeLatency(src, dst, bytes, send_time);
+}
+
+NetworkModel&
+NetworkFabric::modelFor(PacketType type)
+{
+    int idx = static_cast<int>(type);
+    GRAPHITE_ASSERT(idx >= 0 && idx < NUM_PACKET_TYPES);
+    return *models_[idx];
+}
+
+stat_t
+NetworkFabric::intraProcessMessages(PacketType type) const
+{
+    return counters_[static_cast<int>(type)].intraMsgs.load();
+}
+
+stat_t
+NetworkFabric::interProcessMessages(PacketType type) const
+{
+    return counters_[static_cast<int>(type)].interMsgs.load();
+}
+
+stat_t
+NetworkFabric::intraProcessBytes(PacketType type) const
+{
+    return counters_[static_cast<int>(type)].intraBytes.load();
+}
+
+stat_t
+NetworkFabric::interProcessBytes(PacketType type) const
+{
+    return counters_[static_cast<int>(type)].interBytes.load();
+}
+
+stat_t
+NetworkFabric::pairMessages(tile_id_t src, tile_id_t dst) const
+{
+    GRAPHITE_ASSERT(!msgMatrix_.empty());
+    return msgMatrix_[static_cast<size_t>(src) * topo_.totalTiles() +
+                      dst]
+        .load();
+}
+
+stat_t
+NetworkFabric::pairBytes(tile_id_t src, tile_id_t dst) const
+{
+    GRAPHITE_ASSERT(!byteMatrix_.empty());
+    return byteMatrix_[static_cast<size_t>(src) * topo_.totalTiles() +
+                       dst]
+        .load();
+}
+
+// ------------------------------------------------------------------ Network
+
+Network::Network(tile_id_t tile, NetworkFabric& fabric,
+                 Transport& transport)
+    : tile_(tile), fabric_(fabric), transport_(transport)
+{
+}
+
+void
+Network::send(PacketType type, tile_id_t dst,
+              std::vector<std::uint8_t> payload, cycle_t send_time)
+{
+    NetPacket pkt;
+    pkt.type = type;
+    pkt.sender = tile_;
+    pkt.receiver = dst;
+    pkt.payload = std::move(payload);
+    cycle_t latency = fabric_.model(type, tile_, dst, pkt.modeledBytes(),
+                                    send_time);
+    pkt.time = send_time + latency;
+    transport_.send(fabric_.topology().tileEndpoint(tile_),
+                    fabric_.topology().tileEndpoint(dst),
+                    pkt.serialize());
+}
+
+bool
+Network::popPending(PacketType type, NetPacket& out)
+{
+    std::scoped_lock lock(stashMutex_);
+    auto& q = stash_[static_cast<int>(type)];
+    if (q.empty())
+        return false;
+    out = std::move(q.front());
+    q.pop_front();
+    return true;
+}
+
+NetPacket
+Network::recv(PacketType type)
+{
+    NetPacket out;
+    if (popPending(type, out))
+        return out;
+    while (true) {
+        TransportBuffer buf = transport_.recv(
+            fabric_.topology().tileEndpoint(tile_));
+        if (buf.src < 0) {
+            // Transport shut down; return an empty packet so blocked
+            // receivers can unwind at simulation teardown.
+            out = NetPacket{};
+            out.sender = INVALID_TILE_ID;
+            return out;
+        }
+        NetPacket pkt = NetPacket::deserialize(buf.data);
+        if (pkt.type == type)
+            return pkt;
+        std::scoped_lock lock(stashMutex_);
+        stash_[static_cast<int>(pkt.type)].push_back(std::move(pkt));
+    }
+}
+
+bool
+Network::tryRecv(PacketType type, NetPacket& out)
+{
+    if (popPending(type, out))
+        return true;
+    TransportBuffer buf;
+    while (transport_.tryRecv(fabric_.topology().tileEndpoint(tile_),
+                              buf)) {
+        NetPacket pkt = NetPacket::deserialize(buf.data);
+        if (pkt.type == type) {
+            out = std::move(pkt);
+            return true;
+        }
+        std::scoped_lock lock(stashMutex_);
+        stash_[static_cast<int>(pkt.type)].push_back(std::move(pkt));
+    }
+    return false;
+}
+
+} // namespace graphite

@@ -1,0 +1,156 @@
+#include "network/network_model.h"
+
+#include <cmath>
+
+#include "common/config.h"
+#include "common/log.h"
+#include "network/global_progress.h"
+
+namespace graphite
+{
+
+// ---------------------------------------------------------------- MeshShape
+
+MeshShape::MeshShape(tile_id_t tiles)
+{
+    if (tiles <= 0)
+        fatal("mesh shape: tile count must be positive (got {})", tiles);
+    width_ = static_cast<int>(
+        std::ceil(std::sqrt(static_cast<double>(tiles))));
+    height_ = (static_cast<int>(tiles) + width_ - 1) / width_;
+}
+
+int
+MeshShape::hops(tile_id_t src, tile_id_t dst) const
+{
+    return std::abs(xOf(src) - xOf(dst)) + std::abs(yOf(src) - yOf(dst));
+}
+
+std::vector<int>
+MeshShape::route(tile_id_t src, tile_id_t dst) const
+{
+    std::vector<int> links;
+    int x = xOf(src), y = yOf(src);
+    const int dx = xOf(dst), dy = yOf(dst);
+    // X first, then Y (dimension-ordered, deadlock-free).
+    while (x != dx) {
+        int dir = (dx > x) ? 0 /*E*/ : 1 /*W*/;
+        links.push_back((y * width_ + x) * 4 + dir);
+        x += (dx > x) ? 1 : -1;
+    }
+    while (y != dy) {
+        int dir = (dy > y) ? 3 /*S*/ : 2 /*N*/;
+        links.push_back((y * width_ + x) * 4 + dir);
+        y += (dy > y) ? 1 : -1;
+    }
+    return links;
+}
+
+// ------------------------------------------------------- MagicNetworkModel
+
+cycle_t
+MagicNetworkModel::computeLatency(tile_id_t, tile_id_t, size_t bytes,
+                                  cycle_t)
+{
+    account(bytes, 0, 0);
+    return 0;
+}
+
+// ---------------------------------------------------- EMeshHopNetworkModel
+
+EMeshHopNetworkModel::EMeshHopNetworkModel(tile_id_t total_tiles,
+                                           cycle_t hop_latency,
+                                           size_t link_bandwidth_bytes)
+    : shape_(total_tiles),
+      hopLatency_(hop_latency),
+      linkBandwidth_(link_bandwidth_bytes)
+{
+    if (link_bandwidth_bytes == 0)
+        fatal("emesh: link bandwidth must be positive");
+}
+
+cycle_t
+EMeshHopNetworkModel::serializationCycles(size_t bytes) const
+{
+    return (bytes + linkBandwidth_ - 1) / linkBandwidth_;
+}
+
+cycle_t
+EMeshHopNetworkModel::computeLatency(tile_id_t src, tile_id_t dst,
+                                     size_t bytes, cycle_t)
+{
+    int nhops = shape_.hops(src, dst);
+    cycle_t latency = static_cast<cycle_t>(nhops) * hopLatency_ +
+                      serializationCycles(bytes);
+    account(bytes, latency, nhops);
+    return latency;
+}
+
+// --------------------------------------------- EMeshContentionNetworkModel
+
+EMeshContentionNetworkModel::EMeshContentionNetworkModel(
+    tile_id_t total_tiles, cycle_t hop_latency,
+    size_t link_bandwidth_bytes, GlobalProgress* progress,
+    cycle_t outlier_window, cycle_t max_backlog)
+    : EMeshHopNetworkModel(total_tiles, hop_latency,
+                           link_bandwidth_bytes),
+      progress_(progress)
+{
+    links_.reserve(shape_.numLinks());
+    for (int i = 0; i < shape_.numLinks(); ++i)
+        links_.push_back(std::make_unique<QueueModel>(
+            progress_, outlier_window, max_backlog));
+}
+
+cycle_t
+EMeshContentionNetworkModel::computeLatency(tile_id_t src, tile_id_t dst,
+                                            size_t bytes,
+                                            cycle_t send_time)
+{
+    if (progress_ != nullptr)
+        progress_->observe(send_time);
+
+    const cycle_t service = serializationCycles(bytes);
+    cycle_t latency = service; // injection serialization
+    for (int link : shape_.route(src, dst)) {
+        cycle_t arrival = send_time + latency;
+        cycle_t queue_delay = links_[link]->enqueue(arrival, service);
+        latency += hopLatency_ + queue_delay;
+    }
+    account(bytes, latency, shape_.hops(src, dst));
+    return latency;
+}
+
+stat_t
+EMeshContentionNetworkModel::totalContentionDelay() const
+{
+    stat_t total = 0;
+    for (const auto& link : links_)
+        total += link->totalQueueDelay();
+    return total;
+}
+
+// ------------------------------------------------------------------ factory
+
+std::unique_ptr<NetworkModel>
+NetworkModel::create(const std::string& type, tile_id_t total_tiles,
+                     const Config& cfg, GlobalProgress* progress)
+{
+    if (type == "magic")
+        return std::make_unique<MagicNetworkModel>();
+
+    cycle_t hop = cfg.getInt("network/hop_latency", 2);
+    size_t bw = cfg.getInt("network/link_bandwidth_bytes", 8);
+    if (type == "emesh_hop")
+        return std::make_unique<EMeshHopNetworkModel>(total_tiles, hop,
+                                                      bw);
+    if (type == "emesh_contention")
+        return std::make_unique<EMeshContentionNetworkModel>(
+            total_tiles, hop, bw, progress,
+            cfg.getInt("network/queue_outlier_window", 100000),
+            cfg.getInt("network/queue_max_backlog", 10000));
+
+    fatal("unknown network model type '{}'", type);
+}
+
+} // namespace graphite

@@ -1,0 +1,89 @@
+#include "network/queue_model.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "network/global_progress.h"
+
+namespace graphite
+{
+
+QueueModel::QueueModel(const GlobalProgress* progress,
+                       cycle_t outlier_window, cycle_t max_backlog)
+    : progress_(progress),
+      outlierWindow_(outlier_window),
+      maxBacklog_(max_backlog)
+{
+}
+
+cycle_t
+QueueModel::enqueue(cycle_t arrival_time, cycle_t processing_time)
+{
+    cycle_t effective_arrival = arrival_time;
+    if (progress_ != nullptr && progress_->samples() > 0) {
+        cycle_t now = progress_->estimate();
+        cycle_t lo = now > outlierWindow_ ? now - outlierWindow_ : 0;
+        cycle_t hi = now + outlierWindow_;
+        if (arrival_time < lo || arrival_time > hi) {
+            effective_arrival = std::clamp(arrival_time, lo, hi);
+        }
+    }
+
+    std::scoped_lock lock(mutex_);
+    ++requests_;
+    // Finite buffering / back-pressure: the backlog seen by any packet
+    // is bounded, so a burst cannot drive latencies without bound.
+    if (queueClock_ > effective_arrival + maxBacklog_) {
+        queueClock_ = effective_arrival + maxBacklog_;
+        ++saturations_;
+    }
+    cycle_t delay = 0;
+    if (queueClock_ > effective_arrival) {
+        delay = queueClock_ - effective_arrival;
+        if (effective_arrival != arrival_time)
+            ++clamped_;
+    } else {
+        queueClock_ = effective_arrival;
+    }
+    queueClock_ += processing_time;
+    totalDelay_ += delay;
+    GRAPHITE_ASSERT(delay < (1ull << 38));
+    return delay;
+}
+
+cycle_t
+QueueModel::queueClock() const
+{
+    std::scoped_lock lock(mutex_);
+    return queueClock_;
+}
+
+stat_t
+QueueModel::totalRequests() const
+{
+    std::scoped_lock lock(mutex_);
+    return requests_;
+}
+
+stat_t
+QueueModel::totalQueueDelay() const
+{
+    std::scoped_lock lock(mutex_);
+    return totalDelay_;
+}
+
+stat_t
+QueueModel::clampedArrivals() const
+{
+    std::scoped_lock lock(mutex_);
+    return clamped_;
+}
+
+stat_t
+QueueModel::saturations() const
+{
+    std::scoped_lock lock(mutex_);
+    return saturations_;
+}
+
+} // namespace graphite

@@ -1,0 +1,191 @@
+#include "perf/core_model.h"
+
+#include <algorithm>
+
+#include "common/config.h"
+#include "common/log.h"
+
+namespace graphite
+{
+
+std::string_view
+instrClassName(InstrClass c)
+{
+    switch (c) {
+      case InstrClass::IntAlu: return "int_alu";
+      case InstrClass::IntMul: return "int_mul";
+      case InstrClass::IntDiv: return "int_div";
+      case InstrClass::FpAdd:  return "fp_add";
+      case InstrClass::FpMul:  return "fp_mul";
+      case InstrClass::FpDiv:  return "fp_div";
+      case InstrClass::Branch: return "branch";
+      case InstrClass::Load:   return "load";
+      case InstrClass::Store:  return "store";
+      default: panic("bad instruction class {}", static_cast<int>(c));
+    }
+}
+
+InstructionCosts
+InstructionCosts::defaults()
+{
+    InstructionCosts c{};
+    c.cost[static_cast<int>(InstrClass::IntAlu)] = 1;
+    c.cost[static_cast<int>(InstrClass::IntMul)] = 3;
+    c.cost[static_cast<int>(InstrClass::IntDiv)] = 18;
+    c.cost[static_cast<int>(InstrClass::FpAdd)] = 3;
+    c.cost[static_cast<int>(InstrClass::FpMul)] = 5;
+    c.cost[static_cast<int>(InstrClass::FpDiv)] = 24;
+    c.cost[static_cast<int>(InstrClass::Branch)] = 1;
+    // Load/Store issue cost; the memory latency is added separately.
+    c.cost[static_cast<int>(InstrClass::Load)] = 1;
+    c.cost[static_cast<int>(InstrClass::Store)] = 1;
+    return c;
+}
+
+InstructionCosts
+InstructionCosts::fromConfig(const Config& cfg)
+{
+    InstructionCosts c = defaults();
+    for (int i = 0; i < NUM_INSTR_CLASSES; ++i) {
+        std::string key = "perf_model/core/cost/";
+        key += instrClassName(static_cast<InstrClass>(i));
+        c.cost[i] = cfg.getInt(key, c.cost[i]);
+    }
+    return c;
+}
+
+CoreModel::CoreModel(tile_id_t tile, const Config& cfg)
+    : tile_(tile),
+      costs_(InstructionCosts::fromConfig(cfg)),
+      bp_(BranchPredictor::create(
+          cfg.getString("perf_model/branch_predictor/type", "two_bit"),
+          cfg.getInt("perf_model/branch_predictor/size", 1024))),
+      mispredictPenalty_(
+          cfg.getInt("perf_model/branch_predictor/mispredict_penalty",
+                     14)),
+      loadSlots_(std::max<std::int64_t>(
+                     1, cfg.getInt("perf_model/core/load_queue_size", 8)),
+                 0),
+      storeSlots_(
+          std::max<std::int64_t>(
+              1, cfg.getInt("perf_model/core/store_buffer_size", 8)),
+          0)
+{
+}
+
+void
+CoreModel::advance(cycle_t cycles)
+{
+    clock_.fetch_add(cycles, std::memory_order_relaxed);
+}
+
+void
+CoreModel::executeInstructions(InstrClass c, std::uint64_t count)
+{
+    GRAPHITE_ASSERT(c != InstrClass::Load && c != InstrClass::Store &&
+                    c != InstrClass::Branch);
+    instructions_ += count;
+    perClass_[static_cast<int>(c)] += count;
+    advance(costs_.cost[static_cast<int>(c)] * count);
+}
+
+void
+CoreModel::executeBranch(addr_t site, bool taken)
+{
+    ++instructions_;
+    ++perClass_[static_cast<int>(InstrClass::Branch)];
+    cycle_t cost = costs_.cost[static_cast<int>(InstrClass::Branch)];
+    if (!bp_->predictAndTrain(site, taken))
+        cost += mispredictPenalty_;
+    advance(cost);
+}
+
+void
+CoreModel::executeLoad(cycle_t latency)
+{
+    GRAPHITE_ASSERT(latency < (1ull << 40));
+    ++instructions_;
+    ++perClass_[static_cast<int>(InstrClass::Load)];
+
+    cycle_t now = cycle() + costs_.cost[static_cast<int>(InstrClass::Load)];
+    // Structural hazard: the oldest in-flight load must have completed
+    // before a new load-queue slot frees up.
+    cycle_t& slot = loadSlots_[nextLoadSlot_];
+    nextLoadSlot_ = (nextLoadSlot_ + 1) % loadSlots_.size();
+    cycle_t start = now;
+    if (slot > now) {
+        start = slot;
+        ++loadStalls_;
+    }
+    cycle_t done = start + latency;
+    slot = done;
+    // In-order core consumes the loaded value: clock advances to
+    // completion.
+    clock_.store(done, std::memory_order_relaxed);
+}
+
+void
+CoreModel::executeStore(cycle_t latency)
+{
+    GRAPHITE_ASSERT(latency < (1ull << 40));
+    ++instructions_;
+    ++perClass_[static_cast<int>(InstrClass::Store)];
+
+    cycle_t now =
+        cycle() + costs_.cost[static_cast<int>(InstrClass::Store)];
+    cycle_t& slot = storeSlots_[nextStoreSlot_];
+    nextStoreSlot_ = (nextStoreSlot_ + 1) % storeSlots_.size();
+    cycle_t start = now;
+    if (slot > now) {
+        // Store buffer full: stall the core until the oldest entry
+        // drains.
+        start = slot;
+        ++storeStalls_;
+        clock_.store(slot, std::memory_order_relaxed);
+    } else {
+        clock_.store(now, std::memory_order_relaxed);
+    }
+    // The store itself completes in the background.
+    slot = start + latency;
+}
+
+void
+CoreModel::executePseudo(PseudoInstr p, cycle_t cost)
+{
+    GRAPHITE_ASSERT(cost < (1ull << 40));
+    switch (p) {
+      case PseudoInstr::Spawn:
+      case PseudoInstr::MessageReceive:
+        advance(cost);
+        break;
+      case PseudoInstr::SyncWait:
+        syncWaitCycles_ += cost;
+        advance(cost);
+        break;
+      default:
+        panic("bad pseudo instruction {}", static_cast<int>(p));
+    }
+}
+
+void
+CoreModel::forwardClock(cycle_t t)
+{
+    // Monotonic max; only this tile's thread writes, so a simple
+    // compare-and-store suffices.
+    if (t > cycle())
+        clock_.store(t, std::memory_order_relaxed);
+}
+
+void
+CoreModel::addLatency(cycle_t cycles)
+{
+    advance(cycles);
+}
+
+stat_t
+CoreModel::instructionsOfClass(InstrClass c) const
+{
+    return perClass_[static_cast<int>(c)];
+}
+
+} // namespace graphite

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Instruction classes consumed by the core performance model (paper §3.1).
+ *
+ * The core model follows a producer-consumer design: the front end (in the
+ * paper, Pin; here, the instrumentation API) produces a stream of
+ * instruction events; other subsystems produce *pseudo-instructions* for
+ * unusual events ("message receive", "spawn", ...). Arithmetic executes
+ * natively (direct execution) — only the *class and count* of executed
+ * instructions reach the model.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace graphite
+{
+
+/** Modeled instruction classes. */
+enum class InstrClass : std::uint8_t
+{
+    IntAlu = 0, ///< integer add/sub/logical/shift
+    IntMul,     ///< integer multiply
+    IntDiv,     ///< integer divide
+    FpAdd,      ///< floating add/sub/compare
+    FpMul,      ///< floating multiply
+    FpDiv,      ///< floating divide / sqrt
+    Branch,     ///< conditional/unconditional branch
+    Load,       ///< memory read (latency supplied by the memory model)
+    Store,      ///< memory write (latency supplied by the memory model)
+
+    NumClasses
+};
+
+/** Number of modeled instruction classes. */
+inline constexpr int NUM_INSTR_CLASSES =
+    static_cast<int>(InstrClass::NumClasses);
+
+/** Pseudo-instructions produced by the rest of the system (§3.1). */
+enum class PseudoInstr : std::uint8_t
+{
+    Spawn = 0,      ///< thread spawned on this core
+    MessageReceive, ///< user-level message received
+    SyncWait,       ///< time spent blocked in application synchronization
+
+    NumPseudo
+};
+
+/** Stable lowercase name for config keys and stats ("int_alu", ...). */
+std::string_view instrClassName(InstrClass c);
+
+} // namespace graphite

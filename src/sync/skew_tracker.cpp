@@ -1,0 +1,116 @@
+#include "sync/skew_tracker.h"
+
+#include <algorithm>
+
+#include "perf/core_model.h"
+
+namespace graphite
+{
+
+SkewTracker::SkewTracker(std::uint64_t min_period_us)
+    : start_(std::chrono::steady_clock::now()),
+      minPeriodUs_(min_period_us),
+      lastSnap_(start_)
+{
+}
+
+void
+SkewTracker::attachCores(std::vector<SkewSource> cores)
+{
+    std::scoped_lock lock(mutex_);
+    cores_ = std::move(cores);
+}
+
+void
+SkewTracker::maybeSnapshot()
+{
+    auto now = std::chrono::steady_clock::now();
+    std::scoped_lock lock(mutex_);
+    if (cores_.empty())
+        return;
+    auto elapsed_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            now - lastSnap_)
+            .count();
+    if (elapsed_us >= 0 &&
+        static_cast<std::uint64_t>(elapsed_us) < minPeriodUs_)
+        return;
+    lastSnap_ = now;
+
+    double sum = 0;
+    int n = 0;
+    std::vector<double> clocks;
+    clocks.reserve(cores_.size());
+    for (const SkewSource& src : cores_) {
+        if (src.running != nullptr && !src.running->load())
+            continue; // blocked or idle tile
+        cycle_t c = src.core->cycle();
+        if (c == 0)
+            continue; // tile never ran
+        clocks.push_back(static_cast<double>(c));
+        sum += static_cast<double>(c);
+        ++n;
+    }
+    if (n < 2)
+        return;
+    double mean = sum / n;
+    Snapshot s;
+    s.wallSeconds =
+        std::chrono::duration<double>(now - start_).count();
+    s.maxSkew = -1e300;
+    s.minSkew = 1e300;
+    for (double c : clocks) {
+        s.maxSkew = std::max(s.maxSkew, c - mean);
+        s.minSkew = std::min(s.minSkew, c - mean);
+    }
+    snaps_.push_back(s);
+}
+
+size_t
+SkewTracker::sampleCount() const
+{
+    std::scoped_lock lock(mutex_);
+    return snaps_.size();
+}
+
+std::vector<SkewTracker::Interval>
+SkewTracker::analyze(int num_intervals) const
+{
+    std::scoped_lock lock(mutex_);
+    std::vector<Interval> out;
+    if (snaps_.empty() || num_intervals <= 0)
+        return out;
+
+    double t_end = 0;
+    for (const Snapshot& s : snaps_)
+        t_end = std::max(t_end, s.wallSeconds);
+    if (t_end <= 0)
+        t_end = 1e-9;
+    double width = t_end / num_intervals;
+
+    for (int b = 0; b < num_intervals; ++b) {
+        double lo = b * width;
+        double hi = (b + 1) * width;
+        Interval iv;
+        iv.wallSeconds = (lo + hi) / 2;
+        iv.maxSkew = -1e300;
+        iv.minSkew = 1e300;
+        bool any = false;
+        for (const Snapshot& s : snaps_) {
+            bool inside = s.wallSeconds >= lo &&
+                          (s.wallSeconds < hi ||
+                           (b == num_intervals - 1 &&
+                            s.wallSeconds <= hi + 1e-12));
+            if (!inside)
+                continue;
+            iv.maxSkew = std::max(iv.maxSkew, s.maxSkew);
+            iv.minSkew = std::min(iv.minSkew, s.minSkew);
+            any = true;
+        }
+        if (any)
+            out.push_back(iv);
+    }
+    return out;
+}
+
+} // namespace graphite

@@ -1,0 +1,226 @@
+#include "sync/sync_model.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/config.h"
+#include "common/log.h"
+#include "perf/core_model.h"
+
+namespace graphite
+{
+
+std::unique_ptr<SyncModel>
+SyncModel::create(const Config& cfg, tile_id_t total_tiles)
+{
+    std::string type = cfg.getString("sync/model", "lax");
+    cycle_t quantum = cfg.getInt("sync/quantum", 1000);
+    cycle_t slack = cfg.getInt("sync/slack", 100000);
+    std::uint64_t seed = cfg.getInt("rng/seed", 42);
+    if (type == "lax")
+        return std::make_unique<LaxSync>();
+    if (type == "lax_barrier")
+        return std::make_unique<LaxBarrierSync>(quantum, total_tiles);
+    if (type == "lax_p2p")
+        return std::make_unique<LaxP2PSync>(
+            total_tiles, slack, cfg.getInt("sync/p2p_interval", 1000),
+            seed);
+    fatal("unknown sync model '{}'", type);
+}
+
+// ------------------------------------------------------------ LaxBarrier
+
+LaxBarrierSync::LaxBarrierSync(cycle_t quantum, tile_id_t total_tiles)
+    : quantum_(quantum), nextTarget_(total_tiles, quantum)
+{
+    if (quantum == 0)
+        fatal("lax_barrier: quantum must be positive");
+}
+
+void
+LaxBarrierSync::threadStart(CoreModel& core)
+{
+    std::scoped_lock lock(mutex_);
+    ++active_;
+    cycle_t c = core.cycle();
+    nextTarget_[core.tileId()] = (c / quantum_ + 1) * quantum_;
+}
+
+void
+LaxBarrierSync::leave()
+{
+    // Caller holds mutex_. A departing thread may complete the epoch for
+    // the remaining waiters.
+    --active_;
+    GRAPHITE_ASSERT(active_ >= 0);
+    if (active_ > 0 && waiting_ == active_) {
+        waiting_ = 0;
+        ++epoch_;
+        cv_.notify_all();
+    }
+}
+
+void
+LaxBarrierSync::threadExit(CoreModel&)
+{
+    std::scoped_lock lock(mutex_);
+    leave();
+}
+
+void
+LaxBarrierSync::threadBlocked(CoreModel&)
+{
+    std::scoped_lock lock(mutex_);
+    leave();
+}
+
+void
+LaxBarrierSync::threadUnblocked(CoreModel& core)
+{
+    std::scoped_lock lock(mutex_);
+    ++active_;
+    // The clock may have been forwarded arbitrarily far while blocked;
+    // re-align the next barrier target to the first boundary ahead.
+    cycle_t c = core.cycle();
+    nextTarget_[core.tileId()] = (c / quantum_ + 1) * quantum_;
+}
+
+void
+LaxBarrierSync::arrive()
+{
+    auto t0 = std::chrono::steady_clock::now();
+    std::unique_lock lock(mutex_);
+    ++waiting_;
+    if (waiting_ == active_) {
+        waiting_ = 0;
+        ++epoch_;
+        barriers_.fetch_add(1, std::memory_order_relaxed);
+        cv_.notify_all();
+    } else {
+        std::uint64_t my_epoch = epoch_;
+        cv_.wait(lock, [&] { return epoch_ != my_epoch; });
+    }
+    lock.unlock();
+    auto dt = std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    waitMicros_.fetch_add(dt, std::memory_order_relaxed);
+}
+
+void
+LaxBarrierSync::periodicSync(CoreModel& core)
+{
+    tile_id_t tile = core.tileId();
+    while (true) {
+        {
+            std::scoped_lock lock(mutex_);
+            if (core.cycle() < nextTarget_[tile])
+                return;
+            nextTarget_[tile] += quantum_;
+        }
+        arrive();
+    }
+}
+
+// ---------------------------------------------------------------- LaxP2P
+
+LaxP2PSync::LaxP2PSync(tile_id_t total_tiles, cycle_t slack,
+                       cycle_t interval, std::uint64_t seed)
+    : slack_(slack),
+      interval_(interval),
+      start_(std::chrono::steady_clock::now()),
+      cores_(total_tiles, nullptr),
+      rng_(seed),
+      nextCheck_(total_tiles, interval)
+{
+    if (interval == 0)
+        fatal("lax_p2p: interval must be positive");
+}
+
+void
+LaxP2PSync::threadStart(CoreModel& core)
+{
+    std::scoped_lock lock(mutex_);
+    cores_[core.tileId()] = &core;
+    nextCheck_[core.tileId()] = core.cycle() + interval_;
+}
+
+void
+LaxP2PSync::threadExit(CoreModel& core)
+{
+    std::scoped_lock lock(mutex_);
+    cores_[core.tileId()] = nullptr;
+}
+
+void
+LaxP2PSync::threadBlocked(CoreModel& core)
+{
+    std::scoped_lock lock(mutex_);
+    cores_[core.tileId()] = nullptr;
+}
+
+void
+LaxP2PSync::threadUnblocked(CoreModel& core)
+{
+    std::scoped_lock lock(mutex_);
+    cores_[core.tileId()] = &core;
+    nextCheck_[core.tileId()] = core.cycle() + interval_;
+}
+
+void
+LaxP2PSync::periodicSync(CoreModel& core)
+{
+    tile_id_t tile = core.tileId();
+    cycle_t my_clock = core.cycle();
+    cycle_t partner_clock = 0;
+    bool found = false;
+    {
+        std::scoped_lock lock(mutex_);
+        if (my_clock < nextCheck_[tile])
+            return;
+        nextCheck_[tile] = my_clock + interval_;
+
+        // Choose a random *other* active tile.
+        std::vector<tile_id_t> candidates;
+        candidates.reserve(cores_.size());
+        for (tile_id_t t = 0;
+             t < static_cast<tile_id_t>(cores_.size()); ++t) {
+            if (t != tile && cores_[t] != nullptr)
+                candidates.push_back(t);
+        }
+        if (!candidates.empty()) {
+            tile_id_t partner =
+                candidates[rng_.nextBounded(candidates.size())];
+            partner_clock = cores_[partner]->cycle();
+            found = true;
+        }
+    }
+    if (!found)
+        return;
+
+    if (my_clock > partner_clock && my_clock - partner_clock > slack_) {
+        // We are ahead: sleep s = c / r, where r is the observed
+        // simulation rate in cycles per wall-clock second (§3.6.3).
+        cycle_t c = my_clock - partner_clock;
+        double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        if (elapsed <= 0.0)
+            return;
+        double r = static_cast<double>(my_clock) / elapsed;
+        if (r <= 0.0)
+            return;
+        double sleep_s = static_cast<double>(c) / r;
+        // Bound pathological sleeps (startup transients).
+        sleep_s = std::min(sleep_s, 0.05);
+        auto micros = static_cast<std::int64_t>(sleep_s * 1e6);
+        if (micros <= 0)
+            return;
+        sleeps_.fetch_add(1, std::memory_order_relaxed);
+        sleepMicros_.fetch_add(micros, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::microseconds(micros));
+    }
+}
+
+} // namespace graphite

@@ -1,0 +1,213 @@
+#include "transport/socket_transport.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "common/config.h"
+#include "common/log.h"
+
+namespace graphite
+{
+
+namespace
+{
+
+/** Max datagram we ever expect (file ops carry data inline). */
+constexpr size_t MAX_DGRAM = 200 * 1024;
+
+sockaddr_un
+abstractAddress(const std::string& name, socklen_t& len)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    // Abstract namespace: leading NUL, no filesystem presence.
+    GRAPHITE_ASSERT(name.size() + 1 < sizeof(addr.sun_path));
+    addr.sun_path[0] = '\0';
+    std::memcpy(addr.sun_path + 1, name.data(), name.size());
+    len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) + 1 +
+                                 name.size());
+    return addr;
+}
+
+} // namespace
+
+UnixSocketTransport::UnixSocketTransport(const ClusterTopology& topo)
+    : topo_(topo)
+{
+    static std::atomic<std::uint64_t> instance{0};
+    nonce_ = std::to_string(::getpid()) + "." +
+             std::to_string(instance.fetch_add(1));
+
+    sockets_.resize(topo_.numEndpoints(), -1);
+    for (endpoint_id_t ep = 0; ep < topo_.numEndpoints(); ++ep) {
+        int fd = ::socket(AF_UNIX, SOCK_DGRAM, 0);
+        if (fd < 0)
+            fatal("socket transport: socket() failed: {}",
+                  std::strerror(errno));
+        socklen_t len = 0;
+        sockaddr_un addr = abstractAddress(addressOf(ep), len);
+        if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), len) != 0)
+            fatal("socket transport: bind({}) failed: {}", ep,
+                  std::strerror(errno));
+        // Generous buffers: many tiles may burst at one endpoint.
+        int bufsize = 1 << 20;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bufsize,
+                     sizeof(bufsize));
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bufsize,
+                     sizeof(bufsize));
+        sockets_[ep] = fd;
+    }
+}
+
+UnixSocketTransport::~UnixSocketTransport()
+{
+    for (int fd : sockets_) {
+        if (fd >= 0)
+            ::close(fd);
+    }
+}
+
+std::string
+UnixSocketTransport::addressOf(endpoint_id_t ep) const
+{
+    return "graphite." + nonce_ + "." + std::to_string(ep);
+}
+
+void
+UnixSocketTransport::send(endpoint_id_t src, endpoint_id_t dst,
+                          std::vector<std::uint8_t> data)
+{
+    GRAPHITE_ASSERT(src >= 0 && src < topo_.numEndpoints());
+    GRAPHITE_ASSERT(dst >= 0 && dst < topo_.numEndpoints());
+    if (data.size() + 4 > MAX_DGRAM)
+        fatal("socket transport: {}-byte message exceeds the datagram "
+              "limit",
+              data.size());
+
+    std::vector<std::uint8_t> wire(4 + data.size());
+    std::memcpy(wire.data(), &src, 4);
+    std::memcpy(wire.data() + 4, data.data(), data.size());
+
+    socklen_t len = 0;
+    sockaddr_un addr = abstractAddress(addressOf(dst), len);
+    while (true) {
+        ssize_t n = ::sendto(sockets_[src], wire.data(), wire.size(), 0,
+                             reinterpret_cast<sockaddr*>(&addr), len);
+        if (n >= 0)
+            return;
+        if (errno == EINTR)
+            continue;
+        if (shutdown_.load())
+            return; // teardown races are benign
+        fatal("socket transport: sendto({} -> {}) failed: {}", src, dst,
+              std::strerror(errno));
+    }
+}
+
+bool
+UnixSocketTransport::decode(const std::vector<std::uint8_t>& wire,
+                            ssize_t n, TransportBuffer& out) const
+{
+    if (n < 4)
+        return false; // poison/short datagram
+    std::memcpy(&out.src, wire.data(), 4);
+    if (out.src < 0)
+        return false; // shutdown poison
+    out.data.assign(wire.begin() + 4, wire.begin() + n);
+    return true;
+}
+
+TransportBuffer
+UnixSocketTransport::recv(endpoint_id_t dst)
+{
+    GRAPHITE_ASSERT(dst >= 0 && dst < topo_.numEndpoints());
+    std::vector<std::uint8_t> wire(MAX_DGRAM);
+    while (true) {
+        if (shutdown_.load())
+            return TransportBuffer{};
+        ssize_t n =
+            ::recv(sockets_[dst], wire.data(), wire.size(), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (shutdown_.load())
+                return TransportBuffer{};
+            fatal("socket transport: recv({}) failed: {}", dst,
+                  std::strerror(errno));
+        }
+        TransportBuffer out;
+        out.dst = dst;
+        if (decode(wire, n, out))
+            return out;
+        if (shutdown_.load())
+            return TransportBuffer{};
+    }
+}
+
+bool
+UnixSocketTransport::tryRecv(endpoint_id_t dst, TransportBuffer& out)
+{
+    GRAPHITE_ASSERT(dst >= 0 && dst < topo_.numEndpoints());
+    std::vector<std::uint8_t> wire(MAX_DGRAM);
+    while (true) {
+        ssize_t n = ::recv(sockets_[dst], wire.data(), wire.size(),
+                           MSG_DONTWAIT);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return false;
+            fatal("socket transport: recv({}) failed: {}", dst,
+                  std::strerror(errno));
+        }
+        out.dst = dst;
+        if (decode(wire, n, out))
+            return true;
+        // Poison datagram during shutdown: report empty.
+        return false;
+    }
+}
+
+size_t
+UnixSocketTransport::pending(endpoint_id_t dst) const
+{
+    GRAPHITE_ASSERT(dst >= 0 && dst < topo_.numEndpoints());
+    // Datagram sockets expose only "something is queued"; peek without
+    // consuming. Callers treat this as a boolean load hint.
+    std::uint8_t probe;
+    ssize_t n = ::recv(sockets_[dst], &probe, 1,
+                       MSG_DONTWAIT | MSG_PEEK);
+    return n >= 0 ? 1 : 0;
+}
+
+void
+UnixSocketTransport::shutdown()
+{
+    shutdown_.store(true);
+    // Wake every blocked receiver with a poison datagram.
+    std::int32_t poison = -1;
+    for (endpoint_id_t ep = 0; ep < topo_.numEndpoints(); ++ep) {
+        socklen_t len = 0;
+        sockaddr_un addr = abstractAddress(addressOf(ep), len);
+        ::sendto(sockets_[ep], &poison, sizeof(poison), MSG_DONTWAIT,
+                 reinterpret_cast<sockaddr*>(&addr), len);
+    }
+}
+
+std::unique_ptr<Transport>
+createTransport(const ClusterTopology& topo, const Config& cfg)
+{
+    std::string type = cfg.getString("transport/type", "in_process");
+    if (type == "in_process")
+        return std::make_unique<InProcessTransport>(topo);
+    if (type == "unix_socket")
+        return std::make_unique<UnixSocketTransport>(topo);
+    fatal("unknown transport type '{}'", type);
+}
+
+} // namespace graphite

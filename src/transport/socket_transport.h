@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Socket-based physical transport (paper §3.3.1).
+ *
+ * "The current transport layer uses TCP/IP sockets for data transport,
+ * however this could be replaced with another messaging back end such
+ * as MPI."
+ *
+ * This back end sends every datagram through real kernel sockets — one
+ * Unix-domain SOCK_DGRAM socket per endpoint in Linux's abstract
+ * namespace — so inter-endpoint traffic pays genuine syscall,
+ * serialization, and kernel-queue costs, exactly the overheads the
+ * original paid through loopback/LAN TCP. Datagram semantics preserve
+ * message boundaries, matching the TransportBuffer contract.
+ *
+ * Select with config key transport/type = "unix_socket" (the default
+ * "in_process" uses in-memory mailboxes). Messages are limited by the
+ * kernel datagram size (hundreds of KB); all simulator traffic is far
+ * below that.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "transport/transport.h"
+
+namespace graphite
+{
+
+class Config;
+
+/** Transport over per-endpoint Unix-domain datagram sockets. */
+class UnixSocketTransport : public Transport
+{
+  public:
+    explicit UnixSocketTransport(const ClusterTopology& topo);
+    ~UnixSocketTransport() override;
+
+    UnixSocketTransport(const UnixSocketTransport&) = delete;
+    UnixSocketTransport& operator=(const UnixSocketTransport&) = delete;
+
+    void send(endpoint_id_t src, endpoint_id_t dst,
+              std::vector<std::uint8_t> data) override;
+    TransportBuffer recv(endpoint_id_t dst) override;
+    bool tryRecv(endpoint_id_t dst, TransportBuffer& out) override;
+    size_t pending(endpoint_id_t dst) const override;
+    void shutdown() override;
+
+    const ClusterTopology& topology() const { return topo_; }
+
+  private:
+    std::string addressOf(endpoint_id_t ep) const;
+    bool decode(const std::vector<std::uint8_t>& wire, ssize_t n,
+                TransportBuffer& out) const;
+
+    ClusterTopology topo_;
+    std::string nonce_; ///< unique per instance (abstract namespace)
+    std::vector<int> sockets_;
+    std::atomic<bool> shutdown_{false};
+};
+
+/**
+ * Factory honoring config key transport/type: "in_process" (default)
+ * or "unix_socket". Fatal on unknown type.
+ */
+std::unique_ptr<Transport> createTransport(const ClusterTopology& topo,
+                                           const Config& cfg);
+
+} // namespace graphite

@@ -1,0 +1,121 @@
+#include "transport/transport.h"
+
+#include "common/log.h"
+
+namespace graphite
+{
+
+InProcessTransport::InProcessTransport(const ClusterTopology& topo)
+    : topo_(topo)
+{
+    boxes_.reserve(topo_.numEndpoints());
+    for (endpoint_id_t i = 0; i < topo_.numEndpoints(); ++i)
+        boxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void
+InProcessTransport::send(endpoint_id_t src, endpoint_id_t dst,
+                         std::vector<std::uint8_t> data)
+{
+    GRAPHITE_ASSERT(src >= 0 && src < topo_.numEndpoints());
+    GRAPHITE_ASSERT(dst >= 0 && dst < topo_.numEndpoints());
+
+    {
+        std::scoped_lock lock(statsMutex_);
+        bool same = topo_.processForEndpoint(src) ==
+                    topo_.processForEndpoint(dst);
+        if (same) {
+            ++intraMsgs_;
+            intraBytes_ += data.size();
+        } else {
+            ++interMsgs_;
+            interBytes_ += data.size();
+        }
+    }
+
+    Mailbox& box = *boxes_[dst];
+    {
+        std::scoped_lock lock(box.mutex);
+        box.queue.push_back(TransportBuffer{src, dst, std::move(data)});
+    }
+    box.cv.notify_one();
+}
+
+TransportBuffer
+InProcessTransport::recv(endpoint_id_t dst)
+{
+    GRAPHITE_ASSERT(dst >= 0 && dst < topo_.numEndpoints());
+    Mailbox& box = *boxes_[dst];
+    std::unique_lock lock(box.mutex);
+    box.cv.wait(lock,
+                [&] { return !box.queue.empty() || shutdown_.load(); });
+    if (box.queue.empty())
+        return TransportBuffer{}; // shutdown drain
+    TransportBuffer out = std::move(box.queue.front());
+    box.queue.pop_front();
+    return out;
+}
+
+bool
+InProcessTransport::tryRecv(endpoint_id_t dst, TransportBuffer& out)
+{
+    GRAPHITE_ASSERT(dst >= 0 && dst < topo_.numEndpoints());
+    Mailbox& box = *boxes_[dst];
+    std::scoped_lock lock(box.mutex);
+    if (box.queue.empty())
+        return false;
+    out = std::move(box.queue.front());
+    box.queue.pop_front();
+    return true;
+}
+
+size_t
+InProcessTransport::pending(endpoint_id_t dst) const
+{
+    GRAPHITE_ASSERT(dst >= 0 && dst < topo_.numEndpoints());
+    const Mailbox& box = *boxes_[dst];
+    std::scoped_lock lock(box.mutex);
+    return box.queue.size();
+}
+
+void
+InProcessTransport::shutdown()
+{
+    shutdown_.store(true);
+    for (auto& box : boxes_) {
+        // Take the lock so no receiver can miss the flag between its
+        // predicate check and wait.
+        std::scoped_lock lock(box->mutex);
+        box->cv.notify_all();
+    }
+}
+
+stat_t
+InProcessTransport::intraProcessMessages() const
+{
+    std::scoped_lock lock(statsMutex_);
+    return intraMsgs_;
+}
+
+stat_t
+InProcessTransport::interProcessMessages() const
+{
+    std::scoped_lock lock(statsMutex_);
+    return interMsgs_;
+}
+
+stat_t
+InProcessTransport::intraProcessBytes() const
+{
+    std::scoped_lock lock(statsMutex_);
+    return intraBytes_;
+}
+
+stat_t
+InProcessTransport::interProcessBytes() const
+{
+    std::scoped_lock lock(statsMutex_);
+    return interBytes_;
+}
+
+} // namespace graphite

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Physical transport layer (paper §3.3.1).
+ *
+ * "The transport layer provides an abstraction for generic communication
+ * between tiles. All inter-core communication as well as inter-process
+ * communication required for distributed support goes through this
+ * communication channel."
+ *
+ * The interface is deliberately byte-oriented and endpoint-addressed so a
+ * different back end (the paper used TCP/IP sockets, and suggests MPI)
+ * could be swapped in. The bundled implementation, InProcessTransport,
+ * delivers through in-memory mailboxes and *accounts* for the host-side
+ * cost difference between intra-process (shared memory) and inter-process
+ * (socket) delivery; those counters feed the host cluster model.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/fixed_types.h"
+#include "common/stats.h"
+#include "transport/cluster_topology.h"
+
+namespace graphite
+{
+
+/** A transported datagram: opaque bytes plus addressing metadata. */
+struct TransportBuffer
+{
+    endpoint_id_t src = -1;
+    endpoint_id_t dst = -1;
+    std::vector<std::uint8_t> data;
+};
+
+/**
+ * Abstract physical transport. Implementations must be thread-safe:
+ * any thread may send to any endpoint; one logical owner receives per
+ * endpoint (multiple receivers are permitted but unordered among them).
+ */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    /** Send @p data from @p src to @p dst. Never blocks indefinitely. */
+    virtual void send(endpoint_id_t src, endpoint_id_t dst,
+                      std::vector<std::uint8_t> data) = 0;
+
+    /** Block until a datagram arrives for @p dst and return it. */
+    virtual TransportBuffer recv(endpoint_id_t dst) = 0;
+
+    /**
+     * Non-blocking receive.
+     * @return true and fill @p out when a datagram was pending.
+     */
+    virtual bool tryRecv(endpoint_id_t dst, TransportBuffer& out) = 0;
+
+    /** Number of datagrams pending for @p dst. */
+    virtual size_t pending(endpoint_id_t dst) const = 0;
+
+    /**
+     * Wake all blocked receivers; subsequent recv() calls on a shut-down
+     * transport return an empty buffer with src == -1. Used at teardown.
+     */
+    virtual void shutdown() = 0;
+};
+
+/**
+ * Mailbox-based transport simulating a cluster deployment.
+ *
+ * Per-endpoint FIFO mailboxes guarded by a mutex + condition variable.
+ * Delivery is immediate (the *modeled* latency is applied by the network
+ * models via timestamps, per lax synchronization); what this layer tracks
+ * is host-side traffic accounting:
+ *   - intraProcessMessages/Bytes: src and dst in the same simulated process
+ *   - interProcessMessages/Bytes: crossing simulated process boundaries
+ */
+class InProcessTransport : public Transport
+{
+  public:
+    explicit InProcessTransport(const ClusterTopology& topo);
+
+    void send(endpoint_id_t src, endpoint_id_t dst,
+              std::vector<std::uint8_t> data) override;
+    TransportBuffer recv(endpoint_id_t dst) override;
+    bool tryRecv(endpoint_id_t dst, TransportBuffer& out) override;
+    size_t pending(endpoint_id_t dst) const override;
+    void shutdown() override;
+
+    /** @name Host-side traffic accounting (see src/host). @{ */
+    stat_t intraProcessMessages() const;
+    stat_t interProcessMessages() const;
+    stat_t intraProcessBytes() const;
+    stat_t interProcessBytes() const;
+    /** @} */
+
+    const ClusterTopology& topology() const { return topo_; }
+
+  private:
+    struct Mailbox
+    {
+        mutable std::mutex mutex;
+        std::condition_variable cv;
+        std::deque<TransportBuffer> queue;
+    };
+
+    ClusterTopology topo_;
+    std::vector<std::unique_ptr<Mailbox>> boxes_;
+    std::atomic<bool> shutdown_{false};
+    mutable std::mutex statsMutex_;
+    stat_t intraMsgs_ = 0;
+    stat_t interMsgs_ = 0;
+    stat_t intraBytes_ = 0;
+    stat_t interBytes_ = 0;
+};
+
+} // namespace graphite

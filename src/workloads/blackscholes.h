@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Black-Scholes option pricing (PARSEC "blackscholes" analogue — the
+ * cache-coherence study workload, paper §4.4 / Figure 9).
+ *
+ * "blackscholes is nearly perfectly parallel as little information is
+ * shared between cores. However ... some global addresses ... are
+ * heavily shared as read-only data." Each thread prices a contiguous
+ * chunk of options independently; every option evaluation also reads a
+ * small shared read-only coefficient table, reproducing the heavy
+ * read-only sharing that separates full-map/LimitLESS from the limited
+ * Dir_iNB directories.
+ */
+
+#pragma once
+
+#include <cmath>
+
+#include "workloads/env.h"
+
+namespace graphite
+{
+namespace workloads
+{
+
+/** Option record: S K r v T (5 floats) + price (1 float). */
+inline constexpr std::uint64_t BS_IN_FLOATS = 5;
+inline constexpr int BS_TABLE_FLOATS = 32;
+
+template <typename Env>
+struct BlackscholesShared
+{
+    typename Env::Ptr in;    ///< m * BS_IN_FLOATS floats (read-only)
+    typename Env::Ptr out;   ///< m floats
+    typename Env::Ptr table; ///< BS_TABLE_FLOATS floats (read-only)
+    typename Env::Ptr bar;
+    int m = 0;
+    int iters = 1;
+    int nthreads = 0;
+    std::uint64_t seed = 0;
+    /** Parallel-region bounds recorded by thread 0 (simulated cycles). */
+    cycle_t regionStart = 0;
+    cycle_t regionEnd = 0;
+};
+
+namespace bs_detail
+{
+
+/** Cumulative normal distribution (Abramowitz-Stegun polynomial). */
+inline double
+cnd(double x)
+{
+    const double a1 = 0.319381530, a2 = -0.356563782, a3 = 1.781477937,
+                 a4 = -1.821255978, a5 = 1.330274429;
+    double l = std::fabs(x);
+    double k = 1.0 / (1.0 + 0.2316419 * l);
+    double w = 1.0 -
+               1.0 / std::sqrt(2 * M_PI) * std::exp(-l * l / 2) *
+                   (a1 * k + a2 * k * k + a3 * k * k * k +
+                    a4 * k * k * k * k + a5 * k * k * k * k * k);
+    return x < 0 ? 1.0 - w : w;
+}
+
+} // namespace bs_detail
+
+template <typename Env>
+void
+blackscholesThread(Env& env, BlackscholesShared<Env>& sh)
+{
+    const int t = env.self();
+    const int lo = sh.m * t / sh.nthreads;
+    const int hi = sh.m * (t + 1) / sh.nthreads;
+
+    // Parallel init of the owned option records.
+    for (int i = lo; i < hi; ++i) {
+        std::uint64_t b = static_cast<std::uint64_t>(i) * BS_IN_FLOATS;
+        env.template st<float>(
+            sh.in, b,
+            static_cast<float>(50 + 50 * inputValue(sh.seed, 5 * i)));
+        env.template st<float>(
+            sh.in, b + 1,
+            static_cast<float>(50 +
+                               50 * inputValue(sh.seed, 5 * i + 1)));
+        env.template st<float>(
+            sh.in, b + 2,
+            static_cast<float>(0.01 +
+                               0.05 * inputValue(sh.seed, 5 * i + 2)));
+        env.template st<float>(
+            sh.in, b + 3,
+            static_cast<float>(0.1 +
+                               0.4 * inputValue(sh.seed, 5 * i + 3)));
+        env.template st<float>(
+            sh.in, b + 4,
+            static_cast<float>(0.25 +
+                               2 * inputValue(sh.seed, 5 * i + 4)));
+        env.exec(InstrClass::IntAlu, 10);
+    }
+    env.barrier(sh.bar);
+    if (t == 0)
+        sh.regionStart = env.cycleNow();
+    for (int it = 0; it < sh.iters; ++it) {
+        for (int i = lo; i < hi; ++i) {
+            std::uint64_t b =
+                static_cast<std::uint64_t>(i) * BS_IN_FLOATS;
+            double S = env.template ld<float>(sh.in, b);
+            double K = env.template ld<float>(sh.in, b + 1);
+            double r = env.template ld<float>(sh.in, b + 2);
+            double v = env.template ld<float>(sh.in, b + 3);
+            double T = env.template ld<float>(sh.in, b + 4);
+
+            // Heavily shared read-only table lookups (four per
+            // option, spanning both table lines).
+            double c0 = env.template ld<float>(
+                sh.table, static_cast<std::uint64_t>(i) %
+                              BS_TABLE_FLOATS);
+            double c1 = env.template ld<float>(
+                sh.table, static_cast<std::uint64_t>(i + 7) %
+                              BS_TABLE_FLOATS);
+            double c2 = env.template ld<float>(
+                sh.table, static_cast<std::uint64_t>(i + 17) %
+                              BS_TABLE_FLOATS);
+            double c3 = env.template ld<float>(
+                sh.table, static_cast<std::uint64_t>(i + 29) %
+                              BS_TABLE_FLOATS);
+
+            double sqrtT = std::sqrt(T);
+            double d1 = (std::log(S / K) + (r + v * v / 2) * T) /
+                        (v * sqrtT);
+            double d2 = d1 - v * sqrtT;
+            double price = S * bs_detail::cnd(d1) -
+                           K * std::exp(-r * T) * bs_detail::cnd(d2);
+            price = price * c0 + c1 + c2 * 1e-3 + c3 * 1e-3;
+
+            env.template st<float>(sh.out, i,
+                                   static_cast<float>(price));
+            // PARSEC's pricing kernel runs ~200 FP ops per option
+            // (exp/log/sqrt expansions included).
+            env.exec(InstrClass::FpMul, 40);
+            env.exec(InstrClass::FpDiv, 6);
+            env.exec(InstrClass::IntAlu, 40);
+            env.branch(9001, i + 1 < hi);
+        }
+        env.barrier(sh.bar);
+    }
+    if (t == 0) {
+        sh.regionEnd = env.cycleNow();
+        setLastRegionCycles(sh.regionEnd > sh.regionStart
+                                ? sh.regionEnd - sh.regionStart
+                                : 0);
+    }
+}
+
+template <typename Env>
+double
+runBlackscholes(const WorkloadParams& p)
+{
+    Env main(0, p.threads);
+    BlackscholesShared<Env> sh;
+    sh.m = p.size;
+    sh.iters = std::max(1, p.iters);
+    sh.nthreads = p.threads;
+    sh.in = main.alloc(static_cast<std::uint64_t>(sh.m) * BS_IN_FLOATS *
+                       sizeof(float));
+    sh.out = main.alloc(static_cast<std::uint64_t>(sh.m) * sizeof(float));
+    sh.table = main.alloc(BS_TABLE_FLOATS * sizeof(float));
+    sh.seed = p.seed;
+    sh.bar = main.makeBarrier(p.threads);
+
+    for (int i = 0; i < BS_TABLE_FLOATS; ++i)
+        main.template st<float>(
+            sh.table, i,
+            static_cast<float>(0.9 + 0.2 * inputValue(p.seed ^ 0x77, i)));
+
+    runThreads<BlackscholesShared<Env>, &blackscholesThread<Env>>(
+        main, p.threads, sh);
+
+    double checksum = 0;
+    for (int i = 0; i < sh.m; ++i)
+        checksum += main.template ld<float>(sh.out, i);
+
+    main.dealloc(sh.in);
+    main.dealloc(sh.out);
+    main.dealloc(sh.table);
+    main.freeBarrier(sh.bar);
+    return checksum;
+}
+
+} // namespace workloads
+} // namespace graphite

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Cholesky factorization (SPLASH-2 "cholesky" analogue, dense variant).
+ *
+ * Right-looking Cholesky on a symmetric positive-definite matrix with
+ * column-cyclic ownership. Each step: the owner factors the pivot
+ * column, then every thread updates the trailing columns it owns —
+ * reads of the freshly written pivot column create producer-consumer
+ * sharing between steps.
+ */
+
+#pragma once
+
+#include <cmath>
+
+#include "workloads/env.h"
+
+namespace graphite
+{
+namespace workloads
+{
+
+inline double
+env_abs(double v)
+{
+    return v < 0 ? -v : v;
+}
+
+template <typename Env>
+struct CholeskyShared
+{
+    typename Env::Ptr a; ///< n*n doubles, row-major (lower triangle used)
+    typename Env::Ptr bar;
+    int n = 0;
+    int nthreads = 0;
+    std::uint64_t seed = 0;
+};
+
+template <typename Env>
+void
+choleskyThread(Env& env, CholeskyShared<Env>& sh)
+{
+    const int n = sh.n;
+    const int t = env.self();
+    const int T = sh.nthreads;
+
+    // Parallel SPD init: each thread fills its row range of the
+    // symmetric matrix from the (i >= j ? i,j : j,i) generator so the
+    // matrix is symmetric without cross-thread writes.
+    for (int i = n * t / T; i < n * (t + 1) / T; ++i) {
+        for (int j = 0; j < n; ++j) {
+            int hi_idx = i >= j ? i : j;
+            int lo_idx = i >= j ? j : i;
+            double v = inputValue(
+                sh.seed,
+                static_cast<std::uint64_t>(hi_idx) * n + lo_idx);
+            if (i == j)
+                v += static_cast<double>(n);
+            env.template st<double>(
+                sh.a, static_cast<std::uint64_t>(i) * n + j, v);
+        }
+        env.exec(InstrClass::IntAlu, 5 * n);
+    }
+    // Block-cyclic column ownership (8 columns = one 64 B line of a
+    // row): balanced like cyclic, line-local like blocked.
+    auto owner = [&](int col) { return (col / 8) % T; };
+
+    env.barrier(sh.bar);
+    for (int k = 0; k < n; ++k) {
+        if (owner(k) == t) {
+            // Factor the pivot column.
+            double akk = env.template ld<double>(
+                sh.a, static_cast<std::uint64_t>(k) * n + k);
+            double lkk = std::sqrt(akk);
+            env.template st<double>(
+                sh.a, static_cast<std::uint64_t>(k) * n + k, lkk);
+            for (int i = k + 1; i < n; ++i) {
+                double v = env.template ld<double>(
+                    sh.a, static_cast<std::uint64_t>(i) * n + k);
+                env.template st<double>(
+                    sh.a, static_cast<std::uint64_t>(i) * n + k,
+                    v / lkk);
+            }
+            env.exec(InstrClass::FpDiv, n - k);
+        }
+        env.barrier(sh.bar);
+
+        // Trailing update of owned columns.
+        for (int j = k + 1; j < n; ++j) {
+            if (owner(j) != t)
+                continue;
+            double ljk = env.template ld<double>(
+                sh.a, static_cast<std::uint64_t>(j) * n + k);
+            for (int i = j; i < n; ++i) {
+                double lik = env.template ld<double>(
+                    sh.a, static_cast<std::uint64_t>(i) * n + k);
+                double aij = env.template ld<double>(
+                    sh.a, static_cast<std::uint64_t>(i) * n + j);
+                env.template st<double>(
+                    sh.a, static_cast<std::uint64_t>(i) * n + j,
+                    aij - lik * ljk);
+            }
+            env.exec(InstrClass::FpMul, n - j);
+            env.exec(InstrClass::FpAdd, n - j);
+            env.exec(InstrClass::IntAlu, 5 * (n - j));
+            env.branch(8001, j + 1 < n);
+        }
+        env.barrier(sh.bar);
+    }
+}
+
+template <typename Env>
+double
+runCholesky(const WorkloadParams& p)
+{
+    Env main(0, p.threads);
+    CholeskyShared<Env> sh;
+    sh.n = p.size;
+    sh.nthreads = p.threads;
+    const std::uint64_t cells = static_cast<std::uint64_t>(sh.n) * sh.n;
+    sh.seed = p.seed;
+    sh.a = main.alloc(cells * sizeof(double));
+    sh.bar = main.makeBarrier(p.threads);
+
+    runThreads<CholeskyShared<Env>, &choleskyThread<Env>>(main,
+                                                          p.threads, sh);
+
+    // Checksum the lower triangle (the factor L).
+    double checksum = 0;
+    for (int i = 0; i < sh.n; ++i)
+        for (int j = 0; j <= i; ++j)
+            checksum += env_abs(main.template ld<double>(
+                sh.a, static_cast<std::uint64_t>(i) * sh.n + j));
+
+    main.dealloc(sh.a);
+    main.freeBarrier(sh.bar);
+    return checksum;
+}
+
+} // namespace workloads
+} // namespace graphite

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Execution-environment abstraction for the workload suite.
+ *
+ * Every workload kernel is written once as a template over an Env that
+ * provides memory, synchronization, threading, and instruction-event
+ * reporting:
+ *
+ *  - SimEnv routes everything through graphite::api — memory references
+ *    hit the simulated cache hierarchy and coherence protocol,
+ *    synchronization uses the futex-based target primitives, threads are
+ *    spawned through the MCP, and arithmetic is reported to the core
+ *    model (direct execution).
+ *  - NativeEnv executes the identical algorithm on raw host memory with
+ *    std::thread — the native baseline for Table 2 and a functional
+ *    cross-check: a workload must produce bit-identical checksums in
+ *    both environments, which makes every kernel an end-to-end test of
+ *    the coherence protocol.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/fixed_types.h"
+#include "core/api.h"
+
+namespace graphite
+{
+namespace workloads
+{
+
+/** Size/thread parameters of one workload run. */
+struct WorkloadParams
+{
+    int threads = 4;          ///< application threads (incl. main)
+    int size = 64;            ///< problem dimension (kernel-specific)
+    int iters = 1;            ///< time steps / repetitions
+    std::uint64_t seed = 42;  ///< input-generation seed
+};
+
+/** Simulated environment: all operations route through the target API. */
+class SimEnv
+{
+  public:
+    static constexpr bool isSim = true;
+    using Ptr = std::uint64_t; ///< target address
+
+    SimEnv(int self, int nthreads) : self_(self), nthreads_(nthreads) {}
+
+    int self() const { return self_; }
+    int nthreads() const { return nthreads_; }
+
+    /** Current simulated clock of this thread's tile. */
+    cycle_t cycleNow() const { return api::cycle(); }
+
+    Ptr alloc(std::uint64_t bytes) { return api::malloc(bytes); }
+    void dealloc(Ptr p) { api::free(p); }
+
+    template <typename T>
+    T
+    ld(Ptr base, std::uint64_t idx)
+    {
+        return api::read<T>(base + idx * sizeof(T));
+    }
+
+    template <typename T>
+    void
+    st(Ptr base, std::uint64_t idx, T v)
+    {
+        api::write<T>(base + idx * sizeof(T), v);
+    }
+
+    std::uint32_t
+    atomicAdd(Ptr base, std::uint64_t idx, std::int32_t d)
+    {
+        return api::atomicAdd32(base + idx * 4, d);
+    }
+
+    void exec(InstrClass c, std::uint64_t n) { api::exec(c, n); }
+    void branch(std::uint64_t site, bool taken)
+    {
+        api::branch(site, taken);
+    }
+
+    Ptr
+    makeBarrier(int participants)
+    {
+        Ptr b = api::malloc(api::BARRIER_BYTES);
+        api::barrierInit(b, participants);
+        return b;
+    }
+    void barrier(Ptr b) { api::barrierWait(b); }
+    void freeBarrier(Ptr b) { api::free(b); }
+
+    Ptr
+    makeMutex()
+    {
+        Ptr m = api::malloc(api::MUTEX_BYTES);
+        api::mutexInit(m);
+        return m;
+    }
+    void lock(Ptr m) { api::mutexLock(m); }
+    void unlock(Ptr m) { api::mutexUnlock(m); }
+    void freeMutex(Ptr m) { api::free(m); }
+
+  private:
+    int self_;
+    int nthreads_;
+};
+
+/** Reusable native barrier (central, condvar-based). */
+class NativeBarrier
+{
+  public:
+    explicit NativeBarrier(int participants) : total_(participants) {}
+
+    void
+    wait()
+    {
+        std::unique_lock lock(mutex_);
+        std::uint64_t gen = gen_;
+        if (++count_ == total_) {
+            count_ = 0;
+            ++gen_;
+            cv_.notify_all();
+        } else {
+            cv_.wait(lock, [&] { return gen_ != gen; });
+        }
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    int total_;
+    int count_ = 0;
+    std::uint64_t gen_ = 0;
+};
+
+/** Native environment: raw host memory, std::thread primitives. */
+class NativeEnv
+{
+  public:
+    static constexpr bool isSim = false;
+    using Ptr = std::uint64_t; ///< host address as integer
+
+    NativeEnv(int self, int nthreads) : self_(self), nthreads_(nthreads)
+    {}
+
+    int self() const { return self_; }
+    int nthreads() const { return nthreads_; }
+
+    /** Native build has no simulated clock. */
+    cycle_t cycleNow() const { return 0; }
+
+    Ptr
+    alloc(std::uint64_t bytes)
+    {
+        void* p = ::operator new(bytes);
+        std::memset(p, 0, bytes);
+        return reinterpret_cast<Ptr>(p);
+    }
+    void dealloc(Ptr p) { ::operator delete(reinterpret_cast<void*>(p)); }
+
+    template <typename T>
+    T
+    ld(Ptr base, std::uint64_t idx)
+    {
+        T v;
+        std::memcpy(&v, reinterpret_cast<const char*>(base) +
+                             idx * sizeof(T),
+                    sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    st(Ptr base, std::uint64_t idx, T v)
+    {
+        std::memcpy(reinterpret_cast<char*>(base) + idx * sizeof(T), &v,
+                    sizeof(T));
+    }
+
+    std::uint32_t
+    atomicAdd(Ptr base, std::uint64_t idx, std::int32_t d)
+    {
+        auto* p = reinterpret_cast<std::uint32_t*>(base + idx * 4);
+        return __atomic_fetch_add(p, static_cast<std::uint32_t>(d),
+                                  __ATOMIC_SEQ_CST);
+    }
+
+    void exec(InstrClass, std::uint64_t) {}
+    void branch(std::uint64_t, bool) {}
+
+    Ptr
+    makeBarrier(int participants)
+    {
+        return reinterpret_cast<Ptr>(new NativeBarrier(participants));
+    }
+    void
+    barrier(Ptr b)
+    {
+        reinterpret_cast<NativeBarrier*>(b)->wait();
+    }
+    void
+    freeBarrier(Ptr b)
+    {
+        delete reinterpret_cast<NativeBarrier*>(b);
+    }
+
+    Ptr makeMutex() { return reinterpret_cast<Ptr>(new std::mutex); }
+    void lock(Ptr m) { reinterpret_cast<std::mutex*>(m)->lock(); }
+    void unlock(Ptr m) { reinterpret_cast<std::mutex*>(m)->unlock(); }
+    void freeMutex(Ptr m) { delete reinterpret_cast<std::mutex*>(m); }
+
+  private:
+    int self_;
+    int nthreads_;
+};
+
+/** Per-thread argument block used by the spawn drivers. */
+template <typename Shared>
+struct ThreadArg
+{
+    Shared* shared = nullptr;
+    int self = 0;
+    int nthreads = 0;
+};
+
+/** Simulated-thread trampoline (function-pointer friendly). */
+template <typename Shared, void (*FN)(SimEnv&, Shared&)>
+void
+simThreadTramp(void* p)
+{
+    auto* a = static_cast<ThreadArg<Shared>*>(p);
+    SimEnv env(a->self, a->nthreads);
+    FN(env, *a->shared);
+}
+
+/**
+ * Run FN on @p nthreads simulated threads (the calling thread — the
+ * application main on tile 0 — participates as thread 0).
+ */
+template <typename Shared, void (*FN)(SimEnv&, Shared&)>
+void
+runThreads(SimEnv&, int nthreads, Shared& sh)
+{
+    std::vector<ThreadArg<Shared>> args(nthreads);
+    std::vector<tile_id_t> tids;
+    for (int i = 1; i < nthreads; ++i) {
+        args[i] = ThreadArg<Shared>{&sh, i, nthreads};
+        tids.push_back(
+            api::threadSpawn(&simThreadTramp<Shared, FN>, &args[i]));
+    }
+    SimEnv env(0, nthreads);
+    FN(env, sh);
+    for (tile_id_t t : tids)
+        api::threadJoin(t);
+}
+
+/** Native counterpart of runThreads(). */
+template <typename Shared, void (*FN)(NativeEnv&, Shared&)>
+void
+runThreads(NativeEnv&, int nthreads, Shared& sh)
+{
+    std::vector<std::thread> threads;
+    for (int i = 1; i < nthreads; ++i) {
+        threads.emplace_back([&sh, i, nthreads] {
+            NativeEnv env(i, nthreads);
+            FN(env, sh);
+        });
+    }
+    NativeEnv env(0, nthreads);
+    FN(env, sh);
+    for (auto& t : threads)
+        t.join();
+}
+
+/**
+ * @name Parallel-region reporting
+ * A workload may record the simulated span of its parallel region
+ * (excluding serial setup/checksum) so harnesses can study scaling
+ * without Amdahl pollution from the measurement scaffolding.
+ * Thread-hostile by design: set once by thread 0 at the end of a run.
+ * @{
+ */
+void setLastRegionCycles(cycle_t cycles);
+cycle_t lastRegionCycles();
+/** @} */
+
+/** Deterministic input generator shared by both environments. */
+inline double
+inputValue(std::uint64_t seed, std::uint64_t index)
+{
+    std::uint64_t z = seed + (index + 1) * 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    // Map to [0, 1) with a modest mantissa so sums stay exact-ish.
+    return static_cast<double>(z >> 40) * 0x1.0p-24;
+}
+
+} // namespace workloads
+} // namespace graphite

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Parallel 1D complex FFT (SPLASH-2 "fft" analogue).
+ *
+ * Iterative radix-2 Cooley-Tukey over a contiguous complex array
+ * (re/im interleaved). Threads split the butterflies of each stage and
+ * barrier between stages; later stages touch widely separated elements,
+ * producing heavy read/write sharing — the paper's worst scaler
+ * (high communication-to-computation ratio) and a "perfect spatial
+ * locality" case for the miss-rate study (contiguous data, §4.4).
+ */
+
+#pragma once
+
+#include <cmath>
+
+#include "workloads/env.h"
+
+namespace graphite
+{
+namespace workloads
+{
+
+template <typename Env>
+struct FftShared
+{
+    typename Env::Ptr data; ///< 2*n doubles, re/im interleaved
+    typename Env::Ptr bar;
+    int n = 0;
+    int nthreads = 0;
+    std::uint64_t seed = 0;
+};
+
+template <typename Env>
+void
+fftThread(Env& env, FftShared<Env>& sh)
+{
+    const int n = sh.n;
+
+    // Parallel init in bit-reversed order (the permutation is a
+    // bijection, so per-thread source ranges write disjoint targets).
+    {
+        const int lo = n * env.self() / sh.nthreads;
+        const int hi = n * (env.self() + 1) / sh.nthreads;
+        for (int i = lo; i < hi; ++i) {
+            int rev = 0;
+            for (int b = 1, x = i; b < n; b <<= 1, x >>= 1)
+                rev = (rev << 1) | (x & 1);
+            env.template st<double>(sh.data, 2 * rev,
+                                    inputValue(sh.seed, i));
+            env.template st<double>(sh.data, 2 * rev + 1,
+                                    inputValue(sh.seed ^ 0x5555, i));
+            env.exec(InstrClass::IntAlu, 8);
+        }
+    }
+    env.barrier(sh.bar);
+
+    for (int len = 2; len <= n; len <<= 1) {
+        const int half = len / 2;
+        const std::uint64_t pairs = static_cast<std::uint64_t>(n) / 2;
+        const std::uint64_t lo = pairs * env.self() / sh.nthreads;
+        const std::uint64_t hi = pairs * (env.self() + 1) / sh.nthreads;
+        const double ang_unit = -2.0 * M_PI / len;
+
+        for (std::uint64_t pr = lo; pr < hi; ++pr) {
+            const std::uint64_t block = pr / half;
+            const std::uint64_t j = pr % half;
+            const std::uint64_t i1 = block * len + j;
+            const std::uint64_t i2 = i1 + half;
+
+            const double wr = std::cos(ang_unit * static_cast<double>(j));
+            const double wi = std::sin(ang_unit * static_cast<double>(j));
+
+            double ar = env.template ld<double>(sh.data, 2 * i1);
+            double ai = env.template ld<double>(sh.data, 2 * i1 + 1);
+            double br = env.template ld<double>(sh.data, 2 * i2);
+            double bi = env.template ld<double>(sh.data, 2 * i2 + 1);
+
+            const double tr = br * wr - bi * wi;
+            const double ti = br * wi + bi * wr;
+            env.template st<double>(sh.data, 2 * i1, ar + tr);
+            env.template st<double>(sh.data, 2 * i1 + 1, ai + ti);
+            env.template st<double>(sh.data, 2 * i2, ar - tr);
+            env.template st<double>(sh.data, 2 * i2 + 1, ai - ti);
+
+            env.exec(InstrClass::FpMul, 6);
+            env.exec(InstrClass::FpAdd, 6);
+            env.exec(InstrClass::IntAlu, 10);
+            env.branch(2001, pr + 1 < hi);
+        }
+        env.barrier(sh.bar);
+    }
+}
+
+template <typename Env>
+double
+runFft(const WorkloadParams& p)
+{
+    // Round the requested size up to a power of two.
+    int n = 16;
+    while (n < p.size)
+        n <<= 1;
+
+    Env main(0, p.threads);
+    FftShared<Env> sh;
+    sh.n = n;
+    sh.nthreads = p.threads;
+    sh.seed = p.seed;
+    sh.data = main.alloc(2ull * n * sizeof(double));
+    sh.bar = main.makeBarrier(p.threads);
+
+    runThreads<FftShared<Env>, &fftThread<Env>>(main, p.threads, sh);
+
+    double checksum = 0;
+    for (int i = 0; i < 2 * n; ++i)
+        checksum += main.template ld<double>(sh.data, i);
+
+    main.dealloc(sh.data);
+    main.freeBarrier(sh.bar);
+    return checksum;
+}
+
+} // namespace workloads
+} // namespace graphite

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * LU factorization (Gaussian elimination) — SPLASH-2 "lu_cont" and
+ * "lu_non_cont" analogues.
+ *
+ * Column-oriented elimination without pivoting on a diagonally dominant
+ * matrix. The two variants differ only in column ownership:
+ *
+ *  - contiguous:     thread owns a contiguous column block — a cache
+ *                    line (row-major storage) mostly stays within one
+ *                    owner; "perfect spatial locality" (§4.4).
+ *  - non-contiguous: column-cyclic ownership — adjacent elements of a
+ *                    row belong to different threads, so a single line
+ *                    interleaves many writers and false sharing grows
+ *                    with line size.
+ */
+
+#pragma once
+
+#include "workloads/env.h"
+
+namespace graphite
+{
+namespace workloads
+{
+
+template <typename Env>
+struct LuShared
+{
+    typename Env::Ptr a; ///< n*n doubles, row-major
+    typename Env::Ptr bar;
+    int n = 0;
+    int nthreads = 0;
+    bool contiguous = true;
+    std::uint64_t seed = 0;
+};
+
+template <typename Env>
+void
+luThread(Env& env, LuShared<Env>& sh)
+{
+    const int n = sh.n;
+    const int t = env.self();
+    const int T = sh.nthreads;
+
+    // Contiguous: block-cyclic over 8-column groups (a 64 B line of a
+    // row stays within one owner). Non-contiguous: column-cyclic, so a
+    // line interleaves all owners.
+    auto owns = [&](int col) {
+        if (sh.contiguous)
+            return (col / 8) % T == t;
+        return col % T == t;
+    };
+
+    // Parallel init of a diagonally dominant matrix, by row range.
+    for (int i = n * t / T; i < n * (t + 1) / T; ++i) {
+        for (int j = 0; j < n; ++j) {
+            double v = inputValue(sh.seed,
+                                  static_cast<std::uint64_t>(i) * n + j);
+            if (i == j)
+                v += static_cast<double>(n);
+            env.template st<double>(
+                sh.a, static_cast<std::uint64_t>(i) * n + j, v);
+        }
+        env.exec(InstrClass::IntAlu, 4 * n);
+    }
+    env.barrier(sh.bar);
+    for (int k = 0; k < n - 1; ++k) {
+        const double pivot =
+            env.template ld<double>(sh.a,
+                                    static_cast<std::uint64_t>(k) * n + k);
+        // Update trailing columns this thread owns.
+        for (int j = k + 1; j < n; ++j) {
+            if (!owns(j))
+                continue;
+            const double akj = env.template ld<double>(
+                sh.a, static_cast<std::uint64_t>(k) * n + j);
+            for (int i = k + 1; i < n; ++i) {
+                const double aik = env.template ld<double>(
+                    sh.a, static_cast<std::uint64_t>(i) * n + k);
+                const double aij = env.template ld<double>(
+                    sh.a, static_cast<std::uint64_t>(i) * n + j);
+                env.template st<double>(
+                    sh.a, static_cast<std::uint64_t>(i) * n + j,
+                    aij - aik / pivot * akj);
+            }
+            env.exec(InstrClass::FpMul, 2 * (n - k - 1));
+            env.exec(InstrClass::FpAdd, n - k - 1);
+            env.exec(InstrClass::IntAlu, 5 * (n - k - 1));
+            env.branch(3001, j + 1 < n);
+        }
+        env.barrier(sh.bar);
+    }
+}
+
+template <typename Env>
+double
+runLuImpl(const WorkloadParams& p, bool contiguous)
+{
+    Env main(0, p.threads);
+    LuShared<Env> sh;
+    sh.n = p.size;
+    sh.nthreads = p.threads;
+    sh.contiguous = contiguous;
+    sh.seed = p.seed;
+    const std::uint64_t cells = static_cast<std::uint64_t>(sh.n) * sh.n;
+    sh.a = main.alloc(cells * sizeof(double));
+    sh.bar = main.makeBarrier(p.threads);
+
+    runThreads<LuShared<Env>, &luThread<Env>>(main, p.threads, sh);
+
+    double checksum = 0;
+    for (std::uint64_t i = 0; i < cells; ++i)
+        checksum += main.template ld<double>(sh.a, i);
+
+    main.dealloc(sh.a);
+    main.freeBarrier(sh.bar);
+    return checksum;
+}
+
+template <typename Env>
+double
+runLuCont(const WorkloadParams& p)
+{
+    return runLuImpl<Env>(p, true);
+}
+
+template <typename Env>
+double
+runLuNonCont(const WorkloadParams& p)
+{
+    return runLuImpl<Env>(p, false);
+}
+
+} // namespace workloads
+} // namespace graphite

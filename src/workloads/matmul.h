@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Dense matrix multiply C = A * B (the paper's 1024-thread scaling
+ * kernel, Figure 5).
+ *
+ * 1D partition of C's cells into contiguous chunks so the kernel scales
+ * to thread counts larger than the matrix dimension. High
+ * compute-to-communication ratio; read-sharing of A and B rows/columns.
+ */
+
+#pragma once
+
+#include "workloads/env.h"
+
+namespace graphite
+{
+namespace workloads
+{
+
+template <typename Env>
+struct MatmulShared
+{
+    typename Env::Ptr a, b, c;
+    typename Env::Ptr bar;
+    int n = 0;
+    int nthreads = 0;
+    std::uint64_t seed = 0;
+};
+
+template <typename Env>
+void
+matmulThread(Env& env, MatmulShared<Env>& sh)
+{
+    const int n = sh.n;
+    const std::uint64_t cells = static_cast<std::uint64_t>(n) * n;
+    const std::uint64_t lo = cells * env.self() / sh.nthreads;
+    const std::uint64_t hi = cells * (env.self() + 1) / sh.nthreads;
+
+    // Parallel initialization of the owned range (SPLASH style).
+    for (std::uint64_t i = lo; i < hi; ++i) {
+        env.template st<double>(sh.a, i, inputValue(sh.seed, i));
+        env.template st<double>(sh.b, i,
+                                inputValue(sh.seed ^ 0xabcd, i));
+        env.exec(InstrClass::IntAlu, 4);
+    }
+    env.barrier(sh.bar);
+
+    for (std::uint64_t cell = lo; cell < hi; ++cell) {
+        const std::uint64_t i = cell / n;
+        const std::uint64_t j = cell % n;
+        double acc = 0;
+        for (int k = 0; k < n; ++k) {
+            double av = env.template ld<double>(sh.a, i * n + k);
+            double bv = env.template ld<double>(sh.b,
+                                                static_cast<std::uint64_t>(
+                                                    k) * n + j);
+            acc += av * bv;
+        }
+        // Realistic mix: fused multiply-add plus index arithmetic.
+        env.exec(InstrClass::FpMul, n);
+        env.exec(InstrClass::FpAdd, n);
+        env.exec(InstrClass::IntAlu, 4 * n);
+        env.branch(1001, cell + 1 < hi);
+        env.template st<double>(sh.c, cell, acc);
+    }
+    env.barrier(sh.bar);
+}
+
+template <typename Env>
+double
+runMatmul(const WorkloadParams& p)
+{
+    Env main(0, p.threads);
+    MatmulShared<Env> sh;
+    sh.n = p.size;
+    sh.nthreads = p.threads;
+    const std::uint64_t cells = static_cast<std::uint64_t>(sh.n) * sh.n;
+    sh.seed = p.seed;
+    sh.a = main.alloc(cells * sizeof(double));
+    sh.b = main.alloc(cells * sizeof(double));
+    sh.c = main.alloc(cells * sizeof(double));
+    sh.bar = main.makeBarrier(p.threads);
+
+    runThreads<MatmulShared<Env>, &matmulThread<Env>>(main, p.threads,
+                                                      sh);
+
+    double checksum = 0;
+    for (std::uint64_t i = 0; i < cells; ++i)
+        checksum += main.template ld<double>(sh.c, i);
+
+    main.dealloc(sh.a);
+    main.dealloc(sh.b);
+    main.dealloc(sh.c);
+    main.freeBarrier(sh.bar);
+    return checksum;
+}
+
+} // namespace workloads
+} // namespace graphite

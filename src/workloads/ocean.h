@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Grid relaxation (SPLASH-2 "ocean" analogue, contiguous and
+ * non-contiguous partitions).
+ *
+ * Jacobi iteration on a g×g grid with two buffers. The variants differ
+ * in row ownership, mirroring SPLASH's 4D-array ("contiguous partitions")
+ * vs 2D-array ("non-contiguous") organizations:
+ *
+ *  - contiguous:     threads own contiguous row bands; sharing only at
+ *                    band boundary rows.
+ *  - non-contiguous: row-cyclic ownership; every row's neighbors belong
+ *                    to other threads, multiplying coherence traffic and
+ *                    line-granularity effects.
+ */
+
+#pragma once
+
+#include "workloads/env.h"
+
+namespace graphite
+{
+namespace workloads
+{
+
+template <typename Env>
+struct OceanShared
+{
+    typename Env::Ptr a, b; ///< g*g doubles each
+    typename Env::Ptr bar;
+    int g = 0;
+    int iters = 1;
+    int nthreads = 0;
+    bool contiguous = true;
+    std::uint64_t seed = 0;
+};
+
+template <typename Env>
+void
+oceanThread(Env& env, OceanShared<Env>& sh)
+{
+    const int g = sh.g;
+    const int t = env.self();
+    const int T = sh.nthreads;
+
+    auto owns = [&](int row) {
+        if (sh.contiguous)
+            return row * T / g == t;
+        return row % T == t;
+    };
+
+    typename Env::Ptr src = sh.a;
+    typename Env::Ptr dst = sh.b;
+
+    // Parallel grid init by row range.
+    for (int i = g * t / T; i < g * (t + 1) / T; ++i) {
+        for (int j = 0; j < g; ++j) {
+            std::uint64_t idx = static_cast<std::uint64_t>(i) * g + j;
+            double v = inputValue(sh.seed, idx);
+            env.template st<double>(sh.a, idx, v);
+            env.template st<double>(sh.b, idx, v);
+        }
+        env.exec(InstrClass::IntAlu, 4 * g);
+    }
+    env.barrier(sh.bar);
+    for (int it = 0; it < sh.iters; ++it) {
+        for (int i = 1; i < g - 1; ++i) {
+            if (!owns(i))
+                continue;
+            for (int j = 1; j < g - 1; ++j) {
+                const std::uint64_t idx =
+                    static_cast<std::uint64_t>(i) * g + j;
+                double up = env.template ld<double>(src, idx - g);
+                double down = env.template ld<double>(src, idx + g);
+                double left = env.template ld<double>(src, idx - 1);
+                double right = env.template ld<double>(src, idx + 1);
+                env.template st<double>(dst, idx,
+                                        0.25 * (up + down + left +
+                                                right));
+            }
+            env.exec(InstrClass::FpAdd, 3 * (g - 2));
+            env.exec(InstrClass::FpMul, g - 2);
+            env.exec(InstrClass::IntAlu, 6 * (g - 2));
+            env.branch(5001, i + 1 < g - 1);
+        }
+        env.barrier(sh.bar);
+        std::swap(src, dst);
+    }
+}
+
+template <typename Env>
+double
+runOceanImpl(const WorkloadParams& p, bool contiguous)
+{
+    Env main(0, p.threads);
+    OceanShared<Env> sh;
+    sh.g = p.size;
+    sh.iters = std::max(1, p.iters);
+    sh.nthreads = p.threads;
+    sh.contiguous = contiguous;
+    const std::uint64_t cells = static_cast<std::uint64_t>(sh.g) * sh.g;
+    sh.seed = p.seed;
+    sh.a = main.alloc(cells * sizeof(double));
+    sh.b = main.alloc(cells * sizeof(double));
+    sh.bar = main.makeBarrier(p.threads);
+
+    runThreads<OceanShared<Env>, &oceanThread<Env>>(main, p.threads, sh);
+
+    typename Env::Ptr final_arr = (sh.iters % 2 == 0) ? sh.a : sh.b;
+    double checksum = 0;
+    for (std::uint64_t i = 0; i < cells; ++i)
+        checksum += main.template ld<double>(final_arr, i);
+
+    main.dealloc(sh.a);
+    main.dealloc(sh.b);
+    main.freeBarrier(sh.bar);
+    return checksum;
+}
+
+template <typename Env>
+double
+runOceanCont(const WorkloadParams& p)
+{
+    return runOceanImpl<Env>(p, true);
+}
+
+template <typename Env>
+double
+runOceanNonCont(const WorkloadParams& p)
+{
+    return runOceanImpl<Env>(p, false);
+}
+
+} // namespace workloads
+} // namespace graphite

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Parallel LSD radix sort (SPLASH-2 "radix" analogue).
+ *
+ * Per digit pass: threads histogram their contiguous key chunk into
+ * private counts, thread 0 computes global rank bases, then every thread
+ * scatters its keys to the output array. The scatter interleaves writes
+ * from all threads at fine granularity in the shared output array — the
+ * source of the false-sharing blow-up at 256-byte lines the paper calls
+ * out in §4.4 ("the granularity of interleaving between the writes of
+ * multiple processors to the same global array becomes less than that of
+ * a cache line").
+ */
+
+#pragma once
+
+#include "workloads/env.h"
+
+namespace graphite
+{
+namespace workloads
+{
+
+template <typename Env>
+struct RadixShared
+{
+    typename Env::Ptr keys;   ///< n uint32
+    typename Env::Ptr out;    ///< n uint32
+    typename Env::Ptr hist;   ///< nthreads * RADIX uint32
+    typename Env::Ptr bar;
+    int n = 0;
+    int nthreads = 0;
+    int passes = 2;
+    std::uint64_t seed = 0;
+
+    static constexpr int RADIX_BITS = 8;
+    static constexpr int RADIX = 1 << RADIX_BITS;
+};
+
+template <typename Env>
+void
+radixThread(Env& env, RadixShared<Env>& sh)
+{
+    using S = RadixShared<Env>;
+    const int t = env.self();
+    const std::uint64_t lo =
+        static_cast<std::uint64_t>(sh.n) * t / sh.nthreads;
+    const std::uint64_t hi =
+        static_cast<std::uint64_t>(sh.n) * (t + 1) / sh.nthreads;
+    const std::uint64_t my_hist =
+        static_cast<std::uint64_t>(t) * S::RADIX;
+
+    typename Env::Ptr src = sh.keys;
+    typename Env::Ptr dst = sh.out;
+
+    // Parallel key generation over the owned chunk.
+    for (std::uint64_t i = lo; i < hi; ++i) {
+        auto v = static_cast<std::uint32_t>(
+            inputValue(sh.seed, i) * 65536.0 * 65536.0);
+        env.template st<std::uint32_t>(src, i, v);
+        env.exec(InstrClass::IntAlu, 6);
+    }
+    env.barrier(sh.bar);
+    for (int pass = 0; pass < sh.passes; ++pass) {
+        const int shift = pass * S::RADIX_BITS;
+
+        // Phase 1: private histogram of the owned chunk.
+        for (int d = 0; d < S::RADIX; ++d)
+            env.template st<std::uint32_t>(sh.hist, my_hist + d, 0);
+        for (std::uint64_t i = lo; i < hi; ++i) {
+            std::uint32_t key = env.template ld<std::uint32_t>(src, i);
+            std::uint32_t d = (key >> shift) & (S::RADIX - 1);
+            std::uint32_t c =
+                env.template ld<std::uint32_t>(sh.hist, my_hist + d);
+            env.template st<std::uint32_t>(sh.hist, my_hist + d, c + 1);
+            env.exec(InstrClass::IntAlu, 3);
+        }
+        env.barrier(sh.bar);
+
+        // Phase 2: parallel ranking (as in SPLASH radix). 2a — each
+        // digit's owner converts per-thread counts into within-digit
+        // bases and records the digit total; 2b — thread 0 prefixes the
+        // digit totals (RADIX ops, cheap); 2c — owners add the digit
+        // base back into the thread bases.
+        const std::uint64_t totals_at =
+            static_cast<std::uint64_t>(sh.nthreads) * S::RADIX;
+        const std::uint64_t bases_at = totals_at + S::RADIX;
+        const int dlo = S::RADIX * t / sh.nthreads;
+        const int dhi = S::RADIX * (t + 1) / sh.nthreads;
+        for (int d = dlo; d < dhi; ++d) {
+            std::uint32_t base = 0;
+            for (int tt = 0; tt < sh.nthreads; ++tt) {
+                std::uint64_t idx =
+                    static_cast<std::uint64_t>(tt) * S::RADIX + d;
+                std::uint32_t c =
+                    env.template ld<std::uint32_t>(sh.hist, idx);
+                env.template st<std::uint32_t>(sh.hist, idx, base);
+                base += c;
+                env.exec(InstrClass::IntAlu, 2);
+            }
+            env.template st<std::uint32_t>(sh.hist, totals_at + d, base);
+        }
+        env.barrier(sh.bar);
+        if (t == 0) {
+            std::uint32_t run = 0;
+            for (int d = 0; d < S::RADIX; ++d) {
+                std::uint32_t c = env.template ld<std::uint32_t>(
+                    sh.hist, totals_at + d);
+                env.template st<std::uint32_t>(sh.hist, bases_at + d,
+                                               run);
+                run += c;
+                env.exec(InstrClass::IntAlu, 2);
+            }
+        }
+        env.barrier(sh.bar);
+        for (int d = dlo; d < dhi; ++d) {
+            std::uint32_t dbase = env.template ld<std::uint32_t>(
+                sh.hist, bases_at + d);
+            for (int tt = 0; tt < sh.nthreads; ++tt) {
+                std::uint64_t idx =
+                    static_cast<std::uint64_t>(tt) * S::RADIX + d;
+                std::uint32_t b =
+                    env.template ld<std::uint32_t>(sh.hist, idx);
+                env.template st<std::uint32_t>(sh.hist, idx, b + dbase);
+                env.exec(InstrClass::IntAlu, 2);
+            }
+        }
+        env.barrier(sh.bar);
+
+        // Phase 3: scatter owned keys to globally ranked positions.
+        for (std::uint64_t i = lo; i < hi; ++i) {
+            std::uint32_t key = env.template ld<std::uint32_t>(src, i);
+            std::uint32_t d = (key >> shift) & (S::RADIX - 1);
+            std::uint32_t pos =
+                env.template ld<std::uint32_t>(sh.hist, my_hist + d);
+            env.template st<std::uint32_t>(sh.hist, my_hist + d,
+                                           pos + 1);
+            env.template st<std::uint32_t>(dst, pos, key);
+            env.exec(InstrClass::IntAlu, 4);
+            env.branch(4001, i + 1 < hi);
+        }
+        env.barrier(sh.bar);
+
+        std::swap(src, dst);
+    }
+}
+
+template <typename Env>
+double
+runRadix(const WorkloadParams& p)
+{
+    using S = RadixShared<Env>;
+    Env main(0, p.threads);
+    S sh;
+    sh.n = p.size;
+    sh.nthreads = p.threads;
+    sh.passes = std::max(1, p.iters);
+    sh.keys = main.alloc(static_cast<std::uint64_t>(sh.n) * 4);
+    sh.out = main.alloc(static_cast<std::uint64_t>(sh.n) * 4);
+    // Per-thread histograms + digit totals + digit bases.
+    sh.hist = main.alloc((static_cast<std::uint64_t>(p.threads) + 2) *
+                         S::RADIX * 4);
+    sh.seed = p.seed;
+    sh.bar = main.makeBarrier(p.threads);
+
+    runThreads<S, &radixThread<Env>>(main, p.threads, sh);
+
+    // Checksum the final array: position-weighted so ordering matters,
+    // masked to the sorted low bits so it is deterministic for any pass
+    // count.
+    typename Env::Ptr final_arr =
+        (sh.passes % 2 == 0) ? sh.keys : sh.out;
+    const std::uint32_t mask =
+        sh.passes >= 4 ? 0xFFFFFFFFu
+                       : ((1u << (sh.passes * S::RADIX_BITS)) - 1);
+    double checksum = 0;
+    for (int i = 0; i < sh.n; ++i) {
+        std::uint32_t v =
+            main.template ld<std::uint32_t>(final_arr, i) & mask;
+        checksum += static_cast<double>(v) * ((i % 7) + 1);
+    }
+
+    main.dealloc(sh.keys);
+    main.dealloc(sh.out);
+    main.dealloc(sh.hist);
+    main.freeBarrier(sh.bar);
+    return checksum;
+}
+
+} // namespace workloads
+} // namespace graphite

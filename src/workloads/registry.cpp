@@ -1,0 +1,135 @@
+#include "workloads/registry.h"
+
+#include <atomic>
+
+#include "common/log.h"
+#include "core/simulator.h"
+#include "workloads/blackscholes.h"
+#include "workloads/cholesky.h"
+#include "workloads/fft.h"
+#include "workloads/lu.h"
+#include "workloads/matmul.h"
+#include "workloads/nbody.h"
+#include "workloads/ocean.h"
+#include "workloads/radix.h"
+#include "workloads/water.h"
+
+namespace graphite
+{
+namespace workloads
+{
+
+namespace
+{
+std::atomic<cycle_t> g_regionCycles{0};
+}
+
+void
+setLastRegionCycles(cycle_t cycles)
+{
+    g_regionCycles.store(cycles);
+}
+
+cycle_t
+lastRegionCycles()
+{
+    return g_regionCycles.load();
+}
+
+namespace
+{
+
+/** Default sizes chosen so every simulated run finishes in seconds. */
+WorkloadParams
+params(int size, int iters)
+{
+    WorkloadParams p;
+    p.size = size;
+    p.iters = iters;
+    return p;
+}
+
+} // namespace
+
+const std::vector<WorkloadInfo>&
+registry()
+{
+    static const std::vector<WorkloadInfo> table = {
+        {"cholesky", &runCholesky<NativeEnv>, &runCholesky<SimEnv>,
+         params(96, 1)},
+        {"fft", &runFft<NativeEnv>, &runFft<SimEnv>, params(2048, 1)},
+        {"fmm", &runFmm<NativeEnv>, &runFmm<SimEnv>, params(192, 2)},
+        {"lu_cont", &runLuCont<NativeEnv>, &runLuCont<SimEnv>,
+         params(96, 1)},
+        {"lu_non_cont", &runLuNonCont<NativeEnv>,
+         &runLuNonCont<SimEnv>, params(96, 1)},
+        {"ocean_cont", &runOceanCont<NativeEnv>, &runOceanCont<SimEnv>,
+         params(96, 4)},
+        {"ocean_non_cont", &runOceanNonCont<NativeEnv>,
+         &runOceanNonCont<SimEnv>, params(96, 4)},
+        {"radix", &runRadix<NativeEnv>, &runRadix<SimEnv>,
+         params(16384, 2)},
+        {"water_nsquared", &runWaterNsquared<NativeEnv>,
+         &runWaterNsquared<SimEnv>, params(96, 2)},
+        {"water_spatial", &runWaterSpatial<NativeEnv>,
+         &runWaterSpatial<SimEnv>, params(256, 2)},
+        {"barnes", &runBarnes<NativeEnv>, &runBarnes<SimEnv>,
+         params(128, 2)},
+        {"matmul", &runMatmul<NativeEnv>, &runMatmul<SimEnv>,
+         params(48, 1)},
+        {"blackscholes", &runBlackscholes<NativeEnv>,
+         &runBlackscholes<SimEnv>, params(1024, 2)},
+    };
+    return table;
+}
+
+const WorkloadInfo&
+findWorkload(const std::string& name)
+{
+    for (const WorkloadInfo& w : registry()) {
+        if (w.name == name)
+            return w;
+    }
+    fatal("unknown workload '{}'", name);
+}
+
+namespace
+{
+
+struct SimLaunch
+{
+    const WorkloadInfo* info;
+    const WorkloadParams* params;
+    double checksum;
+};
+
+void
+simEntry(void* arg)
+{
+    auto* launch = static_cast<SimLaunch*>(arg);
+    launch->checksum = launch->info->runSimBody(*launch->params);
+}
+
+} // namespace
+
+SimRunResult
+runSim(Simulator& sim, const WorkloadInfo& w, const WorkloadParams& p)
+{
+    if (p.threads > sim.totalTiles())
+        fatal("workload '{}' wants {} threads but the target has only "
+              "{} tiles",
+              w.name, p.threads, sim.totalTiles());
+    setLastRegionCycles(0);
+    SimLaunch launch{&w, &p, 0.0};
+    SimulationSummary s = sim.run(&simEntry, &launch);
+    SimRunResult out;
+    out.checksum = launch.checksum;
+    out.simulatedCycles = s.simulatedCycles;
+    out.regionCycles = lastRegionCycles();
+    out.wallSeconds = s.wallSeconds;
+    out.totalInstructions = s.totalInstructions;
+    return out;
+}
+
+} // namespace workloads
+} // namespace graphite

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Workload registry: name -> native/simulated runners, plus the
+ * convenience launcher that wraps Simulator::run().
+ *
+ * The suite mirrors the paper's evaluation: the ten SPLASH-2 kernels of
+ * Table 2 / Figure 4, the 1024-thread matrix multiply of Figure 5, and
+ * PARSEC blackscholes of Figure 9 (see DESIGN.md for the substitution
+ * notes on each).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/env.h"
+
+namespace graphite
+{
+
+class Simulator;
+struct SimulationSummary;
+
+namespace workloads
+{
+
+/** One registered workload. */
+struct WorkloadInfo
+{
+    std::string name;
+    /** Run natively with std::threads; @return the checksum. */
+    double (*runNative)(const WorkloadParams&);
+    /**
+     * Run against the target API; must execute on an application
+     * thread inside a simulation (use runSim() normally).
+     */
+    double (*runSimBody)(const WorkloadParams&);
+    /** Default parameters sized for fast benchmark runs. */
+    WorkloadParams defaults;
+};
+
+/** All registered workloads (fixed order, paper order). */
+const std::vector<WorkloadInfo>& registry();
+
+/** Lookup by name; fatal on unknown name (user error). */
+const WorkloadInfo& findWorkload(const std::string& name);
+
+/** Result of a simulated workload run. */
+struct SimRunResult
+{
+    double checksum = 0;
+    cycle_t simulatedCycles = 0;
+    /** Simulated span of the parallel region, when the workload reports
+     *  one via setLastRegionCycles(); 0 otherwise. */
+    cycle_t regionCycles = 0;
+    double wallSeconds = 0;
+    stat_t totalInstructions = 0;
+};
+
+/**
+ * Launch @p w inside @p sim (as the application main on tile 0) and
+ * collect results.
+ */
+SimRunResult runSim(Simulator& sim, const WorkloadInfo& w,
+                    const WorkloadParams& p);
+
+} // namespace workloads
+} // namespace graphite

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Molecular-dynamics kernels (SPLASH-2 "water_nsquared" and
+ * "water_spatial" analogues).
+ *
+ * Molecules are fixed-size records in one contiguous array; each thread
+ * *owns* a contiguous range of records — it writes only its own records
+ * but reads others' positions, the ownership pattern the paper's §4.4
+ * analysis relies on ("true sharing miss rates should decrease and false
+ * sharing misses increase with increasing cache line sizes").
+ *
+ *  - nsquared: every owned molecule interacts with all others (O(m²)).
+ *  - spatial:  a uniform cell grid limits interactions to neighbor
+ *              cells; cell lists are rebuilt by thread 0 each step.
+ */
+
+#pragma once
+
+#include <cmath>
+
+#include "workloads/env.h"
+
+namespace graphite
+{
+namespace workloads
+{
+
+/** Record layout: x y z vx vy vz fx fy fz pad (10 doubles = 80 B). */
+inline constexpr std::uint64_t WATER_REC_DOUBLES = 10;
+
+template <typename Env>
+struct WaterShared
+{
+    typename Env::Ptr mol;   ///< m * WATER_REC_DOUBLES doubles
+    typename Env::Ptr cells; ///< spatial: cell lists (heads + next)
+    typename Env::Ptr bar;
+    int m = 0;
+    int iters = 1;
+    int nthreads = 0;
+    bool spatial = false;
+    int grid = 4; ///< spatial: grid dimension per axis (2D)
+    std::uint64_t seed = 0;
+};
+
+namespace water_detail
+{
+
+/** Pair force on molecule i from j (simple soft-sphere). */
+inline void
+pairForce(double xi, double yi, double xj, double yj, double& fx,
+          double& fy)
+{
+    double dx = xi - xj;
+    double dy = yi - yj;
+    double r2 = dx * dx + dy * dy + 1e-4;
+    double inv = 1.0 / (r2 * std::sqrt(r2));
+    fx += dx * inv;
+    fy += dy * inv;
+}
+
+} // namespace water_detail
+
+template <typename Env>
+void
+waterThread(Env& env, WaterShared<Env>& sh)
+{
+    const int m = sh.m;
+    const int t = env.self();
+    const int lo = m * t / sh.nthreads;
+    const int hi = m * (t + 1) / sh.nthreads;
+    const int G = sh.grid;
+
+    // Parallel init of owned molecule records.
+    for (int i = lo; i < hi; ++i) {
+        std::uint64_t b =
+            static_cast<std::uint64_t>(i) * WATER_REC_DOUBLES;
+        env.template st<double>(sh.mol, b, inputValue(sh.seed, 2 * i));
+        env.template st<double>(sh.mol, b + 1,
+                                inputValue(sh.seed, 2 * i + 1));
+        for (int k = 2; k < 10; ++k)
+            env.template st<double>(sh.mol, b + k, 0.0);
+        env.exec(InstrClass::IntAlu, 12);
+    }
+    env.barrier(sh.bar);
+    for (int it = 0; it < sh.iters; ++it) {
+        if (sh.spatial && t == 0) {
+            // Rebuild cell lists: heads[G*G], next[m].
+            for (int c = 0; c < G * G; ++c)
+                env.template st<std::int32_t>(sh.cells, c, -1);
+            for (int i = 0; i < m; ++i) {
+                std::uint64_t base =
+                    static_cast<std::uint64_t>(i) * WATER_REC_DOUBLES;
+                double x = env.template ld<double>(sh.mol, base);
+                double y = env.template ld<double>(sh.mol, base + 1);
+                int cx = std::min(G - 1, std::max(0,
+                            static_cast<int>(x * G)));
+                int cy = std::min(G - 1, std::max(0,
+                            static_cast<int>(y * G)));
+                int cell = cy * G + cx;
+                std::int32_t head =
+                    env.template ld<std::int32_t>(sh.cells, cell);
+                env.template st<std::int32_t>(
+                    sh.cells, static_cast<std::uint64_t>(G) * G + i,
+                    head);
+                env.template st<std::int32_t>(sh.cells, cell, i);
+                env.exec(InstrClass::IntAlu, 6);
+            }
+        }
+        if (sh.spatial)
+            env.barrier(sh.bar);
+
+        // Force computation on owned molecules.
+        for (int i = lo; i < hi; ++i) {
+            std::uint64_t bi =
+                static_cast<std::uint64_t>(i) * WATER_REC_DOUBLES;
+            double xi = env.template ld<double>(sh.mol, bi);
+            double yi = env.template ld<double>(sh.mol, bi + 1);
+            double fx = 0, fy = 0;
+
+            if (!sh.spatial) {
+                for (int j = 0; j < m; ++j) {
+                    if (j == i)
+                        continue;
+                    std::uint64_t bj =
+                        static_cast<std::uint64_t>(j) *
+                        WATER_REC_DOUBLES;
+                    double xj = env.template ld<double>(sh.mol, bj);
+                    double yj = env.template ld<double>(sh.mol, bj + 1);
+                    water_detail::pairForce(xi, yi, xj, yj, fx, fy);
+                }
+                env.exec(InstrClass::FpMul, 8 * (m - 1));
+                env.exec(InstrClass::FpDiv, m - 1);
+                env.exec(InstrClass::IntAlu, 6 * (m - 1));
+            } else {
+                int cx = std::min(G - 1, std::max(0,
+                            static_cast<int>(xi * G)));
+                int cy = std::min(G - 1, std::max(0,
+                            static_cast<int>(yi * G)));
+                for (int dy = -1; dy <= 1; ++dy) {
+                    for (int dx = -1; dx <= 1; ++dx) {
+                        int nx = cx + dx, ny = cy + dy;
+                        if (nx < 0 || nx >= G || ny < 0 || ny >= G)
+                            continue;
+                        std::int32_t j = env.template ld<std::int32_t>(
+                            sh.cells, ny * G + nx);
+                        while (j >= 0) {
+                            if (j != i) {
+                                std::uint64_t bj =
+                                    static_cast<std::uint64_t>(j) *
+                                    WATER_REC_DOUBLES;
+                                double xj = env.template ld<double>(
+                                    sh.mol, bj);
+                                double yj = env.template ld<double>(
+                                    sh.mol, bj + 1);
+                                water_detail::pairForce(xi, yi, xj, yj,
+                                                        fx, fy);
+                                env.exec(InstrClass::FpMul, 8);
+                                env.exec(InstrClass::IntAlu, 6);
+                            }
+                            j = env.template ld<std::int32_t>(
+                                sh.cells,
+                                static_cast<std::uint64_t>(G) * G + j);
+                        }
+                    }
+                }
+            }
+            env.template st<double>(sh.mol, bi + 6, fx);
+            env.template st<double>(sh.mol, bi + 7, fy);
+            env.branch(6001, i + 1 < hi);
+        }
+        env.barrier(sh.bar);
+
+        // Position/velocity update of owned molecules.
+        const double dt = 1e-4;
+        for (int i = lo; i < hi; ++i) {
+            std::uint64_t bi =
+                static_cast<std::uint64_t>(i) * WATER_REC_DOUBLES;
+            double x = env.template ld<double>(sh.mol, bi);
+            double y = env.template ld<double>(sh.mol, bi + 1);
+            double vx = env.template ld<double>(sh.mol, bi + 3);
+            double vy = env.template ld<double>(sh.mol, bi + 4);
+            double fx = env.template ld<double>(sh.mol, bi + 6);
+            double fy = env.template ld<double>(sh.mol, bi + 7);
+            vx += fx * dt;
+            vy += fy * dt;
+            x += vx * dt;
+            y += vy * dt;
+            // Reflect into the unit box.
+            if (x < 0) x = -x;
+            if (x > 1) x = 2 - x;
+            if (y < 0) y = -y;
+            if (y > 1) y = 2 - y;
+            env.template st<double>(sh.mol, bi, x);
+            env.template st<double>(sh.mol, bi + 1, y);
+            env.template st<double>(sh.mol, bi + 3, vx);
+            env.template st<double>(sh.mol, bi + 4, vy);
+            env.exec(InstrClass::FpMul, 4);
+            env.exec(InstrClass::FpAdd, 4);
+        }
+        env.barrier(sh.bar);
+    }
+}
+
+template <typename Env>
+double
+runWaterImpl(const WorkloadParams& p, bool spatial)
+{
+    Env main(0, p.threads);
+    WaterShared<Env> sh;
+    sh.m = p.size;
+    sh.iters = std::max(1, p.iters);
+    sh.nthreads = p.threads;
+    sh.spatial = spatial;
+    sh.grid = 4;
+    sh.mol = main.alloc(static_cast<std::uint64_t>(sh.m) *
+                        WATER_REC_DOUBLES * sizeof(double));
+    if (spatial)
+        sh.cells = main.alloc(
+            (static_cast<std::uint64_t>(sh.grid) * sh.grid + sh.m) * 4);
+    sh.seed = p.seed;
+    sh.bar = main.makeBarrier(p.threads);
+
+    runThreads<WaterShared<Env>, &waterThread<Env>>(main, p.threads, sh);
+
+    double checksum = 0;
+    for (int i = 0; i < sh.m; ++i) {
+        std::uint64_t b =
+            static_cast<std::uint64_t>(i) * WATER_REC_DOUBLES;
+        checksum += main.template ld<double>(sh.mol, b) +
+                    main.template ld<double>(sh.mol, b + 1);
+    }
+
+    main.dealloc(sh.mol);
+    if (spatial)
+        main.dealloc(sh.cells);
+    main.freeBarrier(sh.bar);
+    return checksum;
+}
+
+template <typename Env>
+double
+runWaterNsquared(const WorkloadParams& p)
+{
+    return runWaterImpl<Env>(p, false);
+}
+
+template <typename Env>
+double
+runWaterSpatial(const WorkloadParams& p)
+{
+    return runWaterImpl<Env>(p, true);
+}
+
+} // namespace workloads
+} // namespace graphite

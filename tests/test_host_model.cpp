@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the host cluster model: profile capture, extrapolation
+ * scaling, and the qualitative properties the scaling figures rely on
+ * (in-machine linearity, machine-boundary costs, init growth, native
+ * baseline math).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+#include "common/log.h"
+#include "core/api.h"
+#include "core/simulator.h"
+#include "host/host_model.h"
+
+namespace graphite
+{
+namespace
+{
+
+/** A synthetic profile: balanced compute + uniform all-to-all traffic. */
+SimulationProfile
+syntheticProfile(tile_id_t tiles, stat_t instr_per_tile,
+                 stat_t msgs_per_pair)
+{
+    SimulationProfile prof;
+    prof.tiles = tiles;
+    prof.appThreads = tiles;
+    prof.instructions.assign(tiles, instr_per_tile);
+    prof.memAccesses.assign(tiles, instr_per_tile / 4);
+    prof.l2Misses.assign(tiles, instr_per_tile / 1000);
+    prof.syscalls.assign(tiles, 10);
+    prof.msgMatrix.assign(static_cast<size_t>(tiles) * tiles,
+                          msgs_per_pair);
+    prof.byteMatrix.assign(static_cast<size_t>(tiles) * tiles,
+                           msgs_per_pair * 80);
+    prof.syncModel = "lax";
+    return prof;
+}
+
+HostCosts
+defaultCosts()
+{
+    return HostCosts::fromConfig(defaultTargetConfig());
+}
+
+TEST(HostModel, InMachineScalingIsNearLinear)
+{
+    SimulationProfile prof = syntheticProfile(32, 10'000'000, 0);
+    HostModel host(defaultCosts());
+    double t1 = host.estimate(prof, 1, 1).computeSeconds;
+    double t8 = host.estimate(prof, 1, 8).computeSeconds;
+    EXPECT_NEAR(t1 / t8, 8.0, 0.01);
+}
+
+TEST(HostModel, CriticalPathThreadBoundsSpeedup)
+{
+    SimulationProfile prof = syntheticProfile(32, 1'000'000, 0);
+    prof.instructions[5] = 32'000'000; // one hot thread
+    HostModel host(defaultCosts());
+    double t8 = host.estimate(prof, 1, 8).computeSeconds;
+    double t1 = host.estimate(prof, 1, 1).computeSeconds;
+    // The hot thread dominates: 8 cores must not approach 8x because
+    // t8 is floored by the hot thread's own work (~1/3 of the total).
+    EXPECT_LT(t1 / t8, 3.2);
+    EXPECT_GT(t1 / t8, 2.5);
+}
+
+TEST(HostModel, MachineBoundaryAddsCommunicationCost)
+{
+    // Communication-heavy profile: crossing to two machines must cost
+    // relative to the pure compute halving.
+    SimulationProfile compute = syntheticProfile(32, 10'000'000, 0);
+    SimulationProfile comm = syntheticProfile(32, 10'000'000, 2000);
+    HostModel host(defaultCosts());
+
+    auto ratio = [&](const SimulationProfile& p) {
+        double one = host.estimate(p, 1).computeSeconds;
+        HostEstimate two = host.estimate(p, 2);
+        return one / (two.computeSeconds + two.syncSeconds);
+    };
+    EXPECT_GT(ratio(compute), ratio(comm));
+}
+
+TEST(HostModel, InterProcessTrafficOnlyChargedWhenSplit)
+{
+    SimulationProfile prof = syntheticProfile(8, 1'000'000, 100);
+    HostModel host(defaultCosts());
+    // On one machine with one process every message is intra-process;
+    // the socket CPU cost appears only with multiple processes.
+    double t1 = host.estimate(prof, 1).computeSeconds;
+    SimulationProfile no_comm = syntheticProfile(8, 1'000'000, 0);
+    double t1_nocomm = host.estimate(no_comm, 1).computeSeconds;
+    EXPECT_NEAR(t1, t1_nocomm, t1_nocomm * 0.05);
+}
+
+TEST(HostModel, InitGrowsWithProcesses)
+{
+    SimulationProfile prof = syntheticProfile(16, 1'000'000, 0);
+    HostModel host(defaultCosts());
+    EXPECT_DOUBLE_EQ(host.estimate(prof, 1).initSeconds,
+                     host.costs().initSecondsPerProcess);
+    EXPECT_DOUBLE_EQ(host.estimate(prof, 10).initSeconds,
+                     10 * host.costs().initSecondsPerProcess);
+}
+
+TEST(HostModel, BarrierSyncChargesEpochs)
+{
+    SimulationProfile prof = syntheticProfile(8, 1'000'000, 0);
+    prof.syncModel = "lax_barrier";
+    prof.syncEvents = 10000;
+    HostModel host(defaultCosts());
+    EXPECT_GT(host.estimate(prof, 4).syncSeconds,
+              host.estimate(prof, 1).syncSeconds);
+    EXPECT_GT(host.estimate(prof, 1).syncSeconds, 0.0);
+}
+
+TEST(HostModel, NativeBaselineUsesCoresAndCriticalPath)
+{
+    HostCosts costs = defaultCosts();
+    HostModel host(costs);
+    SimulationProfile prof = syntheticProfile(32, 3'160'000'000ull, 0);
+    // 32 threads x 3.16e9 instr at 3.16 GHz, IPC 1, 8 cores:
+    // 32/8 = 4 seconds.
+    EXPECT_NEAR(host.nativeSeconds(prof), 4.0, 0.01);
+    // A single-thread profile is bounded by its own critical path.
+    SimulationProfile serial = syntheticProfile(1, 3'160'000'000ull, 0);
+    serial.appThreads = 1;
+    EXPECT_NEAR(host.nativeSeconds(serial), 1.0, 0.01);
+}
+
+TEST(HostModel, ScaleProfileMultipliesTheRightCounters)
+{
+    SimulationProfile prof = syntheticProfile(4, 1000, 10);
+    SimulationProfile scaled = scaleProfile(prof, 10, 2);
+    EXPECT_EQ(scaled.instructions[0], 10000u);
+    EXPECT_EQ(scaled.memAccesses[0], 2500u);
+    EXPECT_EQ(scaled.msgMatrix[1], 20u);
+    EXPECT_EQ(scaled.l2Misses[0], 2u);
+    EXPECT_THROW(scaleProfile(prof, 0, 1), FatalError);
+}
+
+TEST(HostModel, InvalidMachineCountIsFatal)
+{
+    SimulationProfile prof = syntheticProfile(4, 1000, 0);
+    HostModel host(defaultCosts());
+    EXPECT_THROW(host.estimate(prof, 0), FatalError);
+}
+
+// ----------------------------------------------------- capture integration
+
+void
+captureMain(void*)
+{
+    addr_t a = api::malloc(4096);
+    for (int i = 0; i < 512; ++i)
+        api::write<std::uint64_t>(a + (i % 64) * 64, i);
+    api::exec(InstrClass::FpMul, 1000);
+    api::free(a);
+}
+
+TEST(HostModel, CaptureReflectsRunActivity)
+{
+    Config cfg = defaultTargetConfig();
+    cfg.setInt("general/total_tiles", 4);
+    Simulator sim(cfg);
+    sim.run(&captureMain, nullptr);
+    SimulationProfile prof = SimulationProfile::capture(sim, 1.5);
+    EXPECT_EQ(prof.tiles, 4);
+    EXPECT_EQ(prof.appThreads, 1);
+    EXPECT_GT(prof.instructions[0], 1500u); // stores + exec
+    EXPECT_GT(prof.memAccesses[0], 500u);
+    EXPECT_GT(prof.l2Misses[0], 0u);
+    EXPECT_DOUBLE_EQ(prof.measuredWallSeconds, 1.5);
+    // Coherence traffic from tile 0 to line homes shows in the matrix.
+    stat_t from0 = 0;
+    for (tile_id_t d = 0; d < 4; ++d)
+        from0 += prof.msgMatrix[d];
+    EXPECT_GT(from0, 0u);
+}
+
+} // namespace
+} // namespace graphite

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for the cluster topology (tile striping, endpoint
+ * numbering) and the physical transport layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/config.h"
+#include "common/log.h"
+#include "transport/transport.h"
+
+namespace graphite
+{
+namespace
+{
+
+TEST(ClusterTopology, StripesTilesAcrossProcesses)
+{
+    // Paper §3.5: tiles are striped across processes.
+    ClusterTopology topo(8, 4);
+    EXPECT_EQ(topo.processForTile(0), 0);
+    EXPECT_EQ(topo.processForTile(1), 1);
+    EXPECT_EQ(topo.processForTile(4), 0);
+    EXPECT_EQ(topo.processForTile(7), 3);
+    EXPECT_TRUE(topo.sameProcess(0, 4));
+    EXPECT_FALSE(topo.sameProcess(0, 1));
+}
+
+TEST(ClusterTopology, TileOwnershipRoundTrips)
+{
+    ClusterTopology topo(10, 3);
+    int counted = 0;
+    for (proc_id_t p = 0; p < topo.numProcesses(); ++p) {
+        for (tile_id_t k = 0; k < topo.tilesInProcess(p); ++k) {
+            tile_id_t t = topo.tileOfProcess(p, k);
+            EXPECT_EQ(topo.processForTile(t), p);
+            ++counted;
+        }
+    }
+    EXPECT_EQ(counted, 10);
+}
+
+TEST(ClusterTopology, MachinesGroupProcesses)
+{
+    ClusterTopology topo(16, 4, /*procs_per_machine=*/2);
+    EXPECT_EQ(topo.numMachines(), 2);
+    EXPECT_EQ(topo.machineForProcess(0), 0);
+    EXPECT_EQ(topo.machineForProcess(1), 0);
+    EXPECT_EQ(topo.machineForProcess(2), 1);
+    EXPECT_TRUE(topo.sameMachine(0, 1));  // procs 0 and 1, machine 0
+    EXPECT_FALSE(topo.sameMachine(0, 2)); // procs 0 and 2
+}
+
+TEST(ClusterTopology, EndpointNumbering)
+{
+    ClusterTopology topo(4, 2);
+    EXPECT_EQ(topo.tileEndpoint(3), 3);
+    EXPECT_EQ(topo.lcpEndpoint(0), 4);
+    EXPECT_EQ(topo.lcpEndpoint(1), 5);
+    EXPECT_EQ(topo.mcpEndpoint(), 6);
+    EXPECT_EQ(topo.numEndpoints(), 7);
+    EXPECT_EQ(topo.processForEndpoint(topo.lcpEndpoint(1)), 1);
+    EXPECT_EQ(topo.processForEndpoint(topo.mcpEndpoint()), 0);
+}
+
+TEST(ClusterTopology, InvalidShapesAreFatal)
+{
+    EXPECT_THROW(ClusterTopology(0, 1), FatalError);
+    EXPECT_THROW(ClusterTopology(4, 0), FatalError);
+    EXPECT_THROW(ClusterTopology(2, 4), FatalError);
+}
+
+TEST(Transport, DeliversInFifoOrder)
+{
+    ClusterTopology topo(4, 2);
+    InProcessTransport tr(topo);
+    tr.send(0, 1, {1});
+    tr.send(0, 1, {2});
+    EXPECT_EQ(tr.pending(1), 2u);
+    EXPECT_EQ(tr.recv(1).data[0], 1);
+    EXPECT_EQ(tr.recv(1).data[0], 2);
+    EXPECT_EQ(tr.pending(1), 0u);
+}
+
+TEST(Transport, TryRecvNonBlocking)
+{
+    ClusterTopology topo(2, 1);
+    InProcessTransport tr(topo);
+    TransportBuffer buf;
+    EXPECT_FALSE(tr.tryRecv(0, buf));
+    tr.send(1, 0, {42});
+    EXPECT_TRUE(tr.tryRecv(0, buf));
+    EXPECT_EQ(buf.src, 1);
+    EXPECT_EQ(buf.data[0], 42);
+}
+
+TEST(Transport, CountsIntraAndInterProcessTraffic)
+{
+    ClusterTopology topo(4, 2);
+    InProcessTransport tr(topo);
+    tr.send(0, 2, {1, 2, 3}); // tiles 0,2 -> proc 0: intra
+    tr.send(0, 1, {1});       // tile 1 -> proc 1: inter
+    EXPECT_EQ(tr.intraProcessMessages(), 1u);
+    EXPECT_EQ(tr.interProcessMessages(), 1u);
+    EXPECT_EQ(tr.intraProcessBytes(), 3u);
+    EXPECT_EQ(tr.interProcessBytes(), 1u);
+}
+
+TEST(Transport, BlockingRecvWakesOnSend)
+{
+    ClusterTopology topo(2, 1);
+    InProcessTransport tr(topo);
+    std::thread sender([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        tr.send(0, 1, {9});
+    });
+    TransportBuffer buf = tr.recv(1); // blocks until sender fires
+    EXPECT_EQ(buf.data[0], 9);
+    sender.join();
+}
+
+TEST(Transport, ShutdownUnblocksReceivers)
+{
+    ClusterTopology topo(2, 1);
+    InProcessTransport tr(topo);
+    std::thread receiver([&] {
+        TransportBuffer buf = tr.recv(0);
+        EXPECT_EQ(buf.src, -1); // shutdown sentinel
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    tr.shutdown();
+    receiver.join();
+}
+
+} // namespace
+} // namespace graphite
+
+#include "transport/socket_transport.h"
+
+namespace graphite
+{
+namespace
+{
+
+TEST(SocketTransport, RoundTripOverRealSockets)
+{
+    ClusterTopology topo(4, 2);
+    UnixSocketTransport tr(topo);
+    tr.send(0, 1, {1, 2, 3});
+    TransportBuffer buf = tr.recv(1);
+    EXPECT_EQ(buf.src, 0);
+    EXPECT_EQ(buf.dst, 1);
+    EXPECT_EQ(buf.data, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(SocketTransport, TryRecvAndPending)
+{
+    ClusterTopology topo(2, 1);
+    UnixSocketTransport tr(topo);
+    TransportBuffer buf;
+    EXPECT_FALSE(tr.tryRecv(0, buf));
+    EXPECT_EQ(tr.pending(0), 0u);
+    tr.send(1, 0, {9});
+    EXPECT_GE(tr.pending(0), 1u);
+    EXPECT_TRUE(tr.tryRecv(0, buf));
+    EXPECT_EQ(buf.data[0], 9);
+}
+
+TEST(SocketTransport, ShutdownUnblocksReceivers)
+{
+    ClusterTopology topo(2, 1);
+    UnixSocketTransport tr(topo);
+    std::thread receiver([&] {
+        TransportBuffer buf = tr.recv(0);
+        EXPECT_EQ(buf.src, -1);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    tr.shutdown();
+    receiver.join();
+}
+
+TEST(SocketTransport, FactorySelectsByConfig)
+{
+    ClusterTopology topo(2, 1);
+    Config cfg = defaultTargetConfig();
+    EXPECT_NE(dynamic_cast<InProcessTransport*>(
+                  createTransport(topo, cfg).get()),
+              nullptr);
+    cfg.set("transport/type", "unix_socket");
+    EXPECT_NE(dynamic_cast<UnixSocketTransport*>(
+                  createTransport(topo, cfg).get()),
+              nullptr);
+    cfg.set("transport/type", "pigeon");
+    EXPECT_THROW(createTransport(topo, cfg), FatalError);
+}
+
+} // namespace
+} // namespace graphite

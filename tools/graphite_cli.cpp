@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Command-line simulation runner.
+ *
+ * Runs any workload from the suite on a configurable target, the way the
+ * original Graphite was driven by carbon_sim.cfg plus command-line
+ * overrides:
+ *
+ *   graphite_cli --workload fft --tiles 64 --threads 32
+ *   graphite_cli --config graphite.cfg --set sync/model=lax_p2p \
+ *                --workload radix --size 65536 --stats
+ *   graphite_cli --list
+ *
+ * Options:
+ *   --workload NAME   workload to run (see --list)
+ *   --tiles N         target tile count        (default 32)
+ *   --processes N     simulated host processes (default 1)
+ *   --threads N       application threads      (default = tiles)
+ *   --size N          problem size             (workload default)
+ *   --iters N         iterations               (workload default)
+ *   --config PATH     load an INI config file first
+ *   --set K=V         override one config key (repeatable)
+ *   --stats           print the full statistics report
+ *   --native          also run the native build and cross-check
+ *   --list            list available workloads
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/log.h"
+#include "core/simulator.h"
+#include "workloads/registry.h"
+
+using namespace graphite;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --workload NAME [--tiles N] [--processes N]"
+                 " [--threads N]\n"
+                 "          [--size N] [--iters N] [--config PATH]"
+                 " [--set K=V]... [--stats]\n"
+                 "          [--native] | --list\n",
+                 argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string workload;
+    std::string config_path;
+    std::vector<std::string> overrides;
+    int tiles = 32, processes = 1, threads = -1;
+    int size = -1, iters = -1;
+    bool stats = false, native = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            for (const auto& w : workloads::registry())
+                std::printf("%-16s (size %d, iters %d)\n",
+                            w.name.c_str(), w.defaults.size,
+                            w.defaults.iters);
+            return 0;
+        } else if (arg == "--workload") {
+            workload = next();
+        } else if (arg == "--tiles") {
+            tiles = std::atoi(next());
+        } else if (arg == "--processes") {
+            processes = std::atoi(next());
+        } else if (arg == "--threads") {
+            threads = std::atoi(next());
+        } else if (arg == "--size") {
+            size = std::atoi(next());
+        } else if (arg == "--iters") {
+            iters = std::atoi(next());
+        } else if (arg == "--config") {
+            config_path = next();
+        } else if (arg == "--set") {
+            overrides.emplace_back(next());
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (arg == "--native") {
+            native = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (workload.empty())
+        usage(argv[0]);
+
+    try {
+        Config cfg = defaultTargetConfig();
+        if (!config_path.empty())
+            cfg.parseFile(config_path);
+        cfg.setInt("general/total_tiles", tiles);
+        cfg.setInt("general/num_processes", processes);
+        for (const std::string& kv : overrides)
+            cfg.setOverride(kv);
+
+        const workloads::WorkloadInfo& w =
+            workloads::findWorkload(workload);
+        workloads::WorkloadParams p = w.defaults;
+        p.threads = threads > 0 ? threads : tiles;
+        if (size > 0)
+            p.size = size;
+        if (iters > 0)
+            p.iters = iters;
+
+        Simulator sim(cfg);
+        workloads::SimRunResult r = workloads::runSim(sim, w, p);
+
+        std::printf("workload          : %s (size %d, iters %d, "
+                    "%d threads)\n",
+                    w.name.c_str(), p.size, p.iters, p.threads);
+        std::printf("simulated cycles  : %llu\n",
+                    static_cast<unsigned long long>(r.simulatedCycles));
+        std::printf("instructions      : %llu\n",
+                    static_cast<unsigned long long>(
+                        r.totalInstructions));
+        std::printf("host wall time    : %.3f s\n", r.wallSeconds);
+        std::printf("checksum          : %.17g\n", r.checksum);
+
+        std::string violation = sim.memory().validateCoherence();
+        std::printf("coherence         : %s\n",
+                    violation.empty() ? "clean" : violation.c_str());
+
+        if (native) {
+            double native_sum = w.runNative(p);
+            bool match = native_sum == r.checksum;
+            std::printf("native checksum   : %.17g (%s)\n", native_sum,
+                        match ? "MATCH" : "MISMATCH");
+            if (!match)
+                return 1;
+        }
+        if (stats)
+            std::printf("\n%s", sim.statsReport().c_str());
+        return violation.empty() ? 0 : 1;
+    } catch (const FatalError& err) {
+        std::fprintf(stderr, "fatal: %s\n", err.what());
+        return 1;
+    }
+}
