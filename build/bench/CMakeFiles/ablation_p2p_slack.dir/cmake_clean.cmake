@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_p2p_slack.dir/ablation_p2p_slack.cpp.o"
+  "CMakeFiles/ablation_p2p_slack.dir/ablation_p2p_slack.cpp.o.d"
+  "ablation_p2p_slack"
+  "ablation_p2p_slack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_p2p_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

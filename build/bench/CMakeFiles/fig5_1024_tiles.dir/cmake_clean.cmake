@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_1024_tiles.dir/fig5_1024_tiles.cpp.o"
+  "CMakeFiles/fig5_1024_tiles.dir/fig5_1024_tiles.cpp.o.d"
+  "fig5_1024_tiles"
+  "fig5_1024_tiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_1024_tiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

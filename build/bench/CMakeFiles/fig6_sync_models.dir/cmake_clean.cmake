@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_sync_models.dir/fig6_sync_models.cpp.o"
+  "CMakeFiles/fig6_sync_models.dir/fig6_sync_models.cpp.o.d"
+  "fig6_sync_models"
+  "fig6_sync_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_sync_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_clock_skew.dir/fig7_clock_skew.cpp.o"
+  "CMakeFiles/fig7_clock_skew.dir/fig7_clock_skew.cpp.o.d"
+  "fig7_clock_skew"
+  "fig7_clock_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_clock_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

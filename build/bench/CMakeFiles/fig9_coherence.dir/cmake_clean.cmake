@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_coherence.dir/fig9_coherence.cpp.o"
+  "CMakeFiles/fig9_coherence.dir/fig9_coherence.cpp.o.d"
+  "fig9_coherence"
+  "fig9_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

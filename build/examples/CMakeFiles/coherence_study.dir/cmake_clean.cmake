@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_study.dir/coherence_study.cpp.o"
+  "CMakeFiles/coherence_study.dir/coherence_study.cpp.o.d"
+  "coherence_study"
+  "coherence_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_ring.dir/message_ring.cpp.o"
+  "CMakeFiles/message_ring.dir/message_ring.cpp.o.d"
+  "message_ring"
+  "message_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_tradeoff.dir/sync_tradeoff.cpp.o"
+  "CMakeFiles/sync_tradeoff.dir/sync_tradeoff.cpp.o.d"
+  "sync_tradeoff"
+  "sync_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

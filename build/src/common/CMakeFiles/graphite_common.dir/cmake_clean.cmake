@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphite_common.dir/config.cpp.o"
+  "CMakeFiles/graphite_common.dir/config.cpp.o.d"
+  "CMakeFiles/graphite_common.dir/log.cpp.o"
+  "CMakeFiles/graphite_common.dir/log.cpp.o.d"
+  "CMakeFiles/graphite_common.dir/stats.cpp.o"
+  "CMakeFiles/graphite_common.dir/stats.cpp.o.d"
+  "CMakeFiles/graphite_common.dir/table.cpp.o"
+  "CMakeFiles/graphite_common.dir/table.cpp.o.d"
+  "libgraphite_common.a"
+  "libgraphite_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphite_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphite_core.dir/api.cpp.o"
+  "CMakeFiles/graphite_core.dir/api.cpp.o.d"
+  "CMakeFiles/graphite_core.dir/simulator.cpp.o"
+  "CMakeFiles/graphite_core.dir/simulator.cpp.o.d"
+  "CMakeFiles/graphite_core.dir/thread_manager.cpp.o"
+  "CMakeFiles/graphite_core.dir/thread_manager.cpp.o.d"
+  "libgraphite_core.a"
+  "libgraphite_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphite_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphite_host.dir/host_model.cpp.o"
+  "CMakeFiles/graphite_host.dir/host_model.cpp.o.d"
+  "libgraphite_host.a"
+  "libgraphite_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphite_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_space.cpp" "src/mem/CMakeFiles/graphite_mem.dir/address_space.cpp.o" "gcc" "src/mem/CMakeFiles/graphite_mem.dir/address_space.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/mem/CMakeFiles/graphite_mem.dir/cache.cpp.o" "gcc" "src/mem/CMakeFiles/graphite_mem.dir/cache.cpp.o.d"
+  "/root/repo/src/mem/directory.cpp" "src/mem/CMakeFiles/graphite_mem.dir/directory.cpp.o" "gcc" "src/mem/CMakeFiles/graphite_mem.dir/directory.cpp.o.d"
+  "/root/repo/src/mem/dram_controller.cpp" "src/mem/CMakeFiles/graphite_mem.dir/dram_controller.cpp.o" "gcc" "src/mem/CMakeFiles/graphite_mem.dir/dram_controller.cpp.o.d"
+  "/root/repo/src/mem/main_memory.cpp" "src/mem/CMakeFiles/graphite_mem.dir/main_memory.cpp.o" "gcc" "src/mem/CMakeFiles/graphite_mem.dir/main_memory.cpp.o.d"
+  "/root/repo/src/mem/memory_system.cpp" "src/mem/CMakeFiles/graphite_mem.dir/memory_system.cpp.o" "gcc" "src/mem/CMakeFiles/graphite_mem.dir/memory_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/graphite_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/graphite_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/graphite_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

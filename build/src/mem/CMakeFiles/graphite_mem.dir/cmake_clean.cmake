@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphite_mem.dir/address_space.cpp.o"
+  "CMakeFiles/graphite_mem.dir/address_space.cpp.o.d"
+  "CMakeFiles/graphite_mem.dir/cache.cpp.o"
+  "CMakeFiles/graphite_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/graphite_mem.dir/directory.cpp.o"
+  "CMakeFiles/graphite_mem.dir/directory.cpp.o.d"
+  "CMakeFiles/graphite_mem.dir/dram_controller.cpp.o"
+  "CMakeFiles/graphite_mem.dir/dram_controller.cpp.o.d"
+  "CMakeFiles/graphite_mem.dir/main_memory.cpp.o"
+  "CMakeFiles/graphite_mem.dir/main_memory.cpp.o.d"
+  "CMakeFiles/graphite_mem.dir/memory_system.cpp.o"
+  "CMakeFiles/graphite_mem.dir/memory_system.cpp.o.d"
+  "libgraphite_mem.a"
+  "libgraphite_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphite_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/network/global_progress.cpp" "src/network/CMakeFiles/graphite_network.dir/global_progress.cpp.o" "gcc" "src/network/CMakeFiles/graphite_network.dir/global_progress.cpp.o.d"
+  "/root/repo/src/network/net_packet.cpp" "src/network/CMakeFiles/graphite_network.dir/net_packet.cpp.o" "gcc" "src/network/CMakeFiles/graphite_network.dir/net_packet.cpp.o.d"
+  "/root/repo/src/network/network.cpp" "src/network/CMakeFiles/graphite_network.dir/network.cpp.o" "gcc" "src/network/CMakeFiles/graphite_network.dir/network.cpp.o.d"
+  "/root/repo/src/network/network_model.cpp" "src/network/CMakeFiles/graphite_network.dir/network_model.cpp.o" "gcc" "src/network/CMakeFiles/graphite_network.dir/network_model.cpp.o.d"
+  "/root/repo/src/network/queue_model.cpp" "src/network/CMakeFiles/graphite_network.dir/queue_model.cpp.o" "gcc" "src/network/CMakeFiles/graphite_network.dir/queue_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/graphite_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/graphite_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

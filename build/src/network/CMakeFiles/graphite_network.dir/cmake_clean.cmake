@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphite_network.dir/global_progress.cpp.o"
+  "CMakeFiles/graphite_network.dir/global_progress.cpp.o.d"
+  "CMakeFiles/graphite_network.dir/net_packet.cpp.o"
+  "CMakeFiles/graphite_network.dir/net_packet.cpp.o.d"
+  "CMakeFiles/graphite_network.dir/network.cpp.o"
+  "CMakeFiles/graphite_network.dir/network.cpp.o.d"
+  "CMakeFiles/graphite_network.dir/network_model.cpp.o"
+  "CMakeFiles/graphite_network.dir/network_model.cpp.o.d"
+  "CMakeFiles/graphite_network.dir/queue_model.cpp.o"
+  "CMakeFiles/graphite_network.dir/queue_model.cpp.o.d"
+  "libgraphite_network.a"
+  "libgraphite_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphite_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphite_perf.dir/branch_predictor.cpp.o"
+  "CMakeFiles/graphite_perf.dir/branch_predictor.cpp.o.d"
+  "CMakeFiles/graphite_perf.dir/core_model.cpp.o"
+  "CMakeFiles/graphite_perf.dir/core_model.cpp.o.d"
+  "libgraphite_perf.a"
+  "libgraphite_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphite_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

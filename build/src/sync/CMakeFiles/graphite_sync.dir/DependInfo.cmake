@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/skew_tracker.cpp" "src/sync/CMakeFiles/graphite_sync.dir/skew_tracker.cpp.o" "gcc" "src/sync/CMakeFiles/graphite_sync.dir/skew_tracker.cpp.o.d"
+  "/root/repo/src/sync/sync_model.cpp" "src/sync/CMakeFiles/graphite_sync.dir/sync_model.cpp.o" "gcc" "src/sync/CMakeFiles/graphite_sync.dir/sync_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/graphite_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/graphite_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

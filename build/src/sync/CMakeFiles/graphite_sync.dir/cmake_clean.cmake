@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphite_sync.dir/skew_tracker.cpp.o"
+  "CMakeFiles/graphite_sync.dir/skew_tracker.cpp.o.d"
+  "CMakeFiles/graphite_sync.dir/sync_model.cpp.o"
+  "CMakeFiles/graphite_sync.dir/sync_model.cpp.o.d"
+  "libgraphite_sync.a"
+  "libgraphite_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphite_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

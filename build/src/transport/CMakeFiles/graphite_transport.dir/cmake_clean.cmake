@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphite_transport.dir/cluster_topology.cpp.o"
+  "CMakeFiles/graphite_transport.dir/cluster_topology.cpp.o.d"
+  "CMakeFiles/graphite_transport.dir/socket_transport.cpp.o"
+  "CMakeFiles/graphite_transport.dir/socket_transport.cpp.o.d"
+  "CMakeFiles/graphite_transport.dir/transport.cpp.o"
+  "CMakeFiles/graphite_transport.dir/transport.cpp.o.d"
+  "libgraphite_transport.a"
+  "libgraphite_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphite_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

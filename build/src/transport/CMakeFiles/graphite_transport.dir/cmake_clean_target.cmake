@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgraphite_transport.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/graphite_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/graphite_workloads.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/graphite_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/graphite_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/graphite_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/graphite_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/graphite_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/graphite_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/graphite_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

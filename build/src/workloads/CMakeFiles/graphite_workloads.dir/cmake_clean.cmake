@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphite_workloads.dir/registry.cpp.o"
+  "CMakeFiles/graphite_workloads.dir/registry.cpp.o.d"
+  "libgraphite_workloads.a"
+  "libgraphite_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphite_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_api_surface.dir/test_api_surface.cpp.o"
+  "CMakeFiles/test_api_surface.dir/test_api_surface.cpp.o.d"
+  "test_api_surface"
+  "test_api_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_api_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

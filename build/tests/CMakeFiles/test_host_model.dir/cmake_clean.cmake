@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_model.dir/test_host_model.cpp.o"
+  "CMakeFiles/test_host_model.dir/test_host_model.cpp.o.d"
+  "test_host_model"
+  "test_host_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

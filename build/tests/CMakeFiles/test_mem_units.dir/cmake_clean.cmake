@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_units.dir/test_mem_units.cpp.o"
+  "CMakeFiles/test_mem_units.dir/test_mem_units.cpp.o.d"
+  "test_mem_units"
+  "test_mem_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_smoke "/root/repo/build/tests/test_smoke")
+set_tests_properties(test_smoke PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;14;graphite_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_workloads "/root/repo/build/tests/test_workloads")
+set_tests_properties(test_workloads PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;15;graphite_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;17;graphite_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_transport "/root/repo/build/tests/test_transport")
+set_tests_properties(test_transport PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;18;graphite_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_network "/root/repo/build/tests/test_network")
+set_tests_properties(test_network PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;19;graphite_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_perf "/root/repo/build/tests/test_perf")
+set_tests_properties(test_perf PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;20;graphite_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_mem_units "/root/repo/build/tests/test_mem_units")
+set_tests_properties(test_mem_units PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;21;graphite_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_memory_system "/root/repo/build/tests/test_memory_system")
+set_tests_properties(test_memory_system PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;22;graphite_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sync "/root/repo/build/tests/test_sync")
+set_tests_properties(test_sync PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;23;graphite_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_system "/root/repo/build/tests/test_system")
+set_tests_properties(test_system PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;24;graphite_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_host_model "/root/repo/build/tests/test_host_model")
+set_tests_properties(test_host_model PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;25;graphite_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_properties "/root/repo/build/tests/test_properties")
+set_tests_properties(test_properties PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;27;graphite_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_api_surface "/root/repo/build/tests/test_api_surface")
+set_tests_properties(test_api_surface PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;29;graphite_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../graphite_cli"
+  "../graphite_cli.pdb"
+  "CMakeFiles/graphite_cli.dir/graphite_cli.cpp.o"
+  "CMakeFiles/graphite_cli.dir/graphite_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphite_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
