@@ -1,6 +1,8 @@
 #include "common/log.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <mutex>
 
 namespace graphite
@@ -14,6 +16,41 @@ verbosity()
     static int level = 1;
     return level;
 }
+
+namespace
+{
+
+/** Per-component verbosity overrides; guarded by filterMutex(). */
+std::map<std::string, int, std::less<>>&
+filters()
+{
+    static std::map<std::string, int, std::less<>> map;
+    return map;
+}
+
+std::mutex&
+filterMutex()
+{
+    static std::mutex mtx;
+    return mtx;
+}
+
+/** Parse a level name; -1 when unrecognized. */
+int
+parseLevel(std::string_view s)
+{
+    if (s == "quiet" || s == "none" || s == "0")
+        return 0;
+    if (s == "warn" || s == "warning" || s == "1")
+        return 1;
+    if (s == "info" || s == "inform" || s == "2")
+        return 2;
+    if (s == "debug" || s == "3")
+        return 3;
+    return -1;
+}
+
+} // namespace
 
 void
 emit(std::string_view tag, std::string_view msg)
@@ -38,6 +75,61 @@ int
 logVerbosity()
 {
     return log_detail::verbosity();
+}
+
+void
+setLogFilter(std::string_view spec)
+{
+    {
+        std::scoped_lock lock(log_detail::filterMutex());
+        log_detail::filters().clear();
+    }
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string_view::npos)
+            comma = spec.size();
+        std::string_view entry = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (entry.empty())
+            continue;
+
+        size_t colon = entry.find(':');
+        std::string_view comp =
+            colon == std::string_view::npos ? "*" : entry.substr(0, colon);
+        std::string_view level_name =
+            colon == std::string_view::npos ? entry
+                                            : entry.substr(colon + 1);
+        int level = log_detail::parseLevel(level_name);
+        if (level < 0 || comp.empty()) {
+            warn("log filter: ignoring malformed entry '{}'",
+                 std::string(entry));
+            continue;
+        }
+        if (comp == "*") {
+            setLogVerbosity(level);
+        } else {
+            std::scoped_lock lock(log_detail::filterMutex());
+            log_detail::filters()[std::string(comp)] = level;
+        }
+    }
+}
+
+int
+logComponentVerbosity(std::string_view component)
+{
+    std::scoped_lock lock(log_detail::filterMutex());
+    auto& map = log_detail::filters();
+    auto it = map.find(component);
+    return it == map.end() ? log_detail::verbosity() : it->second;
+}
+
+void
+initLogFilterFromEnv()
+{
+    const char* spec = std::getenv("GRAPHITE_LOG");
+    if (spec != nullptr && spec[0] != '\0')
+        setLogFilter(spec);
 }
 
 } // namespace graphite

@@ -1,5 +1,7 @@
 #include "common/stats.h"
 
+#include <algorithm>
+#include <bit>
 #include <sstream>
 
 #include "common/log.h"
@@ -7,50 +9,170 @@
 namespace graphite
 {
 
+// ------------------------------------------------------------ HistogramStat
+
+void
+HistogramStat::record(stat_t value)
+{
+    ++buckets_[std::bit_width(value)];
+    ++count_;
+    sum_ += value;
+    if (value < min_)
+        min_ = value;
+    if (value > max_)
+        max_ = value;
+}
+
+double
+HistogramStat::mean() const
+{
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+}
+
+stat_t
+HistogramStat::bucket(int i) const
+{
+    GRAPHITE_ASSERT(i >= 0 && i < NUM_BUCKETS);
+    return buckets_[i];
+}
+
+stat_t
+HistogramStat::percentileApprox(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 1.0)
+        p = 1.0;
+    // Rank of the p-th sample (1-based, ceil).
+    auto rank = static_cast<stat_t>(p * static_cast<double>(count_));
+    if (rank == 0)
+        rank = 1;
+    stat_t seen = 0;
+    for (int i = 0; i < NUM_BUCKETS; ++i) {
+        seen += buckets_[i];
+        if (seen >= rank) {
+            // Upper bound of bucket i: largest value of bit-width i.
+            return i == 0 ? 0 : (stat_t{1} << i) - 1;
+        }
+    }
+    return max_;
+}
+
+std::string
+HistogramStat::summary() const
+{
+    std::ostringstream os;
+    os << "count=" << count_ << " mean=" << mean()
+       << " min=" << min() << " p50<=" << percentileApprox(0.5)
+       << " p99<=" << percentileApprox(0.99) << " max=" << max_;
+    return os.str();
+}
+
+void
+HistogramStat::reset()
+{
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = ~stat_t{0};
+    max_ = 0;
+}
+
+// ------------------------------------------------------------ StatsRegistry
+
+void
+StatsRegistry::checkNewName(const std::string& name) const
+{
+    // Caller holds mutex_.
+    if (counters_.count(name) || gauges_.count(name) ||
+        histograms_.count(name))
+        panic("duplicate stat registration: {}", name);
+}
+
 void
 StatsRegistry::registerCounter(const std::string& name,
                                const stat_t* counter)
 {
     std::scoped_lock lock(mutex_);
-    auto [it, inserted] = counters_.emplace(name, counter);
-    if (!inserted)
-        panic("duplicate stat registration: {}", name);
+    checkNewName(name);
+    counters_.emplace(name, counter);
+}
+
+void
+StatsRegistry::registerGauge(const std::string& name, gauge_fn fn)
+{
+    GRAPHITE_ASSERT(fn != nullptr);
+    std::scoped_lock lock(mutex_);
+    checkNewName(name);
+    gauges_.emplace(name, std::move(fn));
+}
+
+void
+StatsRegistry::registerHistogram(const std::string& name,
+                                 const HistogramStat* histogram)
+{
+    std::scoped_lock lock(mutex_);
+    checkNewName(name);
+    histograms_.emplace(name, histogram);
 }
 
 stat_t
 StatsRegistry::get(const std::string& name) const
 {
     std::scoped_lock lock(mutex_);
-    auto it = counters_.find(name);
-    if (it == counters_.end())
-        fatal("unknown statistic '{}'", name);
-    return *it->second;
+    if (auto it = counters_.find(name); it != counters_.end())
+        return *it->second;
+    if (auto it = gauges_.find(name); it != gauges_.end())
+        return it->second();
+    fatal("unknown statistic '{}'", name);
 }
 
 bool
 StatsRegistry::has(const std::string& name) const
 {
     std::scoped_lock lock(mutex_);
-    return counters_.count(name) != 0;
+    return counters_.count(name) != 0 || gauges_.count(name) != 0 ||
+           histograms_.count(name) != 0;
+}
+
+const HistogramStat*
+StatsRegistry::histogram(const std::string& name) const
+{
+    std::scoped_lock lock(mutex_);
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : it->second;
 }
 
 stat_t
 StatsRegistry::sumMatching(const std::string& prefix,
-                           const std::string& suffix) const
+                           const std::string& suffix,
+                           MatchMode mode) const
 {
     std::scoped_lock lock(mutex_);
     stat_t total = 0;
-    for (auto it = counters_.lower_bound(prefix); it != counters_.end();
-         ++it) {
-        const std::string& name = it->first;
-        if (name.compare(0, prefix.size(), prefix) != 0)
-            break;
-        if (name.size() >= prefix.size() + suffix.size() &&
-            name.compare(name.size() - suffix.size(), suffix.size(),
-                         suffix) == 0) {
-            total += *it->second;
+    std::size_t matched = 0;
+    auto scan = [&](const auto& map, const auto& value_of) {
+        for (auto it = map.lower_bound(prefix); it != map.end(); ++it) {
+            const std::string& name = it->first;
+            if (name.compare(0, prefix.size(), prefix) != 0)
+                break;
+            if (name.size() >= prefix.size() + suffix.size() &&
+                name.compare(name.size() - suffix.size(), suffix.size(),
+                             suffix) == 0) {
+                total += value_of(it->second);
+                ++matched;
+            }
         }
-    }
+    };
+    scan(counters_, [](const stat_t* p) { return *p; });
+    scan(gauges_, [](const gauge_fn& fn) { return fn(); });
+    if (mode == MatchMode::Strict && matched == 0)
+        fatal("sumMatching: no statistic matches '{}<id>{}'", prefix,
+              suffix);
     return total;
 }
 
@@ -59,9 +181,33 @@ StatsRegistry::names() const
 {
     std::scoped_lock lock(mutex_);
     std::vector<std::string> out;
-    out.reserve(counters_.size());
+    out.reserve(counters_.size() + gauges_.size() + histograms_.size());
     for (const auto& [name, ptr] : counters_)
         out.push_back(name);
+    for (const auto& [name, fn] : gauges_)
+        out.push_back(name);
+    for (const auto& [name, h] : histograms_)
+        out.push_back(name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<std::pair<std::string, stat_t>>
+StatsRegistry::snapshot() const
+{
+    std::scoped_lock lock(mutex_);
+    std::vector<std::pair<std::string, stat_t>> out;
+    out.reserve(counters_.size() + gauges_.size() +
+                2 * histograms_.size());
+    for (const auto& [name, ptr] : counters_)
+        out.emplace_back(name, *ptr);
+    for (const auto& [name, fn] : gauges_)
+        out.emplace_back(name, fn());
+    for (const auto& [name, h] : histograms_) {
+        out.emplace_back(name + ".count", h->count());
+        out.emplace_back(name + ".sum", h->sum());
+    }
+    std::sort(out.begin(), out.end());
     return out;
 }
 
@@ -69,9 +215,17 @@ std::string
 StatsRegistry::dump() const
 {
     std::scoped_lock lock(mutex_);
-    std::ostringstream os;
+    // Merge all kinds into one sorted listing.
+    std::map<std::string, std::string> lines;
     for (const auto& [name, ptr] : counters_)
-        os << name << " = " << *ptr << "\n";
+        lines[name] = std::to_string(*ptr);
+    for (const auto& [name, fn] : gauges_)
+        lines[name] = std::to_string(fn());
+    for (const auto& [name, h] : histograms_)
+        lines[name] = h->summary();
+    std::ostringstream os;
+    for (const auto& [name, value] : lines)
+        os << name << " = " << value << "\n";
     return os.str();
 }
 
@@ -80,6 +234,8 @@ StatsRegistry::clear()
 {
     std::scoped_lock lock(mutex_);
     counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
 }
 
 } // namespace graphite

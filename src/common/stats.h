@@ -1,20 +1,33 @@
 /**
  * @file
- * Simple named-counter statistics registry.
+ * Named-statistics registry: counters, gauges, and histograms.
  *
- * Models register counters per tile under hierarchical names
- * ("tile.3.l2_cache.misses"). Counters are plain 64-bit values owned by
- * the registering model; the registry only stores (name -> pointer) so
- * increments are free of any locking on the hot path. Aggregation helpers
- * sum counters across tiles at reporting time.
+ * Models register statistics per tile under hierarchical names
+ * ("tile.3.l2_cache.misses"). Three kinds are supported:
+ *
+ *  - counters:   plain 64-bit values owned by the registering model; the
+ *    registry only stores (name -> pointer) so increments are free of
+ *    any locking on the hot path.
+ *  - gauges:     callbacks evaluated at read time, for values derived
+ *    from model state (atomic clocks, sums over components). Gauges make
+ *    interval snapshotting possible without invading every model.
+ *  - histograms: power-of-two-bucketed distributions (HistogramStat)
+ *    for latency-style values where a single counter hides the shape.
+ *
+ * Aggregation helpers sum statistics across tiles at reporting time;
+ * snapshot() flattens everything to (name, value) pairs for the
+ * obs-layer interval sampler.
  */
 
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace graphite
@@ -23,12 +36,70 @@ namespace graphite
 /** One statistic: a 64-bit counter with atomic-free single-writer usage. */
 using stat_t = std::uint64_t;
 
+/** A gauge: evaluated at read time. Must be safe to call concurrently. */
+using gauge_fn = std::function<stat_t()>;
+
 /**
- * Registry of named counters.
+ * Power-of-two-bucketed histogram of 64-bit samples.
+ *
+ * Thread-safety matches plain counters: one writer (record()), readers
+ * tolerate slightly stale values. Bucket i counts samples whose value
+ * has bit-width i, i.e. v in [2^(i-1), 2^i) for i >= 1 and v == 0 for
+ * bucket 0.
+ */
+class HistogramStat
+{
+  public:
+    static constexpr int NUM_BUCKETS = 65; ///< bit widths 0..64
+
+    /** Record one sample. */
+    void record(stat_t value);
+
+    /** @name Summary statistics @{ */
+    stat_t count() const { return count_; }
+    stat_t sum() const { return sum_; }
+    stat_t min() const { return count_ == 0 ? 0 : min_; }
+    stat_t max() const { return max_; }
+    double mean() const;
+    /** @} */
+
+    /** Count of samples in bucket @p i (bit-width i). */
+    stat_t bucket(int i) const;
+
+    /**
+     * Approximate @p p quantile (0..1): the upper bound of the bucket
+     * containing the p-th sample. Exact to within a factor of 2.
+     */
+    stat_t percentileApprox(double p) const;
+
+    /** One-line summary for reports. */
+    std::string summary() const;
+
+    /** Zero everything. */
+    void reset();
+
+  private:
+    std::array<stat_t, NUM_BUCKETS> buckets_{};
+    stat_t count_ = 0;
+    stat_t sum_ = 0;
+    stat_t min_ = ~stat_t{0};
+    stat_t max_ = 0;
+};
+
+/** How aggregation helpers treat an empty match set. */
+enum class MatchMode
+{
+    Lenient, ///< no matching statistic -> 0
+    Strict   ///< no matching statistic -> fatal (catches renamed stats)
+};
+
+/**
+ * Registry of named statistics.
  *
  * Thread-safety: registration is mutex-protected (cold path); reads used
  * for reporting take the same mutex. Counter increments touch only the
- * owner's memory.
+ * owner's memory. Gauge callbacks are invoked with the registry mutex
+ * held and must not call back into the registry.
  */
 class StatsRegistry
 {
@@ -39,32 +110,60 @@ class StatsRegistry
      */
     void registerCounter(const std::string& name, const stat_t* counter);
 
-    /** @return value of a named counter; fatal if unknown. */
-    stat_t get(const std::string& name) const;
-
-    /** @return true if the counter exists. */
-    bool has(const std::string& name) const;
+    /** Register a gauge evaluated at each read. */
+    void registerGauge(const std::string& name, gauge_fn fn);
 
     /**
-     * Sum all counters whose name matches "prefix<id>suffix" over ids —
-     * e.g. sumOver("tile.", ".l2.misses") adds tile.0.l2.misses,
-     * tile.1.l2.misses, ... Missing entries contribute zero.
+     * Register a histogram. Its ".count" and ".sum" projections appear
+     * in snapshot() so interval samplers can delta them.
+     */
+    void registerHistogram(const std::string& name,
+                           const HistogramStat* histogram);
+
+    /** @return value of a named counter or gauge; fatal if unknown. */
+    stat_t get(const std::string& name) const;
+
+    /** @return true if a statistic of any kind exists under the name. */
+    bool has(const std::string& name) const;
+
+    /** @return registered histogram, or nullptr. */
+    const HistogramStat* histogram(const std::string& name) const;
+
+    /**
+     * Sum all counters/gauges whose name matches "prefix<id>suffix" over
+     * ids — e.g. sumMatching("tile.", ".l2.misses") adds
+     * tile.0.l2.misses, tile.1.l2.misses, ...
+     *
+     * With MatchMode::Lenient (the default) an empty match set sums to
+     * zero — convenient for optional components, but silent when a stat
+     * was renamed. MatchMode::Strict makes an empty match set fatal.
      */
     stat_t sumMatching(const std::string& prefix,
-                       const std::string& suffix) const;
+                       const std::string& suffix,
+                       MatchMode mode = MatchMode::Lenient) const;
 
-    /** All registered names, sorted. */
+    /** All registered names (all kinds), sorted. */
     std::vector<std::string> names() const;
 
-    /** Render "name = value" lines for every counter. */
+    /**
+     * Flatten counters, gauges, and histogram count/sum projections to
+     * sorted (name, value) pairs — the interval sampler's input.
+     */
+    std::vector<std::pair<std::string, stat_t>> snapshot() const;
+
+    /** Render "name = value" lines for every statistic. */
     std::string dump() const;
 
     /** Drop all registrations. */
     void clear();
 
   private:
+    void checkNewName(const std::string& name) const;
+
     mutable std::mutex mutex_;
     std::map<std::string, const stat_t*> counters_;
+    std::map<std::string, gauge_fn> gauges_;
+    std::map<std::string, const HistogramStat*> histograms_;
 };
 
 } // namespace graphite

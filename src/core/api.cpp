@@ -5,6 +5,8 @@
 
 #include "common/log.h"
 #include "core/simulator.h"
+#include "obs/metrics_sampler.h"
+#include "obs/trace_event.h"
 
 namespace graphite
 {
@@ -49,6 +51,8 @@ tick(std::uint64_t instructions)
     c.sim->syncModel().periodicSync(*c.core);
     if (SkewTracker* skew = c.sim->skewTracker())
         skew->maybeSnapshot();
+    if (obs::MetricsSampler::globalEnabled())
+        obs::MetricsSampler::instance().maybeSample();
 }
 
 /** Charge the syscall cost and send a request packet to the MCP. */
@@ -90,8 +94,11 @@ recvSysReply()
     c.sim->syncModel().threadUnblocked(*c.core);
     GRAPHITE_ASSERT(pkt.sender == MCP_SENDER);
     cycle_t now = c.core->cycle();
-    if (pkt.time > now)
+    if (pkt.time > now) {
+        obs::TraceSink::complete(static_cast<std::uint32_t>(c.tile),
+                                 "sys.wait", now, pkt.time - now);
         c.core->executePseudo(PseudoInstr::SyncWait, pkt.time - now);
+    }
     return pkt;
 }
 
@@ -378,8 +385,11 @@ msgRecv()
     // clock to the packet's arrival time, then consume the "message
     // receive pseudo-instruction" (§3.1).
     cycle_t now = c.core->cycle();
-    if (pkt.time > now)
+    if (pkt.time > now) {
+        obs::TraceSink::complete(static_cast<std::uint32_t>(c.tile),
+                                 "msg.wait", now, pkt.time - now);
         c.core->executePseudo(PseudoInstr::SyncWait, pkt.time - now);
+    }
     c.core->executePseudo(PseudoInstr::MessageReceive, 1);
     tick(1);
 

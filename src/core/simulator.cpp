@@ -4,7 +4,10 @@
 #include <sstream>
 
 #include "common/log.h"
+#include "common/strfmt.h"
 #include "common/table.h"
+#include "obs/observability.h"
+#include "obs/profiler.h"
 #include "transport/socket_transport.h"
 
 namespace graphite
@@ -33,6 +36,9 @@ Simulator::Simulator(Config cfg)
             static_cast<int>(
                 cfg_.getInt("host/processes_per_machine", 1)))
 {
+    obs::Observability::instance().configure(cfg_, topo_.totalTiles());
+    GRAPHITE_PROFILE_SCOPE("sim.init");
+
     transport_ = createTransport(topo_, cfg_);
     fabric_ = std::make_unique<NetworkFabric>(topo_, cfg_);
     memory_ = std::make_unique<MemorySystem>(topo_, *fabric_, cfg_);
@@ -48,12 +54,106 @@ Simulator::Simulator(Config cfg)
     syncCheckInterval_ = cfg_.getInt("sync/check_interval", 200);
     syscallCost_ = cfg_.getInt("system/syscall_cost", 100);
     spawnCost_ = cfg_.getInt("system/spawn_cost", 1000);
+
+    registerStats();
+    obs::Observability::instance().attachSources(
+        &stats_, [this] { return simulatedTime(); },
+        [this] {
+            std::vector<double> clocks;
+            clocks.reserve(tiles_.size());
+            for (const auto& tile : tiles_) {
+                cycle_t c = tile->core().cycle();
+                if (tile->running() && c > 0)
+                    clocks.push_back(static_cast<double>(c));
+            }
+            return clocks;
+        });
 }
 
 Simulator::~Simulator()
 {
+    // If run() never completed (error paths), still flush artifacts and
+    // detach the obs layer from soon-to-die members.
+    obs::Observability::instance().finalize();
     if (currentSlot() == this)
         currentSlot() = nullptr;
+}
+
+void
+Simulator::registerStats()
+{
+    for (tile_id_t t = 0; t < topo_.totalTiles(); ++t) {
+        const CoreModel* core = &tiles_[t]->core();
+        stats_.registerGauge(strfmt("tile.{}.cycles", t),
+                             [core] { return core->cycle(); });
+        stats_.registerGauge(
+            strfmt("tile.{}.instructions", t),
+            [core] { return core->instructionsRetired(); });
+        MemorySystem* mem = memory_.get();
+        stats_.registerGauge(strfmt("tile.{}.l1d.misses", t),
+                             [mem, t]() -> stat_t {
+                                 Cache* c = mem->l1d(t);
+                                 return c ? c->misses() : 0;
+                             });
+        stats_.registerGauge(strfmt("tile.{}.l2.misses", t), [mem, t] {
+            return mem->l2(t).misses();
+        });
+    }
+
+    MemorySystem* mem = memory_.get();
+    tile_id_t n = topo_.totalTiles();
+    stats_.registerGauge("mem.l2_misses_total", [mem, n] {
+        stat_t total = 0;
+        for (tile_id_t t = 0; t < n; ++t)
+            total += mem->l2(t).misses();
+        return total;
+    });
+    stats_.registerGauge("mem.accesses_total", [mem, n] {
+        stat_t total = 0;
+        for (tile_id_t t = 0; t < n; ++t)
+            total += mem->stats(t).totalAccesses;
+        return total;
+    });
+    stats_.registerGauge("mem.writebacks_total", [mem, n] {
+        stat_t total = 0;
+        for (tile_id_t t = 0; t < n; ++t)
+            total += mem->stats(t).writebacks;
+        return total;
+    });
+    stats_.registerHistogram("mem.access_latency",
+                             &memory_->accessLatencyHistogram());
+
+    NetworkFabric* fabric = fabric_.get();
+    auto net_gauges = [&](const char* tag, PacketType type) {
+        stats_.registerGauge(strfmt("net.{}.packets", tag),
+                             [fabric, type] {
+                                 return fabric->modelFor(type)
+                                     .packetsRouted();
+                             });
+        stats_.registerGauge(strfmt("net.{}.bytes", tag),
+                             [fabric, type] {
+                                 return fabric->modelFor(type)
+                                     .bytesRouted();
+                             });
+    };
+    net_gauges("app", PacketType::App);
+    net_gauges("memory", PacketType::Memory);
+    net_gauges("system", PacketType::System);
+
+    SyncModel* sync = sync_.get();
+    stats_.registerGauge("sync.events",
+                         [sync] { return sync->syncEvents(); });
+    stats_.registerGauge("sync.wait_us", [sync] {
+        return sync->syncWaitMicroseconds();
+    });
+
+    ThreadManager* threads = threads_.get();
+    stats_.registerGauge("threads.spawned",
+                         [threads] { return threads->threadsSpawned(); });
+    stats_.registerGauge("syscalls.total",
+                         [threads] { return threads->totalSyscalls(); });
+    stats_.registerGauge("sim.cycles_max",
+                         [this] { return simulatedTime(); });
 }
 
 void
@@ -83,12 +183,16 @@ Simulator::run(thread_func_t app_main, void* arg)
     currentSlot() = this;
 
     auto t0 = std::chrono::steady_clock::now();
-    threads_->start();
-    threads_->launchMain(app_main, arg);
-    threads_->waitForShutdown();
+    {
+        GRAPHITE_PROFILE_SCOPE("sim.run");
+        threads_->start();
+        threads_->launchMain(app_main, arg);
+        threads_->waitForShutdown();
+    }
     auto t1 = std::chrono::steady_clock::now();
 
     currentSlot() = nullptr;
+    obs::Observability::instance().finalize();
 
     SimulationSummary summary;
     summary.simulatedCycles = simulatedTime();
@@ -175,6 +279,11 @@ Simulator::statsReport() const
                    std::to_string(ms.writebacks)});
     }
     os << tiles.render();
+
+    if (obs::HostProfiler::instance().enabled()) {
+        os << "\n=== host self-profile ===\n";
+        os << obs::HostProfiler::instance().report();
+    }
     return os.str();
 }
 

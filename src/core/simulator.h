@@ -27,6 +27,7 @@
 
 #include "common/config.h"
 #include "common/fixed_types.h"
+#include "common/stats.h"
 #include "core/thread_manager.h"
 #include "core/tile.h"
 #include "mem/memory_system.h"
@@ -93,6 +94,13 @@ class Simulator
     void attachSkewTracker(SkewTracker* tracker);
     SkewTracker* skewTracker() { return skew_; }
 
+    /**
+     * The simulation's statistics registry: gauges over every model's
+     * headline counters plus the memory-latency histogram, registered
+     * at construction. Input of the obs-layer interval sampler.
+     */
+    const StatsRegistry& stats() const { return stats_; }
+
     /** Cycles between periodic sync-model checks. */
     cycle_t syncCheckInterval() const { return syncCheckInterval_; }
 
@@ -112,6 +120,8 @@ class Simulator
     friend class ThreadManager;
     static Simulator*& currentSlot();
 
+    void registerStats();
+
     Config cfg_;
     ClusterTopology topo_;
     std::unique_ptr<Transport> transport_;
@@ -120,6 +130,7 @@ class Simulator
     std::unique_ptr<SyncModel> sync_;
     std::vector<std::unique_ptr<Tile>> tiles_;
     std::unique_ptr<ThreadManager> threads_;
+    StatsRegistry stats_;
     SkewTracker* skew_ = nullptr;
     cycle_t syncCheckInterval_;
     cycle_t syscallCost_;

@@ -6,6 +6,8 @@
 #include "common/log.h"
 #include "core/api.h"
 #include "core/simulator.h"
+#include "obs/profiler.h"
+#include "obs/trace_event.h"
 
 namespace graphite
 {
@@ -100,12 +102,16 @@ ThreadManager::appTrampoline(tile_id_t tile, thread_func_t func,
     t.setOccupied(true);
     t.setRunning(true);
     sim_.syncModel().threadStart(core);
+    cycle_t trace_start = core.cycle();
 
     func(arg);
 
     sim_.syncModel().threadExit(core);
     t.setRunning(false);
     t.setOccupied(false);
+    obs::TraceSink::complete(static_cast<std::uint32_t>(tile),
+                             is_main ? "thread.main" : "thread",
+                             trace_start, core.cycle() - trace_start);
 
     // Tell the MCP this tile is free; join waiters observe our clock.
     SysMsgHeader hdr{SysMsgType::ThreadExit, tile, core.cycle()};
@@ -191,9 +197,14 @@ ThreadManager::mcpLoop()
 {
     endpoint_id_t ep = sim_.topology().mcpEndpoint();
     while (!shutdownDone_) {
-        TransportBuffer buf = sim_.transport().recv(ep);
+        TransportBuffer buf;
+        {
+            GRAPHITE_PROFILE_SCOPE("mcp.recv_wait");
+            buf = sim_.transport().recv(ep);
+        }
         if (buf.src < 0)
             return;
+        GRAPHITE_PROFILE_SCOPE("mcp.dispatch");
         NetPacket pkt = NetPacket::deserialize(buf.data);
         SysMsgHeader hdr = peekHeader(pkt.payload);
         switch (hdr.type) {
@@ -256,6 +267,11 @@ ThreadManager::handleSpawn(const SysMsgHeader& hdr, const SpawnBody& body)
         exitClock_.erase(chosen);
         reply.error = 0;
         reply.tile = chosen;
+        obs::TraceSink::instant(
+            static_cast<std::uint32_t>(sim_.topology().totalTiles()),
+            "mcp.spawn", hdr.timestamp, "tile", chosen);
+        debugc("core", "spawn: tile {} requested, tile {} chosen",
+               hdr.srcTile, chosen);
 
         SysMsgHeader fwd{SysMsgType::SpawnToLcp, hdr.srcTile,
                          hdr.timestamp};

@@ -4,6 +4,7 @@
 
 #include "common/config.h"
 #include "common/log.h"
+#include "obs/trace_event.h"
 
 namespace graphite
 {
@@ -171,7 +172,8 @@ MemorySystem::classifyMiss(tile_id_t tile, addr_t line_addr, addr_t addr,
 }
 
 void
-MemorySystem::recordMiss(TileMemory& tm, MissClass mc)
+MemorySystem::recordMiss(tile_id_t tile, TileMemory& tm, MissClass mc,
+                         cycle_t time)
 {
     switch (mc) {
       case MissClass::Cold: ++tm.stats.l2ColdMisses; break;
@@ -181,8 +183,11 @@ MemorySystem::recordMiss(TileMemory& tm, MissClass mc)
         ++tm.stats.l2FalseSharingMisses;
         break;
       case MissClass::Upgrade: ++tm.stats.l2UpgradeMisses; break;
-      case MissClass::None: break;
+      case MissClass::None: return;
     }
+    obs::TraceSink::instant(static_cast<std::uint32_t>(tile), "l2.miss",
+                            time, "class",
+                            static_cast<std::int64_t>(mc));
 }
 
 // ----------------------------------------------------------- functional ops
@@ -466,6 +471,7 @@ MemorySystem::accessLine(tile_id_t tile, MemAccessType type, addr_t addr,
             res.l1Hit = true;
             ++tm.stats.totalAccesses;
             tm.stats.totalLatency += res.latency;
+            accessLatency_.record(res.latency);
             return res;
         }
         // Writes always continue to the L2 (write-through L1).
@@ -479,7 +485,7 @@ MemorySystem::accessLine(tile_id_t tile, MemAccessType type, addr_t addr,
         res.latency += fetchLine(tile, line_addr, is_write, addr, size,
                                  start_time + res.latency, mc);
         res.missClass = mc;
-        recordMiss(tm, mc);
+        recordMiss(tile, tm, mc, start_time + res.latency);
         l2line = tm.l2->find(line_addr);
         GRAPHITE_ASSERT(l2line != nullptr);
     } else {
@@ -507,6 +513,7 @@ MemorySystem::accessLine(tile_id_t tile, MemAccessType type, addr_t addr,
 
     ++tm.stats.totalAccesses;
     tm.stats.totalLatency += res.latency;
+    accessLatency_.record(res.latency);
     return res;
 }
 
@@ -560,7 +567,7 @@ MemorySystem::atomicRmw(tile_id_t tile, addr_t addr, size_t size,
         res.latency += fetchLine(tile, line_addr, /*for_write=*/true,
                                  addr, size, start_time + res.latency,
                                  mc);
-        recordMiss(tm, mc);
+        recordMiss(tile, tm, mc, start_time + res.latency);
         l2line = tm.l2->find(line_addr);
         GRAPHITE_ASSERT(l2line != nullptr);
     }

@@ -152,6 +152,13 @@ class MemorySystem
     const TileMemoryStats& stats(tile_id_t tile) const;
     MemoryManager& manager() { return *manager_; }
     MainMemory& backing() { return backing_; }
+
+    /** Distribution of end-to-end application access latencies. */
+    HistogramStat& accessLatencyHistogram() { return accessLatency_; }
+    const HistogramStat& accessLatencyHistogram() const
+    {
+        return accessLatency_;
+    }
     /** @} */
 
     /** Home tile of the line containing @p addr. */
@@ -229,7 +236,8 @@ class MemorySystem
     MissClass classifyMiss(tile_id_t tile, addr_t line_addr, addr_t addr,
                            size_t size);
 
-    void recordMiss(TileMemory& tm, MissClass mc);
+    void recordMiss(tile_id_t tile, TileMemory& tm, MissClass mc,
+                    cycle_t time);
 
     /** Bump per-word versions for a write of [addr, addr+size). */
     void bumpVersions(addr_t addr, size_t size);
@@ -251,6 +259,7 @@ class MemorySystem
     bool mesi_ = false;
     std::mutex engineMutex_;
     std::vector<TileMemory> tiles_;
+    HistogramStat accessLatency_;
     MainMemory backing_;
     std::unique_ptr<MemoryManager> manager_;
     /** Per-line, per-word write version counters (classification). */

@@ -2,6 +2,7 @@
 
 #include "common/config.h"
 #include "common/log.h"
+#include "obs/trace_event.h"
 
 namespace graphite
 {
@@ -121,9 +122,12 @@ Network::send(PacketType type, tile_id_t dst,
     pkt.sender = tile_;
     pkt.receiver = dst;
     pkt.payload = std::move(payload);
-    cycle_t latency = fabric_.model(type, tile_, dst, pkt.modeledBytes(),
-                                    send_time);
+    size_t bytes = pkt.modeledBytes();
+    cycle_t latency = fabric_.model(type, tile_, dst, bytes, send_time);
     pkt.time = send_time + latency;
+    obs::TraceSink::complete(static_cast<std::uint32_t>(tile_),
+                             "net.send", send_time, latency, "bytes",
+                             static_cast<std::int64_t>(bytes));
     transport_.send(fabric_.topology().tileEndpoint(tile_),
                     fabric_.topology().tileEndpoint(dst),
                     pkt.serialize());
@@ -145,8 +149,11 @@ NetPacket
 Network::recv(PacketType type)
 {
     NetPacket out;
-    if (popPending(type, out))
+    if (popPending(type, out)) {
+        obs::TraceSink::instant(static_cast<std::uint32_t>(tile_),
+                                "net.recv", out.time);
         return out;
+    }
     while (true) {
         TransportBuffer buf = transport_.recv(
             fabric_.topology().tileEndpoint(tile_));
@@ -158,8 +165,11 @@ Network::recv(PacketType type)
             return out;
         }
         NetPacket pkt = NetPacket::deserialize(buf.data);
-        if (pkt.type == type)
+        if (pkt.type == type) {
+            obs::TraceSink::instant(static_cast<std::uint32_t>(tile_),
+                                    "net.recv", pkt.time);
             return pkt;
+        }
         std::scoped_lock lock(stashMutex_);
         stash_[static_cast<int>(pkt.type)].push_back(std::move(pkt));
     }

@@ -1,0 +1,226 @@
+#include "obs/metrics_sampler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace graphite
+{
+namespace obs
+{
+
+std::atomic<bool> MetricsSampler::enabledFlag_{false};
+
+MetricsSampler&
+MetricsSampler::instance()
+{
+    static MetricsSampler sampler;
+    return sampler;
+}
+
+void
+MetricsSampler::setGlobalEnabled(bool on)
+{
+    enabledFlag_.store(on, std::memory_order_relaxed);
+}
+
+void
+MetricsSampler::configure(const StatsRegistry* registry, cycle_t interval,
+                          std::string out_path,
+                          std::function<cycle_t()> now,
+                          std::function<std::vector<double>()>
+                              active_clocks)
+{
+    if (interval == 0)
+        fatal("metrics: interval must be positive");
+    std::scoped_lock lock(mutex_);
+    registry_ = registry;
+    interval_ = interval;
+    outPath_ = std::move(out_path);
+    now_ = std::move(now);
+    activeClocks_ = std::move(active_clocks);
+    start_ = std::chrono::steady_clock::now();
+
+    columns_.clear();
+    prevValues_.clear();
+    for (auto& [name, value] : registry_->snapshot()) {
+        columns_.push_back(name);
+        prevValues_.push_back(value);
+    }
+    lastSampleCycle_ = 0;
+    nextSample_.store(interval_, std::memory_order_relaxed);
+    rows_.clear();
+    finalized_ = false;
+}
+
+void
+MetricsSampler::maybeSample()
+{
+    // Racy pre-check: worth it because this runs from every application
+    // thread's periodic sync hook. The boundary is re-checked under the
+    // lock before sampling.
+    cycle_t next = nextSample_.load(std::memory_order_relaxed);
+    if (next == INVALID_CYCLE)
+        return;
+    cycle_t now = now_ ? now_() : 0;
+    if (now < next)
+        return;
+
+    std::scoped_lock lock(mutex_);
+    if (registry_ == nullptr || finalized_)
+        return;
+    if (now < nextSample_.load(std::memory_order_relaxed))
+        return; // another thread beat us to this interval
+    sampleLocked(now);
+    // Skip boundaries the run jumped over (lax clocks can leap).
+    cycle_t target = nextSample_.load(std::memory_order_relaxed);
+    while (target <= now)
+        target += interval_;
+    nextSample_.store(target, std::memory_order_relaxed);
+}
+
+void
+MetricsSampler::sampleLocked(cycle_t now)
+{
+    Row row;
+    row.index = rows_.size();
+    row.startCycle = lastSampleCycle_;
+    row.endCycle = now;
+    row.wallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+
+    if (activeClocks_) {
+        std::vector<double> clocks = activeClocks_();
+        if (clocks.size() >= 2) {
+            double sum = 0;
+            for (double c : clocks)
+                sum += c;
+            double mean = sum / static_cast<double>(clocks.size());
+            row.skewMax = -1e300;
+            row.skewMin = 1e300;
+            for (double c : clocks) {
+                row.skewMax = std::max(row.skewMax, c - mean);
+                row.skewMin = std::min(row.skewMin, c - mean);
+            }
+        }
+    }
+
+    auto snap = registry_->snapshot();
+    row.deltas.assign(columns_.size(), 0);
+    // The column set is fixed at configure(); stats registered later in
+    // the run are ignored (documented behavior, keeps rows rectangular).
+    std::size_t si = 0;
+    for (std::size_t ci = 0; ci < columns_.size(); ++ci) {
+        while (si < snap.size() && snap[si].first < columns_[ci])
+            ++si;
+        if (si < snap.size() && snap[si].first == columns_[ci]) {
+            row.deltas[ci] =
+                static_cast<std::int64_t>(snap[si].second) -
+                static_cast<std::int64_t>(prevValues_[ci]);
+            prevValues_[ci] = snap[si].second;
+        }
+    }
+
+    lastSampleCycle_ = now;
+    rows_.push_back(std::move(row));
+}
+
+std::size_t
+MetricsSampler::rowCount() const
+{
+    std::scoped_lock lock(mutex_);
+    return rows_.size();
+}
+
+std::vector<std::string>
+MetricsSampler::columns() const
+{
+    std::scoped_lock lock(mutex_);
+    return columns_;
+}
+
+MetricsSampler::Row
+MetricsSampler::row(std::size_t i) const
+{
+    std::scoped_lock lock(mutex_);
+    GRAPHITE_ASSERT(i < rows_.size());
+    return rows_[i];
+}
+
+std::string
+MetricsSampler::render() const
+{
+    std::scoped_lock lock(mutex_);
+    return renderLocked();
+}
+
+std::string
+MetricsSampler::renderLocked() const
+{
+    bool jsonl = outPath_.size() >= 6 &&
+                 outPath_.compare(outPath_.size() - 6, 6, ".jsonl") == 0;
+    std::ostringstream os;
+    if (jsonl) {
+        for (const Row& r : rows_) {
+            os << "{\"interval\":" << r.index << ",\"start_cycle\":"
+               << r.startCycle << ",\"end_cycle\":" << r.endCycle
+               << ",\"wall_seconds\":" << r.wallSeconds
+               << ",\"skew_max_cycles\":" << r.skewMax
+               << ",\"skew_min_cycles\":" << r.skewMin
+               << ",\"counters\":{";
+            for (std::size_t i = 0; i < columns_.size(); ++i) {
+                if (i != 0)
+                    os << ",";
+                os << "\"" << columns_[i] << "\":" << r.deltas[i];
+            }
+            os << "}}\n";
+        }
+    } else {
+        os << "interval,start_cycle,end_cycle,wall_seconds,"
+              "skew_max_cycles,skew_min_cycles";
+        for (const std::string& c : columns_)
+            os << "," << c;
+        os << "\n";
+        for (const Row& r : rows_) {
+            os << r.index << "," << r.startCycle << "," << r.endCycle
+               << "," << r.wallSeconds << "," << r.skewMax << ","
+               << r.skewMin;
+            for (std::int64_t d : r.deltas)
+                os << "," << d;
+            os << "\n";
+        }
+    }
+    return os.str();
+}
+
+void
+MetricsSampler::finalize()
+{
+    std::scoped_lock lock(mutex_);
+    if (finalized_ || registry_ == nullptr)
+        return;
+    // Tail interval: whatever accumulated since the last boundary.
+    cycle_t now = now_ ? now_() : 0;
+    if (now > lastSampleCycle_)
+        sampleLocked(now);
+    finalized_ = true;
+    nextSample_.store(INVALID_CYCLE, std::memory_order_relaxed);
+    registry_ = nullptr;
+    now_ = nullptr;
+    activeClocks_ = nullptr;
+
+    if (outPath_.empty())
+        return;
+    std::string doc = renderLocked();
+    std::FILE* f = std::fopen(outPath_.c_str(), "wb");
+    if (f == nullptr)
+        fatal("metrics: cannot open '{}' for writing", outPath_);
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+}
+
+} // namespace obs
+} // namespace graphite

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Interval metrics snapshots: per-interval deltas of every registered
+ * statistic, written as CSV (default) or JSONL.
+ *
+ * The sampler periodically (every metrics_interval simulated cycles)
+ * snapshots a StatsRegistry — counters, gauges, and histogram
+ * count/sum projections — and records the delta of each value against
+ * the previous snapshot, together with derived clock-skew columns
+ * computed from the active tiles' clocks. This turns the paper's
+ * time-series figures (Fig. 7 skew-over-time, per-tile cache behavior)
+ * into a one-flag feature instead of a bespoke bench harness.
+ *
+ * Sampling is driven opportunistically from the application threads'
+ * periodic sync checks (the same hook that feeds SkewTracker): whichever
+ * thread first observes simulated time crossing the next interval
+ * boundary takes the snapshot. Rows are buffered in memory and written
+ * at finalize(), so the hot path never touches the filesystem.
+ *
+ * Hot-path discipline mirrors TraceSink: globalEnabled() is one relaxed
+ * atomic load; everything else happens only when the feature is on.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/fixed_types.h"
+#include "common/stats.h"
+
+namespace graphite
+{
+namespace obs
+{
+
+/** Periodic snapshotter of a StatsRegistry. */
+class MetricsSampler
+{
+  public:
+    /** The sampler wired into the simulator's periodic sync hook. */
+    static MetricsSampler& instance();
+
+    /** Cached enable flag for the global instance (hot-path check). */
+    static bool
+    globalEnabled()
+    {
+        return enabledFlag_.load(std::memory_order_relaxed);
+    }
+
+    static void setGlobalEnabled(bool on);
+
+    /**
+     * (Re)initialize for a run. Fixes the column set from the registry's
+     * current contents and discards previous rows.
+     *
+     * @param registry       source of counters/gauges; must outlive the
+     *                       sampler or be detached via finalize()
+     * @param interval       simulated cycles between rows (> 0)
+     * @param out_path       output file; ".jsonl" suffix selects JSONL,
+     *                       anything else CSV. Empty = render-only (tests)
+     * @param now            returns current simulated time (max tile clock)
+     * @param active_clocks  returns the clocks of currently-running tiles
+     *                       (for the derived skew columns); may be empty
+     */
+    void configure(const StatsRegistry* registry, cycle_t interval,
+                   std::string out_path, std::function<cycle_t()> now,
+                   std::function<std::vector<double>()> active_clocks);
+
+    /**
+     * Take a snapshot if simulated time has crossed the next interval
+     * boundary. Thread-safe; cheap when below the boundary.
+     */
+    void maybeSample();
+
+    /**
+     * Record the tail interval, write the output file (if a path was
+     * configured), and detach from the registry. Idempotent.
+     */
+    void finalize();
+
+    /** Rows recorded so far. */
+    std::size_t rowCount() const;
+
+    /** Column names, in output order (after the fixed lead columns). */
+    std::vector<std::string> columns() const;
+
+    /** Render the full output document (CSV or JSONL) as a string. */
+    std::string render() const;
+
+    /** One snapshot row (exposed for unit tests). */
+    struct Row
+    {
+        std::uint64_t index = 0;
+        cycle_t startCycle = 0;
+        cycle_t endCycle = 0;
+        double wallSeconds = 0;
+        double skewMax = 0; ///< max (clock − mean), active tiles, cycles
+        double skewMin = 0; ///< min (clock − mean), active tiles, cycles
+        std::vector<std::int64_t> deltas; ///< parallel to columns()
+    };
+
+    /** Copy of row @p i (for unit tests). */
+    Row row(std::size_t i) const;
+
+  private:
+    void sampleLocked(cycle_t now);
+    std::string renderLocked() const;
+
+    static std::atomic<bool> enabledFlag_;
+
+    mutable std::mutex mutex_;
+    const StatsRegistry* registry_ = nullptr;
+    cycle_t interval_ = 0;
+    std::string outPath_;
+    std::function<cycle_t()> now_;
+    std::function<std::vector<double>()> activeClocks_;
+    std::chrono::steady_clock::time_point start_;
+
+    std::vector<std::string> columns_;
+    std::vector<stat_t> prevValues_;
+    cycle_t lastSampleCycle_ = 0;
+    std::atomic<cycle_t> nextSample_{INVALID_CYCLE};
+    std::vector<Row> rows_;
+    bool finalized_ = true;
+};
+
+} // namespace obs
+} // namespace graphite

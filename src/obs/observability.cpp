@@ -1,0 +1,100 @@
+#include "obs/observability.h"
+
+#include "common/config.h"
+#include "common/log.h"
+#include "common/strfmt.h"
+#include "obs/metrics_sampler.h"
+#include "obs/profiler.h"
+#include "obs/trace_event.h"
+
+namespace graphite
+{
+namespace obs
+{
+
+Observability&
+Observability::instance()
+{
+    static Observability obs;
+    return obs;
+}
+
+void
+Observability::configure(const Config& cfg, tile_id_t total_tiles)
+{
+    // A previous run that never reached finalize() (e.g. a test that
+    // threw) must not leak its artifacts into this run.
+    finalize();
+
+    tracePath_ = cfg.getString("obs/trace_out", "");
+    metricsPath_ = cfg.getString("obs/metrics_out", "");
+    metricsInterval_ = static_cast<cycle_t>(
+        cfg.getInt("obs/metrics_interval", 100000));
+    selfProfile_ = cfg.getBool("obs/self_profile", false);
+    finalized_ = false;
+
+    TraceSink& sink = TraceSink::instance();
+    sink.reset();
+    if (traceEnabled()) {
+        auto capacity = static_cast<std::size_t>(
+            cfg.getInt("obs/trace_buffer_capacity", 65536));
+        // One lane per tile plus one for the MCP service thread.
+        sink.configure(static_cast<std::uint32_t>(total_tiles) + 1,
+                       capacity);
+        for (tile_id_t t = 0; t < total_tiles; ++t)
+            sink.setLaneName(static_cast<std::uint32_t>(t),
+                             strfmt("tile {}", t));
+        sink.setLaneName(static_cast<std::uint32_t>(total_tiles), "mcp");
+        sink.setEnabled(true);
+    }
+
+    HostProfiler::instance().reset();
+    HostProfiler::instance().setEnabled(selfProfile_);
+
+    if (cfg.has("log/filter"))
+        setLogFilter(cfg.getString("log/filter"));
+}
+
+void
+Observability::attachSources(const StatsRegistry* registry,
+                             std::function<cycle_t()> now,
+                             std::function<std::vector<double>()>
+                                 active_clocks)
+{
+    if (!metricsEnabled())
+        return;
+    MetricsSampler& sampler = MetricsSampler::instance();
+    sampler.configure(registry, metricsInterval_, metricsPath_,
+                      std::move(now), std::move(active_clocks));
+    MetricsSampler::setGlobalEnabled(true);
+}
+
+void
+Observability::finalize()
+{
+    if (finalized_)
+        return;
+    finalized_ = true;
+
+    if (metricsEnabled()) {
+        MetricsSampler::setGlobalEnabled(false);
+        MetricsSampler& sampler = MetricsSampler::instance();
+        sampler.finalize();
+        informc("obs", "wrote {} metrics intervals to {}",
+                sampler.rowCount(), metricsPath_);
+    }
+
+    if (traceEnabled()) {
+        TraceSink& sink = TraceSink::instance();
+        sink.setEnabled(false);
+        sink.writeFile(tracePath_);
+        informc("obs", "wrote {} trace events to {} ({} dropped)",
+                sink.recorded(), tracePath_, sink.dropped());
+    }
+
+    // The self-profiler keeps its data so post-run reports can render
+    // it; the next configure() resets the accumulators.
+}
+
+} // namespace obs
+} // namespace graphite

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Observability facade: configures the three obs pillars — event
+ * tracer, interval metrics sampler, host self-profiler — from config
+ * keys and owns artifact emission at end of run.
+ *
+ * Config keys (all off by default; see graphite.cfg [obs]):
+ *   obs/trace_out              trace JSON path; non-empty enables tracing
+ *   obs/trace_buffer_capacity  events kept per lane (default 65536)
+ *   obs/metrics_out            metrics path (.csv or .jsonl); enables
+ *                              interval snapshots when non-empty
+ *   obs/metrics_interval       simulated cycles per row (default 100000)
+ *   obs/self_profile           bool; enables host profiling scopes
+ *   log/filter                 component log filter spec (convenience)
+ *
+ * Lifecycle: Simulator's constructor calls configure() (resetting all
+ * global sinks for the new run) and attachSources() once its components
+ * exist; Simulator::run() and ~Simulator() call finalize(), which writes
+ * the artifacts exactly once and detaches from simulator-owned state so
+ * nothing dangles after the Simulator dies.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/fixed_types.h"
+
+namespace graphite
+{
+
+class Config;
+class StatsRegistry;
+
+namespace obs
+{
+
+/** Process-global observability coordinator. */
+class Observability
+{
+  public:
+    static Observability& instance();
+
+    /**
+     * Read config and arm the pillars for a run over @p total_tiles
+     * tiles. Resets all previously recorded data.
+     */
+    void configure(const Config& cfg, tile_id_t total_tiles);
+
+    /**
+     * Wire simulator-owned data sources into the metrics sampler.
+     * @param registry       the simulator's stats registry
+     * @param now            current simulated time (max tile clock)
+     * @param active_clocks  clocks of currently-running tiles
+     */
+    void attachSources(const StatsRegistry* registry,
+                       std::function<cycle_t()> now,
+                       std::function<std::vector<double>()>
+                           active_clocks);
+
+    /**
+     * Write trace/metrics artifacts (when enabled) and detach from
+     * simulator state. Idempotent; the self-profiler stays readable so
+     * post-run reports can include it.
+     */
+    void finalize();
+
+    bool traceEnabled() const { return !tracePath_.empty(); }
+    bool metricsEnabled() const { return !metricsPath_.empty(); }
+    bool selfProfileEnabled() const { return selfProfile_; }
+    const std::string& tracePath() const { return tracePath_; }
+    const std::string& metricsPath() const { return metricsPath_; }
+
+  private:
+    std::string tracePath_;
+    std::string metricsPath_;
+    cycle_t metricsInterval_ = 0;
+    bool selfProfile_ = false;
+    bool finalized_ = true;
+};
+
+} // namespace obs
+} // namespace graphite

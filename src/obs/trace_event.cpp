@@ -1,0 +1,252 @@
+#include "obs/trace_event.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace graphite
+{
+namespace obs
+{
+
+std::atomic<bool> TraceSink::enabledFlag_{false};
+
+TraceSink&
+TraceSink::instance()
+{
+    static TraceSink sink;
+    return sink;
+}
+
+void
+TraceSink::configure(std::uint32_t num_lanes, std::size_t capacity)
+{
+    std::scoped_lock lock(configMutex_);
+    lanes_.clear();
+    lanes_.reserve(num_lanes);
+    for (std::uint32_t i = 0; i < num_lanes; ++i) {
+        auto lane = std::make_unique<Lane>();
+        lane->events.reserve(capacity);
+        lanes_.push_back(std::move(lane));
+    }
+    capacity_ = capacity;
+}
+
+void
+TraceSink::setEnabled(bool on)
+{
+    enabledFlag_.store(on, std::memory_order_relaxed);
+}
+
+void
+TraceSink::setLaneName(std::uint32_t lane, std::string name)
+{
+    std::scoped_lock lock(configMutex_);
+    if (lane < lanes_.size())
+        lanes_[lane]->name = std::move(name);
+}
+
+void
+TraceSink::record(const TraceEvent& ev)
+{
+    // The lanes_ vector shape is fixed between configure() calls, and
+    // instrumentation only runs while a simulation is live, so indexing
+    // without configMutex_ is safe; events from an unconfigured or
+    // out-of-range lane are dropped.
+    if (ev.lane >= lanes_.size())
+        return;
+    Lane& lane = *lanes_[ev.lane];
+    std::scoped_lock lock(lane.mutex);
+    if (lane.events.size() >= capacity_) {
+        ++lane.dropped;
+        return;
+    }
+    lane.events.push_back(ev);
+}
+
+void
+TraceSink::complete(std::uint32_t lane, const char* name, cycle_t ts,
+                    cycle_t dur, const char* arg_name, std::int64_t arg)
+{
+    if (!enabled())
+        return;
+    TraceEvent ev;
+    ev.name = name;
+    ev.argName = arg_name;
+    ev.ts = ts;
+    ev.dur = dur;
+    ev.arg = arg;
+    ev.lane = lane;
+    ev.phase = 'X';
+    instance().record(ev);
+}
+
+void
+TraceSink::instant(std::uint32_t lane, const char* name, cycle_t ts,
+                   const char* arg_name, std::int64_t arg)
+{
+    if (!enabled())
+        return;
+    TraceEvent ev;
+    ev.name = name;
+    ev.argName = arg_name;
+    ev.ts = ts;
+    ev.arg = arg;
+    ev.lane = lane;
+    ev.phase = 'i';
+    instance().record(ev);
+}
+
+void
+TraceSink::counter(std::uint32_t lane, const char* name, cycle_t ts,
+                   std::int64_t value)
+{
+    if (!enabled())
+        return;
+    TraceEvent ev;
+    ev.name = name;
+    ev.ts = ts;
+    ev.arg = value;
+    ev.lane = lane;
+    ev.phase = 'C';
+    instance().record(ev);
+}
+
+std::size_t
+TraceSink::recorded() const
+{
+    std::scoped_lock lock(configMutex_);
+    std::size_t total = 0;
+    for (const auto& lane : lanes_) {
+        std::scoped_lock ll(lane->mutex);
+        total += lane->events.size();
+    }
+    return total;
+}
+
+std::size_t
+TraceSink::dropped() const
+{
+    std::scoped_lock lock(configMutex_);
+    std::size_t total = 0;
+    for (const auto& lane : lanes_) {
+        std::scoped_lock ll(lane->mutex);
+        total += lane->dropped;
+    }
+    return total;
+}
+
+namespace
+{
+
+/** Escape a string for a JSON string literal. */
+void
+appendEscaped(std::ostringstream& os, std::string_view s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::string
+TraceSink::toJson() const
+{
+    std::scoped_lock lock(configMutex_);
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    std::uint64_t total_dropped = 0;
+
+    for (std::size_t li = 0; li < lanes_.size(); ++li) {
+        const Lane& lane = *lanes_[li];
+        std::scoped_lock ll(lane.mutex);
+        total_dropped += lane.dropped;
+
+        if (!lane.name.empty()) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                  "\"tid\":"
+               << li << ",\"args\":{\"name\":\"";
+            appendEscaped(os, lane.name);
+            os << "\"}}";
+        }
+
+        // Events are appended in recording order, which is ts order per
+        // lane up to cross-thread jitter; sort so viewers get a clean
+        // timeline.
+        std::vector<TraceEvent> evs = lane.events;
+        std::stable_sort(evs.begin(), evs.end(),
+                         [](const TraceEvent& a, const TraceEvent& b) {
+                             return a.ts < b.ts;
+                         });
+        for (const TraceEvent& ev : evs) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << "{\"name\":\"";
+            appendEscaped(os, ev.name);
+            os << "\",\"ph\":\"" << ev.phase << "\",\"pid\":0,\"tid\":"
+               << ev.lane << ",\"ts\":" << ev.ts;
+            if (ev.phase == 'X')
+                os << ",\"dur\":" << ev.dur;
+            if (ev.phase == 'i')
+                os << ",\"s\":\"t\"";
+            if (ev.phase == 'C') {
+                os << ",\"args\":{\"value\":" << ev.arg << "}";
+            } else if (ev.argName != nullptr) {
+                os << ",\"args\":{\"";
+                appendEscaped(os, ev.argName);
+                os << "\":" << ev.arg << "}";
+            }
+            os << "}";
+        }
+    }
+
+    os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+          "\"generator\":\"graphite-obs\",\"timeUnit\":"
+          "\"simulated cycles as us\",\"droppedEvents\":"
+       << total_dropped << "}}";
+    return os.str();
+}
+
+void
+TraceSink::writeFile(const std::string& path) const
+{
+    std::string json = toJson();
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        fatal("trace: cannot open '{}' for writing", path);
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+}
+
+void
+TraceSink::reset()
+{
+    setEnabled(false);
+    std::scoped_lock lock(configMutex_);
+    lanes_.clear();
+    capacity_ = 0;
+}
+
+} // namespace obs
+} // namespace graphite

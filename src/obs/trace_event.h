@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Chrome trace_event sink: low-overhead, per-lane ring-buffered event
+ * recording, exported as JSON loadable by chrome://tracing and Perfetto.
+ *
+ * Lanes map to Chrome "threads": one lane per target tile plus one for
+ * the MCP service thread. Timestamps are *simulated* cycles rendered as
+ * trace microseconds (1 cycle == 1 us of display time), so the viewer
+ * shows target time, not host time.
+ *
+ * Hot-path discipline: every recording helper first checks a cached
+ * process-global enable flag (one relaxed atomic load, no locks). When
+ * disabled — the default — instrumentation points cost a predicted
+ * branch. When enabled, a per-lane mutex guards the lane's ring; lanes
+ * are effectively single-writer (a tile's events come from the thread
+ * occupying it), so contention is nil. Rings overwrite nothing: once a
+ * lane is full further events are dropped and counted, keeping the
+ * *beginning* of the run — the part whose thread-spawn structure makes
+ * the rest interpretable.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/fixed_types.h"
+
+namespace graphite
+{
+namespace obs
+{
+
+/** One recorded event. Names must be string literals (never freed). */
+struct TraceEvent
+{
+    const char* name = nullptr;
+    const char* argName = nullptr; ///< nullptr = no argument
+    cycle_t ts = 0;                ///< simulated cycles
+    cycle_t dur = 0;               ///< for phase 'X' only
+    std::int64_t arg = 0;
+    std::uint32_t lane = 0;
+    char phase = 'i'; ///< 'X' complete, 'i' instant, 'C' counter
+};
+
+/** Process-global trace sink. */
+class TraceSink
+{
+  public:
+    /** The sink used by all instrumentation points. */
+    static TraceSink& instance();
+
+    /** Cached enable flag — the only hot-path check. */
+    static bool
+    enabled()
+    {
+        return enabledFlag_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * (Re)initialize for a run: @p num_lanes rings of @p capacity events
+     * each. Discards previously recorded events.
+     */
+    void configure(std::uint32_t num_lanes, std::size_t capacity);
+
+    void setEnabled(bool on);
+
+    /** Label a lane ("tile 3", "mcp") for the viewer's thread list. */
+    void setLaneName(std::uint32_t lane, std::string name);
+
+    /** @name Recording (no-ops while disabled) @{ */
+    static void complete(std::uint32_t lane, const char* name, cycle_t ts,
+                         cycle_t dur, const char* arg_name = nullptr,
+                         std::int64_t arg = 0);
+    static void instant(std::uint32_t lane, const char* name, cycle_t ts,
+                        const char* arg_name = nullptr,
+                        std::int64_t arg = 0);
+    static void counter(std::uint32_t lane, const char* name, cycle_t ts,
+                        std::int64_t value);
+    /** @} */
+
+    /** Events currently held across all lanes. */
+    std::size_t recorded() const;
+
+    /** Events rejected because their lane's ring was full. */
+    std::size_t dropped() const;
+
+    /** Render the Chrome trace JSON document. */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; fatal if the file cannot be written. */
+    void writeFile(const std::string& path) const;
+
+    /** Drop all lanes and recorded events; leaves the sink disabled. */
+    void reset();
+
+  private:
+    struct Lane
+    {
+        mutable std::mutex mutex;
+        std::vector<TraceEvent> events; ///< reserve(capacity), append-only
+        std::uint64_t dropped = 0;
+        std::string name;
+    };
+
+    void record(const TraceEvent& ev);
+
+    static std::atomic<bool> enabledFlag_;
+
+    mutable std::mutex configMutex_; ///< guards lanes_ vector shape
+    std::vector<std::unique_ptr<Lane>> lanes_;
+    std::size_t capacity_ = 0;
+};
+
+} // namespace obs
+} // namespace graphite

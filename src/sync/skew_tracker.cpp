@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace_event.h"
 #include "perf/core_model.h"
 
 namespace graphite
@@ -64,6 +65,13 @@ SkewTracker::maybeSnapshot()
         s.minSkew = std::min(s.minSkew, c - mean);
     }
     snaps_.push_back(s);
+
+    // Counter tracks on lane 0 plot the skew envelope over target time.
+    auto ts = static_cast<cycle_t>(mean);
+    obs::TraceSink::counter(0, "skew.max_cycles", ts,
+                            static_cast<std::int64_t>(s.maxSkew));
+    obs::TraceSink::counter(0, "skew.min_cycles", ts,
+                            static_cast<std::int64_t>(s.minSkew));
 }
 
 size_t

@@ -5,6 +5,8 @@
 
 #include "common/config.h"
 #include "common/log.h"
+#include "obs/profiler.h"
+#include "obs/trace_event.h"
 #include "perf/core_model.h"
 
 namespace graphite
@@ -86,8 +88,9 @@ LaxBarrierSync::threadUnblocked(CoreModel& core)
 }
 
 void
-LaxBarrierSync::arrive()
+LaxBarrierSync::arrive(tile_id_t tile, cycle_t now)
 {
+    GRAPHITE_PROFILE_SCOPE("sync.barrier_wait");
     auto t0 = std::chrono::steady_clock::now();
     std::unique_lock lock(mutex_);
     ++waiting_;
@@ -105,6 +108,8 @@ LaxBarrierSync::arrive()
                   std::chrono::steady_clock::now() - t0)
                   .count();
     waitMicros_.fetch_add(dt, std::memory_order_relaxed);
+    obs::TraceSink::instant(static_cast<std::uint32_t>(tile),
+                            "sync.barrier", now, "wait_us", dt);
 }
 
 void
@@ -118,7 +123,7 @@ LaxBarrierSync::periodicSync(CoreModel& core)
                 return;
             nextTarget_[tile] += quantum_;
         }
-        arrive();
+        arrive(tile, core.cycle());
     }
 }
 
@@ -219,6 +224,10 @@ LaxP2PSync::periodicSync(CoreModel& core)
             return;
         sleeps_.fetch_add(1, std::memory_order_relaxed);
         sleepMicros_.fetch_add(micros, std::memory_order_relaxed);
+        obs::TraceSink::instant(static_cast<std::uint32_t>(tile),
+                                "sync.p2p_sleep", my_clock, "sleep_us",
+                                micros);
+        GRAPHITE_PROFILE_SCOPE("sync.p2p_sleep");
         std::this_thread::sleep_for(std::chrono::microseconds(micros));
     }
 }

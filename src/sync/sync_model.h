@@ -111,7 +111,7 @@ class LaxBarrierSync : public SyncModel
     }
 
   private:
-    void arrive();
+    void arrive(tile_id_t tile, cycle_t now);
     void leave();
 
     cycle_t quantum_;

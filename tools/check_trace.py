@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Validate graphite observability artifacts.
+
+Checks that a Chrome trace_event JSON file is loadable and structurally
+sound (the same constraints chrome://tracing and Perfetto impose), and
+that an interval metrics CSV has the expected fixed columns plus numeric
+data rows.
+
+Usage:
+    check_trace.py --trace trace.json [--metrics metrics.csv]
+    check_trace.py --run-cli PATH_TO_GRAPHITE_CLI
+
+The --run-cli mode drives the full acceptance path: it runs a small
+workload with tracing and metrics enabled in a temp directory, validates
+both artifacts, then re-runs with observability disabled and asserts no
+artifact files appear.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+VALID_PHASES = {"X", "i", "C", "M", "B", "E"}
+FIXED_METRICS_COLUMNS = [
+    "interval",
+    "start_cycle",
+    "end_cycle",
+    "wall_seconds",
+    "skew_max_cycles",
+    "skew_min_cycles",
+]
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not loadable JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: missing traceEvents object wrapper")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents must be a non-empty list")
+
+    for i, ev in enumerate(events):
+        where = f"{path}: event {i}"
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                fail(f"{where}: missing '{key}'")
+        if ev["ph"] not in VALID_PHASES:
+            fail(f"{where}: unknown phase {ev['ph']!r}")
+        if ev["ph"] == "M":
+            continue  # metadata events carry no timestamp
+        if "ts" not in ev:
+            fail(f"{where}: missing 'ts'")
+        if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+            fail(f"{where}: bad ts {ev['ts']!r}")
+        if ev["ph"] == "X":
+            if "dur" not in ev or ev["dur"] < 0:
+                fail(f"{where}: complete event needs non-negative dur")
+        if ev["ph"] == "C":
+            if "args" not in ev or "value" not in ev["args"]:
+                fail(f"{where}: counter event needs args.value")
+
+    counts = {}
+    for ev in events:
+        counts[ev["ph"]] = counts.get(ev["ph"], 0) + 1
+    print(f"check_trace: {path}: {len(events)} events OK {counts}")
+
+
+def check_metrics(path, require_columns=()):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = [ln for ln in f.read().splitlines() if ln]
+    except OSError as e:
+        fail(f"{path}: unreadable: {e}")
+    if len(lines) < 2:
+        fail(f"{path}: need a header and at least one data row")
+
+    header = lines[0].split(",")
+    if header[: len(FIXED_METRICS_COLUMNS)] != FIXED_METRICS_COLUMNS:
+        fail(f"{path}: fixed lead columns wrong: {header[:6]}")
+    for col in require_columns:
+        if col not in header:
+            fail(f"{path}: required column '{col}' missing")
+
+    for i, line in enumerate(lines[1:], start=1):
+        cells = line.split(",")
+        if len(cells) != len(header):
+            fail(f"{path}: row {i}: {len(cells)} cells vs "
+                 f"{len(header)} columns")
+        try:
+            [float(c) for c in cells]
+        except ValueError:
+            fail(f"{path}: row {i}: non-numeric cell")
+        if int(cells[0]) != i - 1:
+            fail(f"{path}: row {i}: interval index out of order")
+
+    print(f"check_trace: {path}: {len(lines) - 1} metric rows x "
+          f"{len(header)} columns OK")
+
+
+def run_cli_mode(cli):
+    workload = ["--workload", "fft", "--tiles", "8", "--threads", "8",
+                "--size", "256"]
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = os.path.join(tmp, "trace.json")
+        metrics = os.path.join(tmp, "metrics.csv")
+        cmd = [cli] + workload + [
+            "--trace-out", trace,
+            "--metrics-out", metrics,
+            "--metrics-interval", "10000",
+        ]
+        r = subprocess.run(cmd, capture_output=True, text=True,
+                           timeout=300)
+        if r.returncode != 0:
+            fail(f"cli exited {r.returncode}:\n{r.stdout}\n{r.stderr}")
+        check_trace(trace)
+        check_metrics(metrics, require_columns=[
+            "mem.l2_misses_total", "tile.0.l2.misses", "sim.cycles_max",
+        ])
+
+    # Disabled mode must create no artifact files.
+    with tempfile.TemporaryDirectory() as tmp:
+        r = subprocess.run([cli] + workload, capture_output=True,
+                           text=True, timeout=300, cwd=tmp)
+        if r.returncode != 0:
+            fail(f"cli (disabled obs) exited {r.returncode}:"
+                 f"\n{r.stdout}\n{r.stderr}")
+        leftovers = os.listdir(tmp)
+        if leftovers:
+            fail(f"disabled run created files: {leftovers}")
+    print("check_trace: disabled mode creates no artifacts OK")
+    print("check_trace: PASS")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace", help="trace JSON to validate")
+    ap.add_argument("--metrics", help="metrics CSV to validate")
+    ap.add_argument("--run-cli", metavar="PATH",
+                    help="run graphite_cli end-to-end and validate")
+    args = ap.parse_args()
+
+    if args.run_cli:
+        run_cli_mode(args.run_cli)
+        return
+    if not args.trace and not args.metrics:
+        ap.error("nothing to do: pass --trace, --metrics, or --run-cli")
+    if args.trace:
+        check_trace(args.trace)
+    if args.metrics:
+        check_metrics(args.metrics)
+    print("check_trace: PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,16 @@
  *   --stats           print the full statistics report
  *   --native          also run the native build and cross-check
  *   --list            list available workloads
+ *
+ * Observability (see README "Observability"):
+ *   --trace-out PATH       write a Chrome trace_event JSON of the run
+ *   --metrics-out PATH     write per-interval stats snapshots (.csv or
+ *                          .jsonl)
+ *   --metrics-interval N   simulated cycles per snapshot row
+ *   --self-profile         time simulator phases; print a table at exit
+ *
+ * The GRAPHITE_LOG environment variable sets per-component log levels,
+ * e.g. GRAPHITE_LOG=net:debug,mem:warn.
  */
 
 #include <cstdio>
@@ -34,6 +44,8 @@
 #include "common/config.h"
 #include "common/log.h"
 #include "core/simulator.h"
+#include "obs/observability.h"
+#include "obs/profiler.h"
 #include "workloads/registry.h"
 
 using namespace graphite;
@@ -49,7 +61,9 @@ usage(const char* argv0)
                  " [--threads N]\n"
                  "          [--size N] [--iters N] [--config PATH]"
                  " [--set K=V]... [--stats]\n"
-                 "          [--native] | --list\n",
+                 "          [--trace-out PATH] [--metrics-out PATH]"
+                 " [--metrics-interval N]\n"
+                 "          [--self-profile] [--native] | --list\n",
                  argv0);
     std::exit(2);
 }
@@ -65,6 +79,11 @@ main(int argc, char** argv)
     int tiles = 32, processes = 1, threads = -1;
     int size = -1, iters = -1;
     bool stats = false, native = false;
+    std::string trace_out, metrics_out;
+    int metrics_interval = -1;
+    bool self_profile = false;
+
+    initLogFilterFromEnv();
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -99,6 +118,14 @@ main(int argc, char** argv)
             stats = true;
         } else if (arg == "--native") {
             native = true;
+        } else if (arg == "--trace-out") {
+            trace_out = next();
+        } else if (arg == "--metrics-out") {
+            metrics_out = next();
+        } else if (arg == "--metrics-interval") {
+            metrics_interval = std::atoi(next());
+        } else if (arg == "--self-profile") {
+            self_profile = true;
         } else {
             usage(argv[0]);
         }
@@ -114,6 +141,14 @@ main(int argc, char** argv)
         cfg.setInt("general/num_processes", processes);
         for (const std::string& kv : overrides)
             cfg.setOverride(kv);
+        if (!trace_out.empty())
+            cfg.set("obs/trace_out", trace_out);
+        if (!metrics_out.empty())
+            cfg.set("obs/metrics_out", metrics_out);
+        if (metrics_interval > 0)
+            cfg.setInt("obs/metrics_interval", metrics_interval);
+        if (self_profile)
+            cfg.setBool("obs/self_profile", true);
 
         const workloads::WorkloadInfo& w =
             workloads::findWorkload(workload);
@@ -152,6 +187,9 @@ main(int argc, char** argv)
         }
         if (stats)
             std::printf("\n%s", sim.statsReport().c_str());
+        else if (self_profile)
+            std::printf("\n=== host self-profile ===\n%s",
+                        obs::HostProfiler::instance().report().c_str());
         return violation.empty() ? 0 : 1;
     } catch (const FatalError& err) {
         std::fprintf(stderr, "fatal: %s\n", err.what());
