@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Host-thread contention microbenchmark for the memory-system engine:
+ * global mutex (`mem/host_concurrency=global`, the pre-shard engine)
+ * vs. two-level tile/shard locking (`sharded`, the default), on an
+ * L1-hit-dominated workload — the case the paper's per-home-tile MME
+ * servers make embarrassingly parallel.
+ *
+ * Two metrics per (mode, threads) point:
+ *
+ *  - wall throughput: ops / elapsed wall time. Only meaningful as a
+ *    scaling signal when the host has >= threads CPUs.
+ *  - serialized (critical-path) throughput: ops / lock critical path,
+ *    measured from per-thread CPU time (CLOCK_THREAD_CPUTIME_ID).
+ *    Under the global mutex every access runs inside one critical
+ *    section, so the elapsed time on any host is bounded below by the
+ *    SUM of per-thread engine CPU time; under sharding, an L1-hit
+ *    workload takes no cross-thread lock at all, so the bound is the
+ *    MAX. This is the multicore-scaling bound the lock structure
+ *    imposes, and is host-CPU-count independent — essential here
+ *    because CI containers may pin the build to a single CPU.
+ *
+ * Emits BENCH_mem_contention.json (first entry of the perf
+ * trajectory); the headline criterion is serialized_speedup_8t >= 2.
+ */
+
+#include <pthread.h>
+#include <time.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/config.h"
+#include "common/table.h"
+#include "mem/memory_system.h"
+
+namespace graphite
+{
+namespace
+{
+
+constexpr int TILES = 8;
+constexpr addr_t BASE = 0x1000'0000;
+constexpr int LINES_PER_THREAD = 64; // fits every L1
+
+/** CPU time consumed by the calling thread, in seconds. */
+double
+threadCpuSeconds()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+struct RunResult
+{
+    std::string mode;
+    int threads = 0;
+    std::uint64_t totalOps = 0;
+    double wallSeconds = 0.0;
+    double cpuSumSeconds = 0.0;
+    double cpuMaxSeconds = 0.0;
+    stat_t shardContended = 0;
+
+    double wallThroughput() const { return totalOps / wallSeconds; }
+    /** Lower bound on elapsed time imposed by the lock structure. */
+    double criticalPathSeconds() const
+    {
+        return mode == "global" ? cpuSumSeconds : cpuMaxSeconds;
+    }
+    double serializedThroughput() const
+    {
+        return totalOps / criticalPathSeconds();
+    }
+};
+
+RunResult
+runConfig(const std::string& mode, int threads, std::uint64_t ops)
+{
+    Config cfg = defaultTargetConfig();
+    cfg.setInt("general/total_tiles", TILES);
+    cfg.set("mem/host_concurrency", mode);
+    ClusterTopology topo(TILES, 1);
+    NetworkFabric fabric(topo, cfg);
+    MemorySystem mem(topo, fabric, cfg);
+
+    // Warm-up: install every thread's private lines (L1 Shared copies),
+    // so the measured loop is pure L1 read hits.
+    for (int i = 0; i < threads; ++i) {
+        for (int l = 0; l < LINES_PER_THREAD; ++l) {
+            addr_t addr = BASE + static_cast<addr_t>(i) * 0x10000 +
+                          static_cast<addr_t>(l) * mem.lineSize();
+            std::uint64_t v = 0;
+            mem.access(i % TILES, MemAccessType::Read, addr, &v, 8, 0);
+        }
+    }
+
+    std::atomic<bool> go{false};
+    std::atomic<int> ready{0};
+    std::vector<double> cpu(threads, 0.0);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int i = 0; i < threads; ++i) {
+        workers.emplace_back([&, i] {
+            ready.fetch_add(1);
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            double t0 = threadCpuSeconds();
+            std::uint64_t v = 0;
+            for (std::uint64_t it = 0; it < ops; ++it) {
+                addr_t addr =
+                    BASE + static_cast<addr_t>(i) * 0x10000 +
+                    (it % LINES_PER_THREAD) * mem.lineSize();
+                mem.access(i % TILES, MemAccessType::Read, addr, &v, 8,
+                           static_cast<cycle_t>(it));
+            }
+            cpu[i] = threadCpuSeconds() - t0;
+        });
+    }
+    while (ready.load() != threads) {
+    }
+    auto w0 = std::chrono::steady_clock::now();
+    go.store(true, std::memory_order_release);
+    for (auto& w : workers)
+        w.join();
+    auto w1 = std::chrono::steady_clock::now();
+
+    RunResult r;
+    r.mode = mode;
+    r.threads = threads;
+    r.totalOps = ops * static_cast<std::uint64_t>(threads);
+    r.wallSeconds = std::chrono::duration<double>(w1 - w0).count();
+    for (double c : cpu) {
+        r.cpuSumSeconds += c;
+        r.cpuMaxSeconds = std::max(r.cpuMaxSeconds, c);
+    }
+    r.shardContended = mem.shardLockContendedCounter()->load();
+    return r;
+}
+
+bool
+fastMode()
+{
+    const char* v = std::getenv("GRAPHITE_BENCH_FAST");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+} // namespace
+} // namespace graphite
+
+int
+main()
+{
+    using namespace graphite;
+
+    std::uint64_t ops = fastMode() ? 100'000 : 1'000'000;
+    const int thread_counts[] = {1, 2, 4, 8};
+
+    std::printf("=== micro_lock_contention ===\n");
+    std::printf(
+        "Engine-lock scaling: global mutex vs tile/shard locking on an "
+        "L1-hit workload.\nHost CPUs: %u (serialized throughput is the "
+        "host-independent lock-structure bound).\n\n",
+        std::thread::hardware_concurrency());
+
+    std::vector<RunResult> results;
+    for (const char* mode : {"global", "sharded"})
+        for (int t : thread_counts)
+            results.push_back(runConfig(mode, t, ops));
+
+    TextTable table;
+    table.header({"mode", "threads", "ops", "wall Mops/s",
+                  "serialized Mops/s", "contended"});
+    for (const RunResult& r : results) {
+        char wall[32], ser[32];
+        std::snprintf(wall, sizeof wall, "%.2f",
+                      r.wallThroughput() / 1e6);
+        std::snprintf(ser, sizeof ser, "%.2f",
+                      r.serializedThroughput() / 1e6);
+        table.row({r.mode, std::to_string(r.threads),
+                   std::to_string(r.totalOps), wall, ser,
+                   std::to_string(r.shardContended)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    auto find = [&](const std::string& mode, int t) -> const RunResult& {
+        for (const RunResult& r : results)
+            if (r.mode == mode && r.threads == t)
+                return r;
+        std::abort();
+    };
+    const RunResult& g8 = find("global", 8);
+    const RunResult& s8 = find("sharded", 8);
+    double serialized_speedup =
+        s8.serializedThroughput() / g8.serializedThroughput();
+    double wall_speedup = s8.wallThroughput() / g8.wallThroughput();
+    std::printf("serialized speedup at 8 threads: %.2fx (criterion: "
+                ">= 2x)\nwall speedup at 8 threads: %.2fx (only "
+                "meaningful with >= 8 host CPUs)\n",
+                serialized_speedup, wall_speedup);
+
+    FILE* f = std::fopen("BENCH_mem_contention.json", "w");
+    if (f == nullptr) {
+        std::perror("BENCH_mem_contention.json");
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"benchmark\": \"micro_lock_contention\",\n");
+    std::fprintf(f, "  \"workload\": \"l1_hit_private_lines\",\n");
+    std::fprintf(f, "  \"host_cpus\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(
+        f,
+        "  \"metric_note\": \"serialized_mops = ops / lock critical "
+        "path from per-thread CPU time (global: sum across threads, "
+        "sharded: max); host-CPU-count independent. wall_mops depends "
+        "on available host CPUs.\",\n");
+    std::fprintf(f, "  \"runs\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+        const RunResult& r = results[i];
+        std::fprintf(
+            f,
+            "    {\"mode\": \"%s\", \"threads\": %d, \"ops\": %llu, "
+            "\"wall_s\": %.6f, \"cpu_sum_s\": %.6f, \"cpu_max_s\": "
+            "%.6f, \"wall_mops\": %.3f, \"serialized_mops\": %.3f, "
+            "\"shard_lock_contended\": %llu}%s\n",
+            r.mode.c_str(), r.threads,
+            static_cast<unsigned long long>(r.totalOps), r.wallSeconds,
+            r.cpuSumSeconds, r.cpuMaxSeconds,
+            r.wallThroughput() / 1e6, r.serializedThroughput() / 1e6,
+            static_cast<unsigned long long>(r.shardContended),
+            i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"serialized_speedup_8t\": %.3f,\n",
+                 serialized_speedup);
+    std::fprintf(f, "  \"wall_speedup_8t\": %.3f,\n", wall_speedup);
+    std::fprintf(f, "  \"criterion\": \"serialized_speedup_8t >= 2\",\n");
+    std::fprintf(f, "  \"criterion_met\": %s\n",
+                 serialized_speedup >= 2.0 ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_mem_contention.json\n");
+    return serialized_speedup >= 2.0 ? 0 : 1;
+}

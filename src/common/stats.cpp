@@ -14,72 +14,81 @@ namespace graphite
 void
 HistogramStat::record(stat_t value)
 {
-    ++buckets_[std::bit_width(value)];
-    ++count_;
-    sum_ += value;
-    if (value < min_)
-        min_ = value;
-    if (value > max_)
-        max_ = value;
+    buckets_[std::bit_width(value)].fetch_add(1,
+                                              std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    stat_t cur = min_.load(std::memory_order_relaxed);
+    while (value < cur &&
+           !min_.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !max_.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+    }
 }
 
 double
 HistogramStat::mean() const
 {
-    return count_ == 0 ? 0.0
-                       : static_cast<double>(sum_) /
-                             static_cast<double>(count_);
+    stat_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(sum()) / static_cast<double>(n);
 }
 
 stat_t
 HistogramStat::bucket(int i) const
 {
     GRAPHITE_ASSERT(i >= 0 && i < NUM_BUCKETS);
-    return buckets_[i];
+    return buckets_[i].load(std::memory_order_relaxed);
 }
 
 stat_t
 HistogramStat::percentileApprox(double p) const
 {
-    if (count_ == 0)
+    stat_t n = count();
+    if (n == 0)
         return 0;
     if (p < 0.0)
         p = 0.0;
     if (p > 1.0)
         p = 1.0;
     // Rank of the p-th sample (1-based, ceil).
-    auto rank = static_cast<stat_t>(p * static_cast<double>(count_));
+    auto rank = static_cast<stat_t>(p * static_cast<double>(n));
     if (rank == 0)
         rank = 1;
     stat_t seen = 0;
     for (int i = 0; i < NUM_BUCKETS; ++i) {
-        seen += buckets_[i];
+        seen += bucket(i);
         if (seen >= rank) {
             // Upper bound of bucket i: largest value of bit-width i.
             return i == 0 ? 0 : (stat_t{1} << i) - 1;
         }
     }
-    return max_;
+    return max();
 }
 
 std::string
 HistogramStat::summary() const
 {
     std::ostringstream os;
-    os << "count=" << count_ << " mean=" << mean()
+    os << "count=" << count() << " mean=" << mean()
        << " min=" << min() << " p50<=" << percentileApprox(0.5)
-       << " p99<=" << percentileApprox(0.99) << " max=" << max_;
+       << " p99<=" << percentileApprox(0.99) << " max=" << max();
     return os.str();
 }
 
 void
 HistogramStat::reset()
 {
-    buckets_.fill(0);
-    count_ = 0;
-    sum_ = 0;
-    min_ = ~stat_t{0};
-    max_ = 0;
+    for (auto& b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(~stat_t{0}, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
 }
 
 // ------------------------------------------------------------ StatsRegistry
@@ -88,8 +97,8 @@ void
 StatsRegistry::checkNewName(const std::string& name) const
 {
     // Caller holds mutex_.
-    if (counters_.count(name) || gauges_.count(name) ||
-        histograms_.count(name))
+    if (counters_.count(name) || atomicCounters_.count(name) ||
+        gauges_.count(name) || histograms_.count(name))
         panic("duplicate stat registration: {}", name);
 }
 
@@ -100,6 +109,15 @@ StatsRegistry::registerCounter(const std::string& name,
     std::scoped_lock lock(mutex_);
     checkNewName(name);
     counters_.emplace(name, counter);
+}
+
+void
+StatsRegistry::registerCounter(const std::string& name,
+                               const atomic_stat_t* counter)
+{
+    std::scoped_lock lock(mutex_);
+    checkNewName(name);
+    atomicCounters_.emplace(name, counter);
 }
 
 void
@@ -126,6 +144,9 @@ StatsRegistry::get(const std::string& name) const
     std::scoped_lock lock(mutex_);
     if (auto it = counters_.find(name); it != counters_.end())
         return *it->second;
+    if (auto it = atomicCounters_.find(name);
+        it != atomicCounters_.end())
+        return it->second->load(std::memory_order_relaxed);
     if (auto it = gauges_.find(name); it != gauges_.end())
         return it->second();
     fatal("unknown statistic '{}'", name);
@@ -135,8 +156,9 @@ bool
 StatsRegistry::has(const std::string& name) const
 {
     std::scoped_lock lock(mutex_);
-    return counters_.count(name) != 0 || gauges_.count(name) != 0 ||
-           histograms_.count(name) != 0;
+    return counters_.count(name) != 0 ||
+           atomicCounters_.count(name) != 0 ||
+           gauges_.count(name) != 0 || histograms_.count(name) != 0;
 }
 
 const HistogramStat*
@@ -169,6 +191,9 @@ StatsRegistry::sumMatching(const std::string& prefix,
         }
     };
     scan(counters_, [](const stat_t* p) { return *p; });
+    scan(atomicCounters_, [](const atomic_stat_t* p) {
+        return p->load(std::memory_order_relaxed);
+    });
     scan(gauges_, [](const gauge_fn& fn) { return fn(); });
     if (mode == MatchMode::Strict && matched == 0)
         fatal("sumMatching: no statistic matches '{}<id>{}'", prefix,
@@ -181,8 +206,11 @@ StatsRegistry::names() const
 {
     std::scoped_lock lock(mutex_);
     std::vector<std::string> out;
-    out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+    out.reserve(counters_.size() + atomicCounters_.size() +
+                gauges_.size() + histograms_.size());
     for (const auto& [name, ptr] : counters_)
+        out.push_back(name);
+    for (const auto& [name, ptr] : atomicCounters_)
         out.push_back(name);
     for (const auto& [name, fn] : gauges_)
         out.push_back(name);
@@ -197,10 +225,12 @@ StatsRegistry::snapshot() const
 {
     std::scoped_lock lock(mutex_);
     std::vector<std::pair<std::string, stat_t>> out;
-    out.reserve(counters_.size() + gauges_.size() +
-                2 * histograms_.size());
+    out.reserve(counters_.size() + atomicCounters_.size() +
+                gauges_.size() + 2 * histograms_.size());
     for (const auto& [name, ptr] : counters_)
         out.emplace_back(name, *ptr);
+    for (const auto& [name, ptr] : atomicCounters_)
+        out.emplace_back(name, ptr->load(std::memory_order_relaxed));
     for (const auto& [name, fn] : gauges_)
         out.emplace_back(name, fn());
     for (const auto& [name, h] : histograms_) {
@@ -219,6 +249,9 @@ StatsRegistry::dump() const
     std::map<std::string, std::string> lines;
     for (const auto& [name, ptr] : counters_)
         lines[name] = std::to_string(*ptr);
+    for (const auto& [name, ptr] : atomicCounters_)
+        lines[name] =
+            std::to_string(ptr->load(std::memory_order_relaxed));
     for (const auto& [name, fn] : gauges_)
         lines[name] = std::to_string(fn());
     for (const auto& [name, h] : histograms_)
@@ -234,6 +267,7 @@ StatsRegistry::clear()
 {
     std::scoped_lock lock(mutex_);
     counters_.clear();
+    atomicCounters_.clear();
     gauges_.clear();
     histograms_.clear();
 }

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -36,30 +37,43 @@ namespace graphite
 /** One statistic: a 64-bit counter with atomic-free single-writer usage. */
 using stat_t = std::uint64_t;
 
+/**
+ * A shared statistic: incremented (relaxed) by concurrent writers,
+ * readable at any time without tearing. Used for aggregates that many
+ * application threads bump from the memory-system hot path.
+ */
+using atomic_stat_t = std::atomic<stat_t>;
+
 /** A gauge: evaluated at read time. Must be safe to call concurrently. */
 using gauge_fn = std::function<stat_t()>;
 
 /**
  * Power-of-two-bucketed histogram of 64-bit samples.
  *
- * Thread-safety matches plain counters: one writer (record()), readers
- * tolerate slightly stale values. Bucket i counts samples whose value
- * has bit-width i, i.e. v in [2^(i-1), 2^i) for i >= 1 and v == 0 for
- * bucket 0.
+ * Thread-safe: record() may be called from any number of threads
+ * concurrently (relaxed atomics); readers tolerate slightly stale
+ * values. Bucket i counts samples whose value has bit-width i, i.e.
+ * v in [2^(i-1), 2^i) for i >= 1 and v == 0 for bucket 0.
  */
 class HistogramStat
 {
   public:
     static constexpr int NUM_BUCKETS = 65; ///< bit widths 0..64
 
-    /** Record one sample. */
+    /** Record one sample. Safe to call from multiple threads. */
     void record(stat_t value);
 
     /** @name Summary statistics @{ */
-    stat_t count() const { return count_; }
-    stat_t sum() const { return sum_; }
-    stat_t min() const { return count_ == 0 ? 0 : min_; }
-    stat_t max() const { return max_; }
+    stat_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    stat_t sum() const { return sum_.load(std::memory_order_relaxed); }
+    stat_t min() const
+    {
+        return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+    }
+    stat_t max() const { return max_.load(std::memory_order_relaxed); }
     double mean() const;
     /** @} */
 
@@ -75,15 +89,15 @@ class HistogramStat
     /** One-line summary for reports. */
     std::string summary() const;
 
-    /** Zero everything. */
+    /** Zero everything. Not safe concurrently with record(). */
     void reset();
 
   private:
-    std::array<stat_t, NUM_BUCKETS> buckets_{};
-    stat_t count_ = 0;
-    stat_t sum_ = 0;
-    stat_t min_ = ~stat_t{0};
-    stat_t max_ = 0;
+    std::array<atomic_stat_t, NUM_BUCKETS> buckets_{};
+    atomic_stat_t count_{0};
+    atomic_stat_t sum_{0};
+    atomic_stat_t min_{~stat_t{0}};
+    atomic_stat_t max_{0};
 };
 
 /** How aggregation helpers treat an empty match set. */
@@ -109,6 +123,14 @@ class StatsRegistry
      * registry or be unregistered via clear().
      */
     void registerCounter(const std::string& name, const stat_t* counter);
+
+    /**
+     * Register a shared (atomic) counter: incremented concurrently by
+     * many threads, read race-free at snapshot time. Same lifetime
+     * contract as the plain-counter overload.
+     */
+    void registerCounter(const std::string& name,
+                         const atomic_stat_t* counter);
 
     /** Register a gauge evaluated at each read. */
     void registerGauge(const std::string& name, gauge_fn fn);
@@ -162,6 +184,7 @@ class StatsRegistry
 
     mutable std::mutex mutex_;
     std::map<std::string, const stat_t*> counters_;
+    std::map<std::string, const atomic_stat_t*> atomicCounters_;
     std::map<std::string, gauge_fn> gauges_;
     std::map<std::string, const HistogramStat*> histograms_;
 };

@@ -100,26 +100,22 @@ Simulator::registerStats()
         });
     }
 
+    // Aggregates are maintained on the memory system's hot path as
+    // shared atomic counters, so the interval sampler reads one word
+    // instead of walking every tile per sample.
     MemorySystem* mem = memory_.get();
-    tile_id_t n = topo_.totalTiles();
-    stats_.registerGauge("mem.l2_misses_total", [mem, n] {
-        stat_t total = 0;
-        for (tile_id_t t = 0; t < n; ++t)
-            total += mem->l2(t).misses();
-        return total;
-    });
-    stats_.registerGauge("mem.accesses_total", [mem, n] {
-        stat_t total = 0;
-        for (tile_id_t t = 0; t < n; ++t)
-            total += mem->stats(t).totalAccesses;
-        return total;
-    });
-    stats_.registerGauge("mem.writebacks_total", [mem, n] {
-        stat_t total = 0;
-        for (tile_id_t t = 0; t < n; ++t)
-            total += mem->stats(t).writebacks;
-        return total;
-    });
+    stats_.registerCounter("mem.l2_misses_total",
+                           mem->l2MissesCounter());
+    stats_.registerCounter("mem.accesses_total",
+                           mem->totalAccessesCounter());
+    stats_.registerCounter("mem.writebacks_total",
+                           mem->writebacksCounter());
+    stats_.registerCounter("mem.shard_lock.acquisitions",
+                           mem->shardLockAcquisitionsCounter());
+    stats_.registerCounter("mem.shard_lock.contended",
+                           mem->shardLockContendedCounter());
+    stats_.registerCounter("mem.shard_lock.wait_ns",
+                           mem->shardLockWaitNsCounter());
     stats_.registerHistogram("mem.access_latency",
                              &memory_->accessLatencyHistogram());
 
@@ -244,8 +240,7 @@ Simulator::statsReport() const
     };
     for (PacketType t : {PacketType::App, PacketType::Memory,
                          PacketType::System}) {
-        const NetworkModel& m =
-            const_cast<NetworkFabric&>(*fabric_).modelFor(t);
+        const NetworkModel& m = fabric().modelFor(t);
         net.row({type_name(t), m.name(),
                  std::to_string(m.packetsRouted()),
                  std::to_string(m.bytesRouted()),

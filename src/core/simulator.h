@@ -70,6 +70,7 @@ class Simulator
     const ClusterTopology& topology() const { return topo_; }
     Transport& transport() { return *transport_; }
     NetworkFabric& fabric() { return *fabric_; }
+    const NetworkFabric& fabric() const { return *fabric_; }
     MemorySystem& memory() { return *memory_; }
     SyncModel& syncModel() { return *sync_; }
     ThreadManager& threadManager() { return *threads_; }

@@ -46,6 +46,12 @@ Cache::lookup(addr_t line_addr)
     return nullptr;
 }
 
+const CacheLine*
+Cache::lookup(addr_t line_addr) const
+{
+    return const_cast<Cache*>(this)->lookup(line_addr);
+}
+
 CacheLine*
 Cache::find(addr_t addr)
 {
@@ -55,16 +61,16 @@ Cache::find(addr_t addr)
 const CacheLine*
 Cache::find(addr_t addr) const
 {
-    return const_cast<Cache*>(this)->lookup(lineAlign(addr));
+    return lookup(lineAlign(addr));
 }
 
 CacheLine*
 Cache::access(addr_t addr, bool is_write)
 {
-    ++accesses_;
+    accesses_.fetch_add(1, std::memory_order_relaxed);
     CacheLine* line = find(addr);
     if (line == nullptr) {
-        ++misses_;
+        misses_.fetch_add(1, std::memory_order_relaxed);
         return nullptr;
     }
     if (is_write && line->state == CacheState::Exclusive) {
@@ -76,12 +82,50 @@ Cache::access(addr_t addr, bool is_write)
         // Upgrade required: treated as a miss by the caller's protocol
         // logic, but the probe itself found data. Count as miss so
         // write-permission misses show up in the stats.
-        ++misses_;
+        misses_.fetch_add(1, std::memory_order_relaxed);
         line->lruStamp = ++lruCounter_;
         return nullptr;
     }
     line->lruStamp = ++lruCounter_;
     return line;
+}
+
+bool
+Cache::sufficient(const CacheLine* line, bool is_write)
+{
+    if (line == nullptr || !line->valid())
+        return false;
+    return !is_write || line->state == CacheState::Modified ||
+           line->state == CacheState::Exclusive;
+}
+
+CacheProbe
+Cache::probe(addr_t addr, bool is_write) const
+{
+    const CacheLine* line = find(addr);
+    if (line == nullptr)
+        return CacheProbe::Miss;
+    if (sufficient(line, is_write))
+        return CacheProbe::Hit;
+    return CacheProbe::NeedsUpgrade;
+}
+
+std::optional<addr_t>
+Cache::peekVictim(addr_t line_addr) const
+{
+    GRAPHITE_ASSERT(lineAlign(line_addr) == line_addr);
+    if (lookup(line_addr) != nullptr)
+        return std::nullopt; // already present: insert() is illegal
+    std::uint64_t set = setIndex(line_addr);
+    const CacheLine* base = &lines_[set * assoc_];
+    const CacheLine* victim = nullptr;
+    for (int w = 0; w < assoc_; ++w) {
+        if (!base[w].valid())
+            return std::nullopt; // free way: no eviction
+        if (victim == nullptr || base[w].lruStamp < victim->lruStamp)
+            victim = &base[w];
+    }
+    return victim->lineAddr;
 }
 
 std::optional<Eviction>

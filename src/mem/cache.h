@@ -11,12 +11,17 @@
  * actual bytes of the simulated address space; a coherence bug corrupts
  * application results, making the protocol self-verifying.
  *
- * Thread-safety: all mutation happens inside coherence transactions which
- * the MemorySystem serializes; Cache itself is not internally locked.
+ * Thread-safety: all mutation happens under the owning tile's lock
+ * (MemorySystem's two-level locking scheme; see DESIGN.md
+ * §"Coherence-transaction serialization"); Cache itself is not
+ * internally locked. The statistic
+ * counters are relaxed atomics so that gauges and the interval metrics
+ * sampler can read them while other threads mutate.
  */
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -66,6 +71,14 @@ struct Eviction
     std::vector<std::uint8_t> data;
 };
 
+/** Outcome of a side-effect-free permission probe (see Cache::probe). */
+enum class CacheProbe : std::uint8_t
+{
+    Miss,        ///< line absent: a full coherence transaction is needed
+    Hit,         ///< present with sufficient permission: no transaction
+    NeedsUpgrade ///< present Shared, write wanted: upgrade transaction
+};
+
 /**
  * A single cache level (used for L1I, L1D and L2), LRU replacement,
  * configurable size / associativity / line size.
@@ -96,6 +109,29 @@ class Cache
     CacheLine* access(addr_t addr, bool is_write);
 
     /**
+     * Permission probe with no side effects (no stats, no LRU touch, no
+     * MESI silent upgrade): distinguishes "hit with sufficient state"
+     * from "needs a coherence transaction". Exclusive counts as
+     * sufficient for writes (the silent-upgrade privilege).
+     */
+    CacheProbe probe(addr_t addr, bool is_write) const;
+
+    /**
+     * @return true when @p line (possibly nullptr) grants the access
+     * without a coherence transaction — any valid state for reads,
+     * Modified or Exclusive for writes.
+     */
+    static bool sufficient(const CacheLine* line, bool is_write);
+
+    /**
+     * The line insert(@p line_addr, ...) would evict right now, or
+     * nullopt when a free way exists (or the line is already present).
+     * Used to pre-compute the victim's home shard before a transaction
+     * acquires its locks; must mirror insert()'s victim choice exactly.
+     */
+    std::optional<addr_t> peekVictim(addr_t line_addr) const;
+
+    /**
      * Insert a line (must not already be present).
      * @param line_addr line-aligned address
      * @param state     initial MSI state
@@ -124,13 +160,25 @@ class Cache
     std::uint64_t capacity() const { return capacity_; }
     /** @} */
 
-    /** @name Statistics @{ */
+    /** @name Statistics (readable concurrently with mutation) @{ */
     const std::string& name() const { return name_; }
-    stat_t accesses() const { return accesses_; }
-    stat_t misses() const { return misses_; }
-    stat_t hits() const { return accesses_ - misses_; }
-    stat_t evictions() const { return evictions_; }
-    stat_t invalidations() const { return invalidations_; }
+    stat_t accesses() const
+    {
+        return accesses_.load(std::memory_order_relaxed);
+    }
+    stat_t misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+    stat_t hits() const { return accesses() - misses(); }
+    stat_t evictions() const
+    {
+        return evictions_.load(std::memory_order_relaxed);
+    }
+    stat_t invalidations() const
+    {
+        return invalidations_.load(std::memory_order_relaxed);
+    }
     double missRate() const;
     /** @} */
 
@@ -140,6 +188,7 @@ class Cache
   private:
     std::uint64_t setIndex(addr_t line_addr) const;
     CacheLine* lookup(addr_t line_addr);
+    const CacheLine* lookup(addr_t line_addr) const;
 
     std::string name_;
     std::uint64_t capacity_;
@@ -149,10 +198,10 @@ class Cache
     std::vector<CacheLine> lines_; ///< numSets_ * assoc_, set-major
     std::uint64_t lruCounter_ = 0;
 
-    stat_t accesses_ = 0;
-    stat_t misses_ = 0;
-    stat_t evictions_ = 0;
-    stat_t invalidations_ = 0;
+    atomic_stat_t accesses_{0};
+    atomic_stat_t misses_{0};
+    atomic_stat_t evictions_{0};
+    atomic_stat_t invalidations_{0};
 };
 
 } // namespace graphite

@@ -6,19 +6,29 @@
 namespace graphite
 {
 
+MainMemory::Bucket&
+MainMemory::bucketFor(addr_t page_addr) const
+{
+    // Consecutive pages land in different buckets so a hot region still
+    // spreads across locks.
+    return buckets_[(page_addr / PAGE_SIZE) % NUM_BUCKETS];
+}
+
 MainMemory::Page*
 MainMemory::findPage(addr_t page_addr) const
 {
-    std::scoped_lock lock(mutex_);
-    auto it = pages_.find(page_addr);
-    return it == pages_.end() ? nullptr : it->second.get();
+    Bucket& b = bucketFor(page_addr);
+    std::scoped_lock lock(b.mutex);
+    auto it = b.pages.find(page_addr);
+    return it == b.pages.end() ? nullptr : it->second.get();
 }
 
 MainMemory::Page&
 MainMemory::ensurePage(addr_t page_addr)
 {
-    std::scoped_lock lock(mutex_);
-    auto& slot = pages_[page_addr];
+    Bucket& b = bucketFor(page_addr);
+    std::scoped_lock lock(b.mutex);
+    auto& slot = b.pages[page_addr];
     if (!slot)
         slot = std::make_unique<Page>();
     return *slot;
@@ -64,8 +74,12 @@ MainMemory::write(addr_t addr, const void* buf, size_t size)
 size_t
 MainMemory::pagesAllocated() const
 {
-    std::scoped_lock lock(mutex_);
-    return pages_.size();
+    size_t total = 0;
+    for (const Bucket& b : buckets_) {
+        std::scoped_lock lock(b.mutex);
+        total += b.pages.size();
+    }
+    return total;
 }
 
 } // namespace graphite

@@ -7,13 +7,18 @@
  * on demand so a 1024-tile simulation with large stack reservations does
  * not commit host memory it never touches.
  *
- * Thread-safety: page creation is locked; byte access within existing
- * pages is unlocked and relies on the MemorySystem's transaction
- * serialization (reads/writes only happen inside coherence transactions).
+ * Thread-safety: the page table is sharded into NUM_BUCKETS
+ * independently-locked maps keyed by page address, so concurrent
+ * coherence transactions homed at different tiles do not serialize on
+ * one map mutex. Byte access within existing pages is unlocked: a
+ * line's backing bytes are only touched while its home shard is held
+ * (MemorySystem's lock scheme), and distinct lines occupy disjoint byte
+ * ranges.
  */
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -30,6 +35,8 @@ class MainMemory
 {
   public:
     static constexpr std::uint64_t PAGE_SIZE = 4096;
+    /** Page-table shards (power of two; leaf locks, never nested). */
+    static constexpr std::uint64_t NUM_BUCKETS = 64;
 
     /** Copy @p size bytes at @p addr into @p buf. Untouched pages read 0. */
     void read(addr_t addr, void* buf, size_t size) const;
@@ -46,11 +53,18 @@ class MainMemory
         std::uint8_t bytes[PAGE_SIZE] = {};
     };
 
+    /** One independently-locked slice of the page table. */
+    struct Bucket
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<addr_t, std::unique_ptr<Page>> pages;
+    };
+
+    Bucket& bucketFor(addr_t page_addr) const;
     Page* findPage(addr_t page_addr) const;
     Page& ensurePage(addr_t page_addr);
 
-    mutable std::mutex mutex_;
-    std::unordered_map<addr_t, std::unique_ptr<Page>> pages_;
+    mutable std::array<Bucket, NUM_BUCKETS> buckets_;
 };
 
 } // namespace graphite

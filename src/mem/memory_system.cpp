@@ -1,5 +1,7 @@
 #include "mem/memory_system.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "common/config.h"
@@ -23,11 +25,21 @@ makeCache(const Config& cfg, const std::string& key,
         static_cast<int>(cfg.getInt(key + "/associativity")), line_size);
 }
 
+void
+sortUnique(std::vector<tile_id_t>& ids)
+{
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
 } // namespace
 
 MemorySystem::MemorySystem(const ClusterTopology& topo,
                            NetworkFabric& fabric, const Config& cfg)
-    : topo_(topo), fabric_(fabric)
+    : topo_(topo),
+      fabric_(fabric),
+      tiles_(topo.totalTiles()),
+      shards_(topo.totalTiles())
 {
     lineSize_ = cfg.getInt("perf_model/l2_cache/line_size", 64);
     l1Latency_ = cfg.getInt("perf_model/l1_dcache/access_latency", 1);
@@ -40,6 +52,14 @@ MemorySystem::MemorySystem(const ClusterTopology& topo,
     if (protocol != "dir_msi" && protocol != "dir_mesi")
         fatal("unknown caching protocol '{}'", protocol);
     mesi_ = protocol == "dir_mesi";
+
+    std::string concurrency =
+        cfg.getString("mem/host_concurrency", "sharded");
+    if (concurrency != "sharded" && concurrency != "global")
+        fatal("mem/host_concurrency must be 'sharded' or 'global', got "
+              "'{}'",
+              concurrency);
+    sharded_ = concurrency == "sharded";
 
     DirectoryType dtype = parseDirectoryType(
         cfg.getString("caching_protocol/directory_type", "full_map"));
@@ -61,7 +81,6 @@ MemorySystem::MemorySystem(const ClusterTopology& topo,
     bool dram_queue =
         cfg.getBool("perf_model/dram/queue_model_enabled", true);
 
-    tiles_.resize(topo.totalTiles());
     for (tile_id_t t = 0; t < topo.totalTiles(); ++t) {
         TileMemory& tm = tiles_[t];
         std::string suffix = "." + std::to_string(t);
@@ -74,9 +93,10 @@ MemorySystem::MemorySystem(const ClusterTopology& topo,
         if (!tm.l2)
             fatal("the L2 cache cannot be disabled (it anchors "
                   "coherence)");
-        tm.directory = std::make_unique<Directory>(
+        Shard& sh = shards_[t];
+        sh.directory = std::make_unique<Directory>(
             dtype, max_sharers, topo.totalTiles(), trap_penalty);
-        tm.dram = std::make_unique<DramController>(
+        sh.dram = std::make_unique<DramController>(
             dram_latency, bytes_per_cycle,
             dram_queue ? &fabric.progress() : nullptr,
             cfg.getInt("network/queue_outlier_window", 100000),
@@ -106,6 +126,37 @@ MemorySystem::msg(tile_id_t src, tile_id_t dst, size_t payload_bytes,
                          send_time);
 }
 
+// ------------------------------------------------------------------ locking
+
+std::unique_lock<std::mutex>
+MemorySystem::globalGuard()
+{
+    // Compatibility mode: one big lock, as before the shard split. The
+    // fine-grained locks below it are then uncontended by construction.
+    return sharded_ ? std::unique_lock<std::mutex>()
+                    : std::unique_lock<std::mutex>(globalMutex_);
+}
+
+std::unique_lock<std::mutex>
+MemorySystem::lockShard(Shard& shard)
+{
+    std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
+    if (!lock.owns_lock()) {
+        shardLockContended_.fetch_add(1, std::memory_order_relaxed);
+        auto t0 = std::chrono::steady_clock::now();
+        lock.lock();
+        auto waited = std::chrono::steady_clock::now() - t0;
+        shardLockWaitNs_.fetch_add(
+            static_cast<stat_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    waited)
+                    .count()),
+            std::memory_order_relaxed);
+    }
+    shardLockAcquisitions_.fetch_add(1, std::memory_order_relaxed);
+    return lock;
+}
+
 // --------------------------------------------------------------- accounting
 
 void
@@ -114,7 +165,9 @@ MemorySystem::bumpVersions(addr_t addr, size_t size)
     if (!classify_)
         return;
     addr_t line = lineAlign(addr);
-    auto& versions = wordVersions_[line];
+    Shard& sh = shards_[homeTile(line)];
+    std::scoped_lock vl(sh.versionMutex);
+    auto& versions = sh.wordVersions[line];
     if (versions.empty())
         versions.resize(lineSize_ / WORD_BYTES, 0);
     std::uint64_t first = (addr - line) / WORD_BYTES;
@@ -129,10 +182,13 @@ MemorySystem::snapshotLoss(tile_id_t tile, addr_t line_addr,
 {
     if (!classify_)
         return;
+    // Caller holds tile's lock (lostLines) and the line's home shard.
     LostLine& lost = tiles_[tile].lostLines[line_addr];
     lost.reason = reason;
-    auto it = wordVersions_.find(line_addr);
-    if (it != wordVersions_.end())
+    Shard& sh = shards_[homeTile(line_addr)];
+    std::scoped_lock vl(sh.versionMutex);
+    auto it = sh.wordVersions.find(line_addr);
+    if (it != sh.wordVersions.end())
         lost.versions = it->second;
     else
         lost.versions.clear();
@@ -155,8 +211,10 @@ MemorySystem::classifyMiss(tile_id_t tile, addr_t line_addr, addr_t addr,
     // Lost to coherence: true sharing iff any word this access touches
     // was written (version bumped) since we lost the line.
     const LostLine& lost = it->second;
-    auto vit = wordVersions_.find(line_addr);
-    if (vit == wordVersions_.end())
+    Shard& sh = shards_[homeTile(line_addr)];
+    std::scoped_lock vl(sh.versionMutex);
+    auto vit = sh.wordVersions.find(line_addr);
+    if (vit == sh.wordVersions.end())
         return MissClass::FalseSharing;
     const auto& now_versions = vit->second;
     std::uint64_t first = (addr - line_addr) / WORD_BYTES;
@@ -197,6 +255,7 @@ MemorySystem::invalidateTile(tile_id_t holder, addr_t line_addr,
                              bool coherence,
                              std::vector<std::uint8_t>* data_out)
 {
+    // Caller holds the holder's tile lock and the line's home shard.
     TileMemory& tm = tiles_[holder];
     if (tm.l1d)
         tm.l1d->invalidate(line_addr);
@@ -215,6 +274,7 @@ void
 MemorySystem::handleL2Eviction(tile_id_t tile, const Eviction& ev,
                                cycle_t now)
 {
+    // Caller holds the evicting tile's lock and the victim's home shard.
     TileMemory& tm = tiles_[tile];
     // Inclusion: L1 copies of the victim must go too.
     if (tm.l1d)
@@ -225,14 +285,15 @@ MemorySystem::handleL2Eviction(tile_id_t tile, const Eviction& ev,
     snapshotLoss(tile, ev.lineAddr, EvictReason::Replacement);
 
     tile_id_t home = homeTile(ev.lineAddr);
-    DirectoryEntry& entry = tiles_[home].directory->entry(ev.lineAddr);
+    DirectoryEntry& entry = shards_[home].directory->entry(ev.lineAddr);
     if (ev.dirty) {
         // Dirty writeback: data message to home, memory update. Off the
         // requester's critical path, so the latency is modeled (traffic
         // and queue occupancy) but not accumulated into the access.
         ++tm.stats.writebacks;
+        aggWritebacks_.fetch_add(1, std::memory_order_relaxed);
         msg(tile, home, lineSize_ + CTRL_BYTES, now);
-        tiles_[home].dram->access(now, lineSize_ + CTRL_BYTES);
+        shards_[home].dram->access(now, lineSize_ + CTRL_BYTES);
         backing_.write(ev.lineAddr, ev.data.data(), ev.data.size());
         GRAPHITE_ASSERT(entry.state() == DirectoryState::Modified &&
                         entry.owner() == tile);
@@ -273,13 +334,13 @@ MemorySystem::fillL1(Cache* l1, const CacheLine& l2line)
 // ------------------------------------------------------ the MSI transaction
 
 cycle_t
-MemorySystem::fetchLine(tile_id_t tile, addr_t line_addr, bool for_write,
-                        addr_t addr, size_t size, cycle_t now,
-                        MissClass& miss_class)
+MemorySystem::fetchLineLocked(tile_id_t tile, addr_t line_addr,
+                              bool for_write, addr_t addr, size_t size,
+                              cycle_t now, MissClass& miss_class)
 {
     TileMemory& tm = tiles_[tile];
     tile_id_t home = homeTile(line_addr);
-    Directory& dir = *tiles_[home].directory;
+    Directory& dir = *shards_[home].directory;
 
     CacheLine* existing = tm.l2->find(line_addr);
     bool upgrade = for_write && existing != nullptr &&
@@ -302,8 +363,8 @@ MemorySystem::fetchLine(tile_id_t tile, addr_t line_addr, bool for_write,
       case DirectoryState::Uncached: {
         GRAPHITE_ASSERT(!upgrade);
         // Memory fetch at the home controller.
-        lat += tiles_[home].dram->access(now + lat,
-                                         lineSize_ + CTRL_BYTES);
+        lat += shards_[home].dram->access(now + lat,
+                                          lineSize_ + CTRL_BYTES);
         data.resize(lineSize_);
         backing_.read(line_addr, data.data(), lineSize_);
         if (mesi_ && !for_write)
@@ -330,14 +391,14 @@ MemorySystem::fetchLine(tile_id_t tile, addr_t line_addr, bool for_write,
             entry.clearSharers();
             if (!upgrade) {
                 // Sharers hold clean copies; memory is current.
-                lat += tiles_[home].dram->access(now + lat,
-                                                 lineSize_ + CTRL_BYTES);
+                lat += shards_[home].dram->access(now + lat,
+                                                  lineSize_ + CTRL_BYTES);
                 data.resize(lineSize_);
                 backing_.read(line_addr, data.data(), lineSize_);
             }
         } else {
-            lat += tiles_[home].dram->access(now + lat,
-                                             lineSize_ + CTRL_BYTES);
+            lat += shards_[home].dram->access(now + lat,
+                                              lineSize_ + CTRL_BYTES);
             data.resize(lineSize_);
             backing_.read(line_addr, data.data(), lineSize_);
         }
@@ -376,8 +437,8 @@ MemorySystem::fetchLine(tile_id_t tile, addr_t line_addr, bool for_write,
             // queueing feedback loop: demand on a saturated controller
             // throttles the threads generating it).
             backing_.write(line_addr, data.data(), data.size());
-            lat += tiles_[home].dram->access(now + lat,
-                                             lineSize_ + CTRL_BYTES);
+            lat += shards_[home].dram->access(now + lat,
+                                              lineSize_ + CTRL_BYTES);
         }
         // M -> M: dirty ownership migrates cache-to-cache; memory stays
         // stale (the functional copy lives in the new owner's L2).
@@ -443,54 +504,54 @@ MemorySystem::fetchLine(tile_id_t tile, addr_t line_addr, bool for_write,
 
 // ------------------------------------------------------------- access paths
 
-AccessResult
-MemorySystem::accessLine(tile_id_t tile, MemAccessType type, addr_t addr,
-                         void* buf, size_t size, cycle_t start_time)
+void
+MemorySystem::finishAccess(TileMemory& tm, const AccessResult& res)
 {
-    GRAPHITE_ASSERT(tile >= 0 && tile < topo_.totalTiles());
-    GRAPHITE_ASSERT(lineAlign(addr) == lineAlign(addr + size - 1));
+    ++tm.stats.totalAccesses;
+    tm.stats.totalLatency += res.latency;
+    aggAccesses_.fetch_add(1, std::memory_order_relaxed);
+    accessLatency_.record(res.latency);
+}
 
-    std::scoped_lock lock(engineMutex_);
-    TileMemory& tm = tiles_[tile];
-    AccessResult res;
+bool
+MemorySystem::tryCompleteLocal(tile_id_t tile, TileMemory& tm, Cache* l1,
+                               bool is_write, addr_t addr, void* buf,
+                               size_t size, AccessResult& res)
+{
+    (void)tile;
     addr_t line_addr = lineAlign(addr);
-    bool is_write = type == MemAccessType::Write;
-
-    Cache* l1 =
-        type == MemAccessType::Fetch ? tm.l1i.get() : tm.l1d.get();
+    res = AccessResult{};
 
     // L1 probe. The L1 is write-through, so a write "hit" only means the
-    // copy is present (never Modified); probe with read semantics and
-    // always continue to the L2 for writes.
-    if (l1) {
-        res.latency += l1Latency_;
+    // copy is present (never Modified); reads complete here, writes
+    // always continue to the L2.
+    if (l1 && !is_write && l1->find(addr) != nullptr) {
+        res.latency = l1Latency_;
         CacheLine* l1line = l1->access(addr, /*is_write=*/false);
-        if (l1line != nullptr && !is_write) {
-            std::memcpy(buf, l1line->data.data() + (addr - line_addr),
-                        size);
-            res.l1Hit = true;
-            ++tm.stats.totalAccesses;
-            tm.stats.totalLatency += res.latency;
-            accessLatency_.record(res.latency);
-            return res;
-        }
-        // Writes always continue to the L2 (write-through L1).
+        GRAPHITE_ASSERT(l1line != nullptr);
+        std::memcpy(buf, l1line->data.data() + (addr - line_addr), size);
+        res.l1Hit = true;
+        finishAccess(tm, res);
+        return true;
     }
 
-    // L2 probe.
+    // L2 permission probe — side-effect-free, so a negative answer
+    // leaves no stats or LRU trace behind (the caller will come back
+    // through the transaction path, which records the miss exactly
+    // once).
+    if (tm.l2->probe(addr, is_write) != CacheProbe::Hit)
+        return false;
+
+    // The access completes locally: now commit the L1 stats (access +
+    // hit/miss) exactly as the serial engine did.
+    if (l1) {
+        res.latency += l1Latency_;
+        l1->access(addr, /*is_write=*/false);
+    }
     res.latency += l2Latency_;
     CacheLine* l2line = tm.l2->access(addr, is_write);
-    if (l2line == nullptr) {
-        MissClass mc;
-        res.latency += fetchLine(tile, line_addr, is_write, addr, size,
-                                 start_time + res.latency, mc);
-        res.missClass = mc;
-        recordMiss(tile, tm, mc, start_time + res.latency);
-        l2line = tm.l2->find(line_addr);
-        GRAPHITE_ASSERT(l2line != nullptr);
-    } else {
-        res.l2Hit = true;
-    }
+    GRAPHITE_ASSERT(l2line != nullptr);
+    res.l2Hit = true;
 
     if (is_write) {
         GRAPHITE_ASSERT(l2line->state == CacheState::Modified);
@@ -510,11 +571,134 @@ MemorySystem::accessLine(tile_id_t tile, MemAccessType type, addr_t addr,
         std::memcpy(buf, l2line->data.data() + (addr - line_addr), size);
         fillL1(l1, *l2line);
     }
+    finishAccess(tm, res);
+    return true;
+}
 
-    ++tm.stats.totalAccesses;
-    tm.stats.totalLatency += res.latency;
-    accessLatency_.record(res.latency);
-    return res;
+AccessResult
+MemorySystem::accessLine(tile_id_t tile, MemAccessType type, addr_t addr,
+                         void* buf, size_t size, cycle_t start_time)
+{
+    GRAPHITE_ASSERT(tile >= 0 && tile < topo_.totalTiles());
+    GRAPHITE_ASSERT(lineAlign(addr) == lineAlign(addr + size - 1));
+
+    auto global = globalGuard();
+    TileMemory& tm = tiles_[tile];
+    addr_t line_addr = lineAlign(addr);
+    bool is_write = type == MemAccessType::Write;
+    Cache* l1 =
+        type == MemAccessType::Fetch ? tm.l1i.get() : tm.l1d.get();
+
+    for (;;) {
+        // Phase A — fast path + transaction plan under the tile lock
+        // alone. Hits with sufficient permission never touch shared
+        // state (the paper's partition-local case).
+        bool planned_upgrade = false;
+        std::optional<addr_t> planned_victim;
+        {
+            std::scoped_lock tile_lock(tm.mutex);
+            AccessResult res;
+            if (tryCompleteLocal(tile, tm, l1, is_write, addr, buf, size,
+                                 res))
+                return res;
+            planned_upgrade =
+                tm.l2->probe(addr, is_write) == CacheProbe::NeedsUpgrade;
+            if (!planned_upgrade)
+                planned_victim = tm.l2->peekVictim(line_addr);
+        }
+
+        // Phase B — acquire shards (ascending), read the holder set,
+        // then acquire every involved tile lock (ascending). No tile
+        // lock is held while a shard lock is being acquired, and the
+        // holder set is frozen while the home shard is held: any
+        // holder-set mutation for this line runs a transaction through
+        // the same home shard.
+        tile_id_t home = homeTile(line_addr);
+        std::vector<tile_id_t> shard_ids{home};
+        if (planned_victim)
+            shard_ids.push_back(homeTile(*planned_victim));
+        sortUnique(shard_ids);
+
+        std::vector<std::unique_lock<std::mutex>> shard_locks;
+        shard_locks.reserve(shard_ids.size());
+        for (tile_id_t id : shard_ids)
+            shard_locks.push_back(lockShard(shards_[id]));
+
+        std::vector<tile_id_t> tile_ids{tile};
+        if (DirectoryEntry* e = shards_[home].directory->peek(line_addr);
+            e != nullptr) {
+            if (e->owner() != INVALID_TILE_ID)
+                tile_ids.push_back(e->owner());
+            for (tile_id_t s : e->sharers())
+                tile_ids.push_back(s);
+        }
+        sortUnique(tile_ids);
+
+        std::vector<std::unique_lock<std::mutex>> tile_locks;
+        tile_locks.reserve(tile_ids.size());
+        for (tile_id_t id : tile_ids)
+            tile_locks.emplace_back(tiles_[id].mutex);
+
+        // Phase C — revalidate the plan now that the world is frozen.
+        // A concurrent access by another thread on the same tile may
+        // have changed our local state; other tiles can only have
+        // *lost* copies (which never adds lock requirements).
+        AccessResult res;
+        if (tryCompleteLocal(tile, tm, l1, is_write, addr, buf, size,
+                             res))
+            return res; // raced to sufficient permission
+
+        bool upgrade_now =
+            tm.l2->probe(addr, is_write) == CacheProbe::NeedsUpgrade;
+        if (!upgrade_now) {
+            auto victim_now = tm.l2->peekVictim(line_addr);
+            if (victim_now &&
+                !std::binary_search(shard_ids.begin(), shard_ids.end(),
+                                    homeTile(*victim_now)))
+                continue; // victim changed shard: replan
+        }
+
+        // Commit: run the access through the full transaction with the
+        // serial engine's exact stats/latency sequence.
+        if (l1) {
+            res.latency += l1Latency_;
+            l1->access(addr, /*is_write=*/false);
+        }
+        res.latency += l2Latency_;
+        CacheLine* l2line = tm.l2->access(addr, is_write);
+        GRAPHITE_ASSERT(l2line == nullptr);
+        aggL2Misses_.fetch_add(1, std::memory_order_relaxed);
+        MissClass mc;
+        res.latency += fetchLineLocked(tile, line_addr, is_write, addr,
+                                       size, start_time + res.latency,
+                                       mc);
+        res.missClass = mc;
+        recordMiss(tile, tm, mc, start_time + res.latency);
+        l2line = tm.l2->find(line_addr);
+        GRAPHITE_ASSERT(l2line != nullptr);
+
+        if (is_write) {
+            GRAPHITE_ASSERT(l2line->state == CacheState::Modified);
+            bumpVersions(addr, size);
+            std::memcpy(l2line->data.data() + (addr - line_addr), buf,
+                        size);
+            if (l1) {
+                CacheLine* l1line = l1->find(addr);
+                if (l1line != nullptr) {
+                    std::memcpy(l1line->data.data() + (addr - line_addr),
+                                buf, size);
+                } else {
+                    fillL1(l1, *l2line);
+                }
+            }
+        } else {
+            std::memcpy(buf, l2line->data.data() + (addr - line_addr),
+                        size);
+            fillL1(l1, *l2line);
+        }
+        finishAccess(tm, res);
+        return res;
+    }
 }
 
 AccessResult
@@ -553,43 +737,115 @@ MemorySystem::atomicRmw(tile_id_t tile, addr_t addr, size_t size,
     GRAPHITE_ASSERT(size == 4 || size == 8);
     GRAPHITE_ASSERT(lineAlign(addr) == lineAlign(addr + size - 1));
 
-    std::scoped_lock lock(engineMutex_);
+    auto global = globalGuard();
     TileMemory& tm = tiles_[tile];
-    AtomicResult res;
     addr_t line_addr = lineAlign(addr);
 
     // An atomic op needs write permission up front; probe L2 directly
-    // (atomics bypass the L1 on most tiled targets).
-    res.latency += l2Latency_;
-    CacheLine* l2line = tm.l2->access(addr, /*is_write=*/true);
-    if (l2line == nullptr) {
+    // (atomics bypass the L1 on most tiled targets). Applies @p op once
+    // the line is held Modified under the tile lock.
+    auto rmw = [&](CacheLine* l2line, AtomicResult& res) {
+        GRAPHITE_ASSERT(l2line->state == CacheState::Modified);
+        std::uint64_t old_val = 0;
+        std::memcpy(&old_val, l2line->data.data() + (addr - line_addr),
+                    size);
+        std::uint64_t new_val = op(old_val);
+        bumpVersions(addr, size);
+        std::memcpy(l2line->data.data() + (addr - line_addr), &new_val,
+                    size);
+        // Keep any L1 copy in sync (write-through).
+        if (tm.l1d) {
+            CacheLine* l1line = tm.l1d->find(addr);
+            if (l1line != nullptr)
+                std::memcpy(l1line->data.data() + (addr - line_addr),
+                            &new_val, size);
+        }
+        res.oldValue = old_val;
+        ++tm.stats.totalAccesses;
+        tm.stats.totalLatency += res.latency;
+        aggAccesses_.fetch_add(1, std::memory_order_relaxed);
+    };
+
+    for (;;) {
+        // Phase A — fast path: the line is already held Modified.
+        bool planned_upgrade = false;
+        std::optional<addr_t> planned_victim;
+        {
+            std::scoped_lock tile_lock(tm.mutex);
+            CacheProbe p = tm.l2->probe(addr, /*is_write=*/true);
+            if (p == CacheProbe::Hit) {
+                AtomicResult res;
+                res.latency += l2Latency_;
+                CacheLine* l2line =
+                    tm.l2->access(addr, /*is_write=*/true);
+                GRAPHITE_ASSERT(l2line != nullptr);
+                rmw(l2line, res);
+                return res;
+            }
+            planned_upgrade = p == CacheProbe::NeedsUpgrade;
+            if (!planned_upgrade)
+                planned_victim = tm.l2->peekVictim(line_addr);
+        }
+
+        // Phase B — same ordered acquisition as accessLine.
+        tile_id_t home = homeTile(line_addr);
+        std::vector<tile_id_t> shard_ids{home};
+        if (planned_victim)
+            shard_ids.push_back(homeTile(*planned_victim));
+        sortUnique(shard_ids);
+
+        std::vector<std::unique_lock<std::mutex>> shard_locks;
+        shard_locks.reserve(shard_ids.size());
+        for (tile_id_t id : shard_ids)
+            shard_locks.push_back(lockShard(shards_[id]));
+
+        std::vector<tile_id_t> tile_ids{tile};
+        if (DirectoryEntry* e = shards_[home].directory->peek(line_addr);
+            e != nullptr) {
+            if (e->owner() != INVALID_TILE_ID)
+                tile_ids.push_back(e->owner());
+            for (tile_id_t s : e->sharers())
+                tile_ids.push_back(s);
+        }
+        sortUnique(tile_ids);
+
+        std::vector<std::unique_lock<std::mutex>> tile_locks;
+        tile_locks.reserve(tile_ids.size());
+        for (tile_id_t id : tile_ids)
+            tile_locks.emplace_back(tiles_[id].mutex);
+
+        // Phase C — revalidate and commit.
+        AtomicResult res;
+        CacheProbe p = tm.l2->probe(addr, /*is_write=*/true);
+        if (p == CacheProbe::Hit) {
+            res.latency += l2Latency_;
+            CacheLine* l2line = tm.l2->access(addr, /*is_write=*/true);
+            GRAPHITE_ASSERT(l2line != nullptr);
+            rmw(l2line, res);
+            return res;
+        }
+        if (p == CacheProbe::Miss) {
+            auto victim_now = tm.l2->peekVictim(line_addr);
+            if (victim_now &&
+                !std::binary_search(shard_ids.begin(), shard_ids.end(),
+                                    homeTile(*victim_now)))
+                continue; // victim changed shard: replan
+        }
+
+        res.latency += l2Latency_;
+        CacheLine* l2line = tm.l2->access(addr, /*is_write=*/true);
+        GRAPHITE_ASSERT(l2line == nullptr);
+        aggL2Misses_.fetch_add(1, std::memory_order_relaxed);
         MissClass mc;
-        res.latency += fetchLine(tile, line_addr, /*for_write=*/true,
-                                 addr, size, start_time + res.latency,
-                                 mc);
+        res.latency += fetchLineLocked(tile, line_addr,
+                                       /*for_write=*/true, addr, size,
+                                       start_time + res.latency, mc);
         recordMiss(tile, tm, mc, start_time + res.latency);
         l2line = tm.l2->find(line_addr);
         GRAPHITE_ASSERT(l2line != nullptr);
+        rmw(l2line, res);
+        return res;
     }
-    GRAPHITE_ASSERT(l2line->state == CacheState::Modified);
-
-    std::uint64_t old_val = 0;
-    std::memcpy(&old_val, l2line->data.data() + (addr - line_addr), size);
-    std::uint64_t new_val = op(old_val);
-    bumpVersions(addr, size);
-    std::memcpy(l2line->data.data() + (addr - line_addr), &new_val, size);
-    // Keep any L1 copy in sync (write-through).
-    if (tm.l1d) {
-        CacheLine* l1line = tm.l1d->find(addr);
-        if (l1line != nullptr)
-            std::memcpy(l1line->data.data() + (addr - line_addr),
-                        &new_val, size);
-    }
-
-    res.oldValue = old_val;
-    ++tm.stats.totalAccesses;
-    tm.stats.totalLatency += res.latency;
-    return res;
 }
 
 // ------------------------------------------------- untimed coherent access
@@ -597,21 +853,24 @@ MemorySystem::atomicRmw(tile_id_t tile, addr_t addr, size_t size,
 void
 MemorySystem::readCoherent(addr_t addr, void* buf, size_t size)
 {
-    std::scoped_lock lock(engineMutex_);
+    auto global = globalGuard();
     auto* out = static_cast<std::uint8_t*>(buf);
     while (size > 0) {
         addr_t line_addr = lineAlign(addr);
         size_t chunk = std::min<std::uint64_t>(
             size, line_addr + lineSize_ - addr);
         // If some cache owns the line Modified, its L2 has the newest
-        // data (L1 is write-through).
+        // data (L1 is write-through). Holding the home shard freezes
+        // the owner; the owner's tile lock freezes the data.
         tile_id_t home = homeTile(line_addr);
+        auto shard_lock = lockShard(shards_[home]);
         DirectoryEntry* entry =
-            tiles_[home].directory->peek(line_addr);
+            shards_[home].directory->peek(line_addr);
         if (entry != nullptr &&
             entry->state() == DirectoryState::Modified) {
-            CacheLine* line =
-                tiles_[entry->owner()].l2->find(line_addr);
+            tile_id_t owner = entry->owner();
+            std::scoped_lock tile_lock(tiles_[owner].mutex);
+            CacheLine* line = tiles_[owner].l2->find(line_addr);
             GRAPHITE_ASSERT(line != nullptr);
             std::memcpy(out, line->data.data() + (addr - line_addr),
                         chunk);
@@ -627,7 +886,7 @@ MemorySystem::readCoherent(addr_t addr, void* buf, size_t size)
 void
 MemorySystem::writeCoherent(addr_t addr, const void* buf, size_t size)
 {
-    std::scoped_lock lock(engineMutex_);
+    auto global = globalGuard();
     const auto* in = static_cast<const std::uint8_t*>(buf);
     while (size > 0) {
         addr_t line_addr = lineAlign(addr);
@@ -636,10 +895,23 @@ MemorySystem::writeCoherent(addr_t addr, const void* buf, size_t size)
         // Invalidate every cached copy, then update memory. This is a
         // kernel-initiated write (DMA-like); charge no target time.
         tile_id_t home = homeTile(line_addr);
+        auto shard_lock = lockShard(shards_[home]);
         DirectoryEntry* entry =
-            tiles_[home].directory->peek(line_addr);
+            shards_[home].directory->peek(line_addr);
         if (entry != nullptr &&
             entry->state() != DirectoryState::Uncached) {
+            std::vector<tile_id_t> holder_ids;
+            if (entry->state() == DirectoryState::Modified)
+                holder_ids.push_back(entry->owner());
+            else
+                for (tile_id_t s : entry->sharers())
+                    holder_ids.push_back(s);
+            sortUnique(holder_ids);
+            std::vector<std::unique_lock<std::mutex>> tile_locks;
+            tile_locks.reserve(holder_ids.size());
+            for (tile_id_t id : holder_ids)
+                tile_locks.emplace_back(tiles_[id].mutex);
+
             if (entry->state() == DirectoryState::Modified) {
                 std::vector<std::uint8_t> data;
                 invalidateTile(entry->owner(), line_addr,
@@ -647,7 +919,7 @@ MemorySystem::writeCoherent(addr_t addr, const void* buf, size_t size)
                 // Merge the owner's newest data first.
                 backing_.write(line_addr, data.data(), data.size());
             } else {
-                for (tile_id_t s : entry->sharers())
+                for (tile_id_t s : holder_ids)
                     invalidateTile(s, line_addr, /*coherence=*/false,
                                    nullptr);
             }
@@ -686,13 +958,13 @@ MemorySystem::l2(tile_id_t tile)
 Directory&
 MemorySystem::directory(tile_id_t tile)
 {
-    return *tiles_[tile].directory;
+    return *shards_[tile].directory;
 }
 
 DramController&
 MemorySystem::dram(tile_id_t tile)
 {
-    return *tiles_[tile].dram;
+    return *shards_[tile].dram;
 }
 
 const TileMemoryStats&
@@ -704,7 +976,18 @@ MemorySystem::stats(tile_id_t tile) const
 std::string
 MemorySystem::validateCoherence()
 {
-    std::scoped_lock lock(engineMutex_);
+    // Quiesce: take every shard, then every tile, in ascending order —
+    // the same global order transactions use, so this composes with
+    // concurrent traffic.
+    auto global = globalGuard();
+    std::vector<std::unique_lock<std::mutex>> shard_locks;
+    shard_locks.reserve(shards_.size());
+    for (Shard& sh : shards_)
+        shard_locks.push_back(lockShard(sh));
+    std::vector<std::unique_lock<std::mutex>> tile_locks;
+    tile_locks.reserve(tiles_.size());
+    for (TileMemory& tm : tiles_)
+        tile_locks.emplace_back(tm.mutex);
 
     // Gather, for every line cached anywhere, which L2s hold it and how.
     struct Holders
@@ -746,7 +1029,7 @@ MemorySystem::validateCoherence()
 
     for (auto& [line_addr, h] : holders) {
         tile_id_t home = homeTile(line_addr);
-        DirectoryEntry* entry = tiles_[home].directory->peek(line_addr);
+        DirectoryEntry* entry = shards_[home].directory->peek(line_addr);
         if (entry == nullptr)
             return strfmt("line {} cached but has no directory entry",
                           line_addr);
@@ -794,13 +1077,6 @@ MemorySystem::validateCoherence()
                                   line_addr, t);
             }
         }
-    }
-
-    // Directory entries claiming cached state must be backed by caches.
-    for (tile_id_t home = 0; home < topo_.totalTiles(); ++home) {
-        // (Entries are enumerated implicitly through holders above for
-        // cached lines; here catch dangling Modified entries.)
-        (void)home;
     }
     return "";
 }

@@ -14,11 +14,19 @@
  * coherence message (requests, invalidations, recalls, data replies), and
  * DRAM controller latency including lax-compatible queueing delay.
  *
- * Concurrency: coherence transactions are serialized by a single engine
- * mutex. On the paper's real cluster, per-home-tile servers provided
- * parallelism; on this single-core host, serialization costs nothing and
- * guarantees the atomicity that per-line lock ordering would otherwise
- * have to provide (see DESIGN.md).
+ * Concurrency: two-level locking mirrors the paper's per-home-tile MME
+ * servers. A per-tile lock guards each TileMemory (L1/L2 arrays, local
+ * stats, miss-classification state), so hits on lines the tile already
+ * holds with sufficient permission complete without touching any shared
+ * state. Per-home-tile shard locks guard the directory slice, the DRAM
+ * controller, and the word-version shard homed at each tile; coherence
+ * transactions acquire the shards they need in ascending id order, then
+ * every involved tile lock (requester + current holders) in ascending id
+ * order. See DESIGN.md §"Coherence-transaction serialization: the
+ * shard scheme" for the full lock order and plan/validate/retry
+ * protocol. Setting
+ * config key `mem/host_concurrency = global` restores a single engine
+ * mutex (the pre-shard behavior) for A/B benchmarking.
  */
 
 #pragma once
@@ -27,6 +35,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -109,6 +118,9 @@ class MemorySystem
      * For reads/fetches @p buf receives the data; for writes @p buf
      * supplies it. Accesses may span line boundaries (split internally).
      *
+     * Safe to call concurrently from any number of host threads; an
+     * access is atomic at cache-line granularity.
+     *
      * @param start_time the requesting core's clock at issue
      * @return aggregate timing and classification of the access
      */
@@ -125,7 +137,8 @@ class MemorySystem
     /**
      * Atomically apply @p op to the @p size-byte (4 or 8) integer at
      * @p addr with write semantics (line acquired Modified). The entire
-     * RMW is one coherence transaction.
+     * RMW is one coherence transaction. @p op runs with the requester's
+     * tile lock held and must not re-enter the memory system.
      */
     AtomicResult atomicRmw(tile_id_t tile, addr_t addr, size_t size,
                            const std::function<std::uint64_t(
@@ -161,6 +174,40 @@ class MemorySystem
     }
     /** @} */
 
+    /**
+     * @name Shared aggregates (register directly as atomic counters)
+     * Maintained on the hot path so reporting never walks every tile:
+     * totalAccesses/l2Misses/writebacks equal the per-tile sums at any
+     * quiescent point. The shard-lock trio measures contention on the
+     * per-home shard mutexes (fast-path hits never touch them).
+     * @{
+     */
+    const atomic_stat_t* totalAccessesCounter() const
+    {
+        return &aggAccesses_;
+    }
+    const atomic_stat_t* l2MissesCounter() const { return &aggL2Misses_; }
+    const atomic_stat_t* writebacksCounter() const
+    {
+        return &aggWritebacks_;
+    }
+    const atomic_stat_t* shardLockAcquisitionsCounter() const
+    {
+        return &shardLockAcquisitions_;
+    }
+    const atomic_stat_t* shardLockContendedCounter() const
+    {
+        return &shardLockContended_;
+    }
+    const atomic_stat_t* shardLockWaitNsCounter() const
+    {
+        return &shardLockWaitNs_;
+    }
+    /** @} */
+
+    /** False when `mem/host_concurrency = global` pinned the old mutex. */
+    bool shardedLocking() const { return sharded_; }
+
     /** Home tile of the line containing @p addr. */
     tile_id_t homeTile(addr_t addr) const;
 
@@ -170,6 +217,7 @@ class MemorySystem
     /**
      * Check every coherence invariant (single writer, inclusion,
      * directory/cache agreement, data agreement for shared lines).
+     * Quiesces the whole system: acquires every shard and tile lock.
      * @return empty string when consistent, else a description of the
      * first violation. For tests.
      */
@@ -184,13 +232,14 @@ class MemorySystem
         std::vector<std::uint32_t> versions;
     };
 
+    /** Everything guarded by one tile's lock. */
     struct TileMemory
     {
+        /** Level-1 lock: caches, stats, and classification state. */
+        std::mutex mutex;
         std::unique_ptr<Cache> l1i;
         std::unique_ptr<Cache> l1d;
         std::unique_ptr<Cache> l2;
-        std::unique_ptr<Directory> directory;
-        std::unique_ptr<DramController> dram;
         TileMemoryStats stats;
         /** Lines ever present in this tile's L2 (cold-miss tracking). */
         std::unordered_set<addr_t> everCached;
@@ -198,10 +247,34 @@ class MemorySystem
         std::unordered_map<addr_t, LostLine> lostLines;
     };
 
+    /**
+     * Everything homed at one tile, guarded by the level-2 shard lock:
+     * the directory slice and the memory controller — the paper's MME
+     * server state. Holding a line's home shard freezes the line's
+     * holder set (every holder-set mutation goes through the home).
+     */
+    struct Shard
+    {
+        std::mutex mutex;
+        std::unique_ptr<Directory> directory;
+        std::unique_ptr<DramController> dram;
+        /** Leaf lock for the word-version shard (classification). */
+        std::mutex versionMutex;
+        /** Per-line, per-word write version counters, lines homed here. */
+        std::unordered_map<addr_t, std::vector<std::uint32_t>>
+            wordVersions;
+    };
+
     static constexpr size_t CTRL_BYTES = 8;
     static constexpr std::uint32_t WORD_BYTES = 4;
 
     addr_t lineAlign(addr_t a) const { return a & ~(lineSize_ - 1); }
+
+    /** The whole-engine mutex when `mem/host_concurrency = global`. */
+    std::unique_lock<std::mutex> globalGuard();
+
+    /** Acquire a shard lock, recording contention statistics. */
+    std::unique_lock<std::mutex> lockShard(Shard& shard);
 
     /** Model one coherence message; returns its network latency. */
     cycle_t msg(tile_id_t src, tile_id_t dst, size_t payload_bytes,
@@ -213,16 +286,33 @@ class MemorySystem
                             cycle_t start_time);
 
     /**
+     * Complete the access if @p tile's caches already hold the line with
+     * sufficient permission (the fast path). Caller holds the tile lock.
+     * @return true when the access completed and @p res is filled.
+     */
+    bool tryCompleteLocal(tile_id_t tile, TileMemory& tm, Cache* l1,
+                          bool is_write, addr_t addr, void* buf,
+                          size_t size, AccessResult& res);
+
+    /** Commit stats for one finished line access. Tile lock held. */
+    void finishAccess(TileMemory& tm, const AccessResult& res);
+
+    /**
      * Acquire the line into @p tile's L2 with read or write permission,
      * running the full directory transaction. On return the L2 holds the
      * line in Shared (read) or Modified (write) state.
+     *
+     * Caller holds: the line's home shard, the victim's home shard when
+     * an L2 eviction is pending, the requester tile lock, and every
+     * current holder's tile lock.
+     *
      * @param addr,size the bytes the triggering access touches (miss
      *                  classification compares exactly these words)
      * @return added latency.
      */
-    cycle_t fetchLine(tile_id_t tile, addr_t line_addr, bool for_write,
-                      addr_t addr, size_t size, cycle_t now,
-                      MissClass& miss_class);
+    cycle_t fetchLineLocked(tile_id_t tile, addr_t line_addr,
+                            bool for_write, addr_t addr, size_t size,
+                            cycle_t now, MissClass& miss_class);
 
     /** Invalidate every cached copy at @p holder (L2 + L1s). */
     void invalidateTile(tile_id_t holder, addr_t line_addr,
@@ -257,13 +347,20 @@ class MemorySystem
     cycle_t dirLatency_;
     bool classify_;
     bool mesi_ = false;
-    std::mutex engineMutex_;
+    bool sharded_ = true;
+    std::mutex globalMutex_; ///< only used when !sharded_
     std::vector<TileMemory> tiles_;
+    std::vector<Shard> shards_;
     HistogramStat accessLatency_;
     MainMemory backing_;
     std::unique_ptr<MemoryManager> manager_;
-    /** Per-line, per-word write version counters (classification). */
-    std::unordered_map<addr_t, std::vector<std::uint32_t>> wordVersions_;
+
+    atomic_stat_t aggAccesses_{0};
+    atomic_stat_t aggL2Misses_{0};
+    atomic_stat_t aggWritebacks_{0};
+    atomic_stat_t shardLockAcquisitions_{0};
+    atomic_stat_t shardLockContended_{0};
+    atomic_stat_t shardLockWaitNs_{0};
 };
 
 } // namespace graphite

@@ -63,6 +63,14 @@ NetworkFabric::modelFor(PacketType type)
     return *models_[idx];
 }
 
+const NetworkModel&
+NetworkFabric::modelFor(PacketType type) const
+{
+    int idx = static_cast<int>(type);
+    GRAPHITE_ASSERT(idx >= 0 && idx < NUM_PACKET_TYPES);
+    return *models_[idx];
+}
+
 stat_t
 NetworkFabric::intraProcessMessages(PacketType type) const
 {

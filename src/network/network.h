@@ -60,6 +60,7 @@ class NetworkFabric
 
     /** The model serving @p type (for stats inspection). */
     NetworkModel& modelFor(PacketType type);
+    const NetworkModel& modelFor(PacketType type) const;
 
     GlobalProgress& progress() { return progress_; }
     const ClusterTopology& topology() const { return topo_; }

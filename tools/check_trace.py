@@ -128,6 +128,8 @@ def run_cli_mode(cli):
         check_trace(trace)
         check_metrics(metrics, require_columns=[
             "mem.l2_misses_total", "tile.0.l2.misses", "sim.cycles_max",
+            "mem.shard_lock.acquisitions", "mem.shard_lock.contended",
+            "mem.shard_lock.wait_ns",
         ])
 
     # Disabled mode must create no artifact files.
