@@ -1,0 +1,113 @@
+#include "check/fault.h"
+
+#include "common/config.h"
+#include "common/log.h"
+
+namespace graphite
+{
+namespace check
+{
+
+std::atomic<bool> FaultPlan::armedFlag_{false};
+
+FaultPlan&
+FaultPlan::instance()
+{
+    static FaultPlan plan;
+    return plan;
+}
+
+void
+FaultPlan::configure(const Config& cfg)
+{
+    mode_ = parseMode(cfg.getString("check/inject_fault", "none"));
+    after_ = static_cast<std::uint64_t>(
+        cfg.getInt("check/fault_after", 4));
+    addrBelow_ =
+        static_cast<addr_t>(cfg.getInt("check/fault_addr_below", 0));
+    opportunities_.store(0, std::memory_order_relaxed);
+    fired_.store(0, std::memory_order_relaxed);
+    armedFlag_.store(mode_ != FaultMode::None,
+                     std::memory_order_relaxed);
+    if (mode_ != FaultMode::None)
+        warn("fault injection armed: {} after {} opportunities",
+             modeName(mode_), after_);
+}
+
+void
+FaultPlan::disarm()
+{
+    mode_ = FaultMode::None;
+    armedFlag_.store(false, std::memory_order_relaxed);
+}
+
+bool
+FaultPlan::shouldFire(FaultMode mode, addr_t line_addr)
+{
+    if (mode != mode_)
+        return false;
+    if (addrBelow_ != 0 && line_addr >= addrBelow_)
+        return false;
+    std::uint64_t n =
+        opportunities_.fetch_add(1, std::memory_order_relaxed);
+    if (n < after_)
+        return false;
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+std::uint64_t
+FaultPlan::opportunities() const
+{
+    return opportunities_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+FaultPlan::fired() const
+{
+    return fired_.load(std::memory_order_relaxed);
+}
+
+FaultMode
+FaultPlan::parseMode(const std::string& name)
+{
+    if (name.empty() || name == "none")
+        return FaultMode::None;
+    if (name == "drop_invalidation")
+        return FaultMode::DropInvalidation;
+    if (name == "stale_dram_fill")
+        return FaultMode::StaleDramFill;
+    if (name == "lost_writeback")
+        return FaultMode::LostWriteback;
+    if (name == "skip_release_fence")
+        return FaultMode::SkipReleaseFence;
+    fatal("check/inject_fault: unknown mode '{}'", name);
+}
+
+const char*
+FaultPlan::modeName(FaultMode mode)
+{
+    switch (mode) {
+      case FaultMode::None: return "none";
+      case FaultMode::DropInvalidation: return "drop_invalidation";
+      case FaultMode::StaleDramFill: return "stale_dram_fill";
+      case FaultMode::LostWriteback: return "lost_writeback";
+      case FaultMode::SkipReleaseFence: return "skip_release_fence";
+    }
+    return "?";
+}
+
+const std::vector<FaultMode>&
+FaultPlan::allModes()
+{
+    static const std::vector<FaultMode> modes = {
+        FaultMode::DropInvalidation,
+        FaultMode::StaleDramFill,
+        FaultMode::LostWriteback,
+        FaultMode::SkipReleaseFence,
+    };
+    return modes;
+}
+
+} // namespace check
+} // namespace graphite

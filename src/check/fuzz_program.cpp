@@ -1,0 +1,171 @@
+#include "check/fuzz_program.h"
+
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace graphite
+{
+namespace check
+{
+
+namespace
+{
+
+const char*
+kindName(ActionKind k)
+{
+    switch (k) {
+      case ActionKind::PrivateRw: return "private_rw";
+      case ActionKind::SharedAtomic: return "shared_atomic";
+      case ActionKind::CasAccumulate: return "cas_accumulate";
+      case ActionKind::MutexSection: return "mutex_section";
+      case ActionKind::Scratch: return "scratch";
+      case ActionKind::Compute: return "compute";
+    }
+    return "?";
+}
+
+ActionKind
+pickKind(Rng& rng)
+{
+    // Weighted mix; coherence-heavy kinds dominate.
+    std::uint64_t w = rng.nextBounded(100);
+    if (w < 25)
+        return ActionKind::PrivateRw;
+    if (w < 45)
+        return ActionKind::SharedAtomic;
+    if (w < 55)
+        return ActionKind::CasAccumulate;
+    if (w < 75)
+        return ActionKind::MutexSection;
+    if (w < 85)
+        return ActionKind::Scratch;
+    return ActionKind::Compute;
+}
+
+} // namespace
+
+FuzzProgram
+FuzzProgram::generate(std::uint64_t seed, const GenLimits& limits)
+{
+    FuzzProgram p;
+    p.seed = seed;
+    Rng rng(seed ^ 0x9E3779B97F4A7C15ull);
+
+    int max_threads = limits.maxThreads < 1 ? 1 : limits.maxThreads;
+    p.threads =
+        max_threads == 1
+            ? 1
+            : 2 + static_cast<int>(rng.nextBounded(max_threads - 1));
+    p.privateRegions = 1 + static_cast<std::uint32_t>(rng.nextBounded(2));
+    p.lockedRegions = 1 + static_cast<std::uint32_t>(rng.nextBounded(2));
+    p.regionWords =
+        48 + 16 * static_cast<std::uint32_t>(rng.nextBounded(4));
+    p.counters = 1 + static_cast<std::uint32_t>(rng.nextBounded(3));
+    p.casCounters = 1 + static_cast<std::uint32_t>(rng.nextBounded(2));
+    p.mutexes = 1 + static_cast<std::uint32_t>(rng.nextBounded(2));
+    p.threadEnabled.assign(p.threads, 1);
+
+    std::size_t num_rounds = 3 + rng.nextBounded(4);
+    p.rounds.resize(num_rounds);
+    for (FuzzRound& round : p.rounds) {
+        round.barrierAfter = rng.nextBounded(100) < 70;
+        round.msgRing =
+            limits.allowMsgRing && p.threads > 1 && rng.nextBounded(100) < 35;
+        round.respawn = limits.allowRespawn && rng.nextBounded(100) < 30;
+        round.actions.resize(p.threads);
+        for (int t = 0; t < p.threads; ++t) {
+            std::size_t n = 1 + rng.nextBounded(4);
+            round.actions[t].resize(n);
+            for (FuzzAction& a : round.actions[t]) {
+                a.kind = pickKind(rng);
+                a.region = static_cast<std::uint32_t>(rng.nextBounded(
+                    a.kind == ActionKind::MutexSection ? p.lockedRegions
+                                                       : p.privateRegions));
+                a.counter = static_cast<std::uint32_t>(rng.nextBounded(
+                    a.kind == ActionKind::CasAccumulate ? p.casCounters
+                                                        : p.counters));
+                a.ops =
+                    4 + static_cast<std::uint32_t>(rng.nextBounded(12));
+                a.valueSeed = rng.next();
+            }
+        }
+    }
+    return p;
+}
+
+int
+FuzzProgram::activeThreads() const
+{
+    int n = 0;
+    for (char e : threadEnabled)
+        n += e ? 1 : 0;
+    return n > 0 ? n : 1;
+}
+
+std::size_t
+FuzzProgram::enabledActions() const
+{
+    std::size_t n = 0;
+    for (const FuzzRound& round : rounds) {
+        if (!round.enabled)
+            continue;
+        for (int t = 0; t < threads; ++t) {
+            if (!threadEnabled[t])
+                continue;
+            for (const FuzzAction& a : round.actions[t])
+                n += a.enabled ? 1 : 0;
+        }
+    }
+    return n;
+}
+
+std::string
+FuzzProgram::describe() const
+{
+    std::ostringstream os;
+    os << "seed 0x" << std::hex << seed << std::dec << "\n";
+    os << "threads " << threads << " (enabled";
+    for (int t = 0; t < threads; ++t)
+        if (threadEnabled[t])
+            os << " " << t;
+    os << ")\n";
+    os << "private regions " << privateRegions << " x " << regionWords
+       << " words, locked regions " << lockedRegions << ", counters "
+       << counters << ", cas counters " << casCounters << ", mutexes "
+       << mutexes << "\n";
+    for (std::size_t r = 0; r < rounds.size(); ++r) {
+        const FuzzRound& round = rounds[r];
+        if (!round.enabled) {
+            os << "round " << r << ": disabled\n";
+            continue;
+        }
+        os << "round " << r << ":";
+        if (round.msgRing)
+            os << " [ring]";
+        if (round.respawn)
+            os << " [respawn]";
+        if (round.barrierAfter)
+            os << " [barrier]";
+        os << "\n";
+        for (int t = 0; t < threads; ++t) {
+            if (!threadEnabled[t])
+                continue;
+            os << "  t" << t << ":";
+            for (const FuzzAction& a : round.actions[t]) {
+                if (!a.enabled) {
+                    os << " (off)";
+                    continue;
+                }
+                os << " " << kindName(a.kind) << "(r" << a.region << ",c"
+                   << a.counter << ",x" << a.ops << ")";
+            }
+            os << "\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace check
+} // namespace graphite

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Seeded random workload programs over the graphite::api surface.
+ *
+ * A FuzzProgram is generated deterministically from a single 64-bit seed
+ * and executed on any simulator configuration. Programs are designed so
+ * that their *functional result* — folded into a 64-bit fingerprint — is
+ * independent of thread interleaving and of every timing-model knob:
+ *
+ *  - private-region reads/writes fold read-back values only from a
+ *    thread's own slice (heavy false sharing, no data races);
+ *  - shared counters accumulate commutative atomic adds / CAS loops, and
+ *    only the *final* values are folded;
+ *  - mutex-protected regions take commutative read-modify-writes under
+ *    a lock, folding only the final contents;
+ *  - message rings exchange seed-derived tokens between adjacent
+ *    threads (single sender per receiver, so FIFO order is total);
+ *  - transient respawn children run private scratch workloads.
+ *
+ * Equal fingerprints across the config matrix is the differential
+ * oracle; a mismatch means a functional bug in the memory/sync/network
+ * stack (or an injected fault doing its job).
+ *
+ * Shrinking flips `enabled` bits at three granularities — whole threads,
+ * whole rounds, individual actions — which keeps barrier participant
+ * counts and ring membership consistent by construction.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace graphite
+{
+namespace check
+{
+
+/** One unit of work a thread performs inside a round. */
+enum class ActionKind : std::uint8_t
+{
+    PrivateRw,    ///< write+readback in the thread's own region slice
+    SharedAtomic, ///< plain warm read + atomicAdd64 on a shared counter
+    CasAccumulate,///< CAS-loop accumulation on a 32-bit counter
+    MutexSection, ///< commutative RMWs on a region under its mutex
+    Scratch,      ///< malloc/write/readback/free of a private block
+    Compute,      ///< instruction + branch events only
+};
+
+struct FuzzAction
+{
+    ActionKind kind = ActionKind::Compute;
+    std::uint32_t region = 0;  ///< private or locked region index
+    std::uint32_t counter = 0; ///< counter index (atomic / cas pools)
+    std::uint32_t ops = 1;     ///< inner operation count
+    std::uint64_t valueSeed = 0;
+    bool enabled = true;
+};
+
+/** One bulk-synchronous phase of the program. */
+struct FuzzRound
+{
+    bool barrierAfter = false;
+    bool msgRing = false; ///< each thread sends a token to its successor
+    bool respawn = false; ///< main spawns + joins one transient child
+    bool enabled = true;
+    /** actions[threadIdx] — indexed by persistent thread, incl. main. */
+    std::vector<std::vector<FuzzAction>> actions;
+};
+
+/** Knobs for generate(); defaults fit an 8-tile target. */
+struct GenLimits
+{
+    int maxThreads = 6;       ///< persistent threads incl. main
+    bool allowRespawn = true; ///< transient thread spawns
+    bool allowMsgRing = true; ///< user-level messaging rounds
+};
+
+struct FuzzProgram
+{
+    std::uint64_t seed = 0;
+    int threads = 1; ///< persistent threads incl. main (thread 0)
+    std::uint32_t privateRegions = 1;
+    std::uint32_t lockedRegions = 1;
+    std::uint32_t regionWords = 64; ///< 32-bit words per region
+    std::uint32_t counters = 1;     ///< 64-bit atomic-add counters
+    std::uint32_t casCounters = 1;  ///< 32-bit CAS counters
+    std::uint32_t mutexes = 1;
+    std::vector<FuzzRound> rounds;
+    /** Shrink mask; threadEnabled[0] (main) is always true. */
+    std::vector<char> threadEnabled;
+
+    static FuzzProgram generate(std::uint64_t seed,
+                                const GenLimits& limits = {});
+
+    /** Enabled persistent threads (>= 1; main always counts). */
+    int activeThreads() const;
+
+    /** Enabled actions across enabled threads in enabled rounds. */
+    std::size_t enabledActions() const;
+
+    /** Human-readable listing, written into reproducer artifacts. */
+    std::string describe() const;
+};
+
+} // namespace check
+} // namespace graphite

@@ -1,0 +1,450 @@
+#include "check/fuzz_runner.h"
+
+#include <cstring>
+
+#include "check/invariants.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/strfmt.h"
+#include "core/api.h"
+#include "core/simulator.h"
+#include "mem/address_space.h"
+
+namespace graphite
+{
+namespace check
+{
+
+namespace
+{
+
+constexpr std::uint64_t FNV_OFFSET = 1469598103934665603ull;
+constexpr std::uint64_t FNV_PRIME = 1099511628211ull;
+
+/** FNV-1a over a stream of 64-bit values. */
+struct Fold
+{
+    std::uint64_t h = FNV_OFFSET;
+
+    void
+    add(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= FNV_PRIME;
+        }
+    }
+};
+
+std::uint64_t
+mix(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t z = a + 0x9E3779B97F4A7C15ull * (b + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+struct HostShared
+{
+    const FuzzProgram* prog = nullptr;
+    addr_t privBase = 0;
+    addr_t lockBase = 0;
+    addr_t ctrBase = 0;
+    addr_t casBase = 0;
+    addr_t mutexBase = 0;
+    addr_t barrier = 0;
+    std::vector<tile_id_t> tiles;    ///< tile of thread idx
+    std::vector<int> enabledIdx;     ///< enabled thread idxs, ascending
+    std::vector<std::uint64_t> folds;
+    std::uint64_t finalFingerprint = 0;
+};
+
+struct ThreadArg
+{
+    HostShared* sh = nullptr;
+    int idx = 0;
+};
+
+struct ChildArg
+{
+    std::uint64_t seed = 0;
+    std::uint64_t round = 0;
+    std::uint64_t fold = 0;
+};
+
+/** Transient respawn child: private scratch workload. */
+void
+childMain(void* p)
+{
+    ChildArg& c = *static_cast<ChildArg*>(p);
+    Rng rng(mix(c.seed, 0x5EED0000 + c.round));
+    Fold f;
+    std::uint32_t sz = 64 + static_cast<std::uint32_t>(rng.nextBounded(193));
+    addr_t a = api::malloc(sz);
+    for (std::uint32_t off = 0; off + 4 <= sz; off += 4)
+        api::write<std::uint32_t>(a + off,
+                                  static_cast<std::uint32_t>(rng.next()));
+    for (int k = 0; k < 8; ++k) {
+        std::uint32_t w =
+            static_cast<std::uint32_t>(rng.nextBounded(sz / 4));
+        f.add(api::read<std::uint32_t>(a + w * 4));
+    }
+    api::free(a);
+    c.fold = f.h;
+}
+
+void
+doAction(HostShared& sh, int idx, int rank, int nact,
+         const FuzzAction& act, Fold& fold)
+{
+    const FuzzProgram& p = *sh.prog;
+    Rng rng(mix(act.valueSeed, 0xAC7 + idx));
+    switch (act.kind) {
+      case ActionKind::PrivateRw: {
+        // Disjoint per-thread slices of one region: no data races, but
+        // adjacent slices share lines (heavy false sharing).
+        std::uint32_t w_per = p.regionWords;
+        std::uint32_t lo = static_cast<std::uint32_t>(
+            static_cast<std::uint64_t>(w_per) * rank / nact);
+        std::uint32_t hi = static_cast<std::uint32_t>(
+            static_cast<std::uint64_t>(w_per) * (rank + 1) / nact);
+        if (hi <= lo)
+            hi = lo + 1;
+        addr_t base =
+            sh.privBase + static_cast<addr_t>(act.region) * w_per * 4;
+        for (std::uint32_t k = 0; k < act.ops; ++k) {
+            std::uint32_t w =
+                lo + static_cast<std::uint32_t>(rng.nextBounded(hi - lo));
+            addr_t a = base + w * 4;
+            std::uint32_t v = static_cast<std::uint32_t>(rng.next());
+            api::write<std::uint32_t>(a, v);
+            fold.add(api::read<std::uint32_t>(a));
+        }
+        break;
+      }
+      case ActionKind::SharedAtomic: {
+        addr_t a = sh.ctrBase + act.counter * 8;
+        // Warm the L1 with a plain read so atomics and plain copies of
+        // the line coexist; the value is interleaving-dependent, so it
+        // is NOT folded.
+        (void)api::read<std::uint64_t>(a);
+        for (std::uint32_t k = 0; k < act.ops; ++k)
+            api::atomicAdd64(
+                a, static_cast<std::int64_t>(rng.nextBounded(1000) + 1));
+        break;
+      }
+      case ActionKind::CasAccumulate: {
+        addr_t a = sh.casBase + act.counter * 4;
+        for (std::uint32_t k = 0; k < act.ops; ++k) {
+            std::uint32_t d =
+                static_cast<std::uint32_t>(rng.nextBounded(255)) + 1;
+            for (;;) {
+                std::uint32_t old = api::atomicAdd32(a, 0);
+                if (api::atomicCas32(a, old, old + d) == old)
+                    break;
+            }
+        }
+        break;
+      }
+      case ActionKind::MutexSection: {
+        std::uint32_t r = act.region;
+        addr_t m = sh.mutexBase + (r % p.mutexes) * api::MUTEX_BYTES;
+        addr_t base =
+            sh.lockBase + static_cast<addr_t>(r) * p.regionWords * 4;
+        api::mutexLock(m);
+        for (std::uint32_t k = 0; k < act.ops; ++k) {
+            std::uint32_t w =
+                static_cast<std::uint32_t>(rng.nextBounded(p.regionWords));
+            addr_t a = base + w * 4;
+            std::uint32_t d =
+                static_cast<std::uint32_t>(rng.nextBounded(4096));
+            api::write<std::uint32_t>(a,
+                                      api::read<std::uint32_t>(a) + d);
+        }
+        api::mutexUnlock(m);
+        break;
+      }
+      case ActionKind::Scratch: {
+        std::uint32_t sz =
+            16 + static_cast<std::uint32_t>(rng.nextBounded(241));
+        addr_t a = api::malloc(sz);
+        for (std::uint32_t off = 0; off + 4 <= sz; off += 4)
+            api::write<std::uint32_t>(
+                a + off, static_cast<std::uint32_t>(rng.next()));
+        for (int k = 0; k < 4; ++k) {
+            std::uint32_t w =
+                static_cast<std::uint32_t>(rng.nextBounded(sz / 4));
+            fold.add(api::read<std::uint32_t>(a + w * 4));
+        }
+        api::free(a);
+        break;
+      }
+      case ActionKind::Compute: {
+        api::exec(InstrClass::IntAlu, 1 + rng.nextBounded(40));
+        for (std::uint32_t k = 0; k < act.ops; ++k)
+            api::branch(0x1000 + (act.valueSeed & 0xfff),
+                        rng.nextBounded(2) == 0);
+        fold.add(rng.next());
+        break;
+      }
+    }
+}
+
+void
+runThreadBody(HostShared& sh, int idx)
+{
+    const FuzzProgram& p = *sh.prog;
+    Fold fold;
+    int nact = static_cast<int>(sh.enabledIdx.size());
+    int rank = 0;
+    for (int i = 0; i < nact; ++i)
+        if (sh.enabledIdx[i] == idx)
+            rank = i;
+
+    // Start barrier: guarantees the tile table is complete before any
+    // ring round reads it.
+    api::barrierWait(sh.barrier);
+
+    for (std::size_t r = 0; r < p.rounds.size(); ++r) {
+        const FuzzRound& round = p.rounds[r];
+        if (!round.enabled)
+            continue;
+        for (const FuzzAction& act : round.actions[idx])
+            if (act.enabled)
+                doAction(sh, idx, rank, nact, act, fold);
+
+        if (round.msgRing && nact >= 2) {
+            std::uint64_t token = mix(p.seed, (r << 8) ^ idx);
+            tile_id_t peer = sh.tiles[sh.enabledIdx[(rank + 1) % nact]];
+            api::msgSend(peer, &token, sizeof(token));
+            api::Message msg = api::msgRecv();
+            std::uint64_t got = 0;
+            if (msg.data.size() == sizeof(got))
+                std::memcpy(&got, msg.data.data(), sizeof(got));
+            fold.add(got);
+            fold.add(static_cast<std::uint64_t>(msg.sender));
+        }
+
+        if (round.respawn && idx == 0) {
+            ChildArg c{p.seed, r, 0};
+            tile_id_t t = api::threadSpawn(&childMain, &c);
+            api::threadJoin(t);
+            fold.add(c.fold);
+        }
+
+        if (round.barrierAfter)
+            api::barrierWait(sh.barrier);
+    }
+    sh.folds[idx] = fold.h;
+}
+
+void
+fuzzThreadMain(void* p)
+{
+    ThreadArg& arg = *static_cast<ThreadArg*>(p);
+    runThreadBody(*arg.sh, arg.idx);
+}
+
+void
+zeroTarget(addr_t base, std::uint64_t bytes)
+{
+    std::vector<std::uint8_t> zeros(64, 0);
+    for (std::uint64_t off = 0; off < bytes; off += 64)
+        api::writeMem(base + off, zeros.data(),
+                      std::min<std::uint64_t>(64, bytes - off));
+}
+
+void
+fuzzMain(void* p)
+{
+    HostShared& sh = *static_cast<HostShared*>(p);
+    const FuzzProgram& prog = *sh.prog;
+    std::uint32_t w_bytes = prog.regionWords * 4;
+
+    sh.privBase = api::malloc(prog.privateRegions * w_bytes);
+    sh.lockBase = api::malloc(prog.lockedRegions * w_bytes);
+    sh.ctrBase = api::malloc(prog.counters * 8);
+    sh.casBase = api::malloc(prog.casCounters * 4);
+    zeroTarget(sh.privBase, prog.privateRegions * w_bytes);
+    zeroTarget(sh.lockBase, prog.lockedRegions * w_bytes);
+    zeroTarget(sh.ctrBase, prog.counters * 8);
+    zeroTarget(sh.casBase, prog.casCounters * 4);
+
+    std::uint64_t sync_bytes =
+        prog.mutexes * api::MUTEX_BYTES + api::BARRIER_BYTES;
+    sh.mutexBase = api::mmap(sync_bytes);
+    sh.barrier = sh.mutexBase + prog.mutexes * api::MUTEX_BYTES;
+    for (std::uint32_t m = 0; m < prog.mutexes; ++m)
+        api::mutexInit(sh.mutexBase + m * api::MUTEX_BYTES);
+
+    sh.enabledIdx.clear();
+    for (int t = 0; t < prog.threads; ++t)
+        if (prog.threadEnabled[t])
+            sh.enabledIdx.push_back(t);
+    api::barrierInit(sh.barrier,
+                     static_cast<std::uint32_t>(sh.enabledIdx.size()));
+
+    sh.tiles.assign(prog.threads, INVALID_TILE_ID);
+    sh.folds.assign(prog.threads, 0);
+    sh.tiles[0] = api::tileId();
+
+    std::vector<ThreadArg> args(prog.threads);
+    for (int t = 1; t < prog.threads; ++t) {
+        if (!prog.threadEnabled[t])
+            continue;
+        args[t] = ThreadArg{&sh, t};
+        sh.tiles[t] = api::threadSpawn(&fuzzThreadMain, &args[t]);
+    }
+
+    runThreadBody(sh, 0); // releases the start barrier
+
+    for (int t = 1; t < prog.threads; ++t)
+        if (prog.threadEnabled[t])
+            api::threadJoin(sh.tiles[t]);
+
+    // Final deterministic fold: per-thread results in index order, then
+    // the settled shared state.
+    Fold f;
+    for (int t : sh.enabledIdx)
+        f.add(sh.folds[t]);
+    for (std::uint32_t c = 0; c < prog.counters; ++c)
+        f.add(api::read<std::uint64_t>(sh.ctrBase + c * 8));
+    for (std::uint32_t c = 0; c < prog.casCounters; ++c)
+        f.add(api::read<std::uint32_t>(sh.casBase + c * 4));
+    std::vector<std::uint32_t> words(prog.regionWords);
+    auto fold_region = [&](addr_t base) {
+        api::readMem(base, words.data(), w_bytes);
+        for (std::uint32_t v : words)
+            f.add(v);
+    };
+    for (std::uint32_t r = 0; r < prog.privateRegions; ++r)
+        fold_region(sh.privBase + static_cast<addr_t>(r) * w_bytes);
+    for (std::uint32_t r = 0; r < prog.lockedRegions; ++r)
+        fold_region(sh.lockBase + static_cast<addr_t>(r) * w_bytes);
+
+    api::free(sh.privBase);
+    api::free(sh.lockBase);
+    api::free(sh.ctrBase);
+    api::free(sh.casBase);
+    api::munmap(sh.mutexBase, sync_bytes);
+    sh.finalFingerprint = f.h;
+}
+
+} // namespace
+
+FuzzResult
+runFuzzProgram(const FuzzProgram& prog, const Config& cfg,
+               const RunOptions& opt)
+{
+    Simulator sim(cfg);
+    GRAPHITE_ASSERT(prog.activeThreads() < sim.totalTiles());
+
+    HostShared sh;
+    sh.prog = &prog;
+
+    ClockWatcher watcher(sim, opt.watcherPeriodUs,
+                         opt.periodicValidate ? opt.validateEvery : 0);
+    watcher.start();
+    SimulationSummary summary;
+    try {
+        summary = sim.run(&fuzzMain, &sh);
+    } catch (...) {
+        watcher.stop();
+        throw;
+    }
+    watcher.stop();
+
+    FuzzResult res;
+    res.fingerprint = sh.finalFingerprint;
+    res.violations = watcher.violations();
+    for (std::string& v : checkConservation(sim))
+        res.violations.push_back(std::move(v));
+    res.simulatedCycles = summary.simulatedCycles;
+    res.maxSkew = watcher.maxSkew();
+    if (opt.collectStats)
+        res.statsReport = sim.statsReport();
+    return res;
+}
+
+ConfigPoint
+baselinePoint()
+{
+    return ConfigPoint{};
+}
+
+std::vector<ConfigPoint>
+sampleMatrix(std::uint64_t seed, int variants)
+{
+    std::vector<ConfigPoint> points;
+    points.push_back(baselinePoint());
+
+    static const char* SYNCS[] = {"lax", "lax_barrier", "lax_p2p"};
+    static const char* DIRS[] = {"full_map", "limited_no_broadcast",
+                                 "limitless"};
+    static const int PROCS[] = {1, 3, 8};
+    static const int LINES[] = {32, 64};
+    static const char* CONCS[] = {"sharded", "global"};
+
+    Rng rng(mix(seed, 0xC0F16));
+    for (int i = 0; i < variants; ++i) {
+        ConfigPoint pt;
+        if (i == 0) {
+            // Always exercise sharded locking across processes.
+            pt.processes = 3;
+            pt.concurrency = "sharded";
+            pt.syncModel = SYNCS[rng.nextBounded(3)];
+            pt.directoryType = DIRS[rng.nextBounded(3)];
+            pt.lineSize = LINES[rng.nextBounded(2)];
+        } else {
+            pt.processes = PROCS[rng.nextBounded(3)];
+            pt.concurrency = CONCS[rng.nextBounded(2)];
+            pt.syncModel = SYNCS[rng.nextBounded(3)];
+            pt.directoryType = DIRS[rng.nextBounded(3)];
+            pt.lineSize = LINES[rng.nextBounded(2)];
+        }
+        pt.slack = rng.nextBounded(2) == 0 ? 2000 : 100000;
+        pt.name = strfmt("p{}_{}_{}_l{}_{}", pt.processes, pt.syncModel,
+                         pt.directoryType, pt.lineSize, pt.concurrency);
+        points.push_back(std::move(pt));
+    }
+    return points;
+}
+
+Config
+makeFuzzConfig(const ConfigPoint& pt, std::uint64_t seed,
+               const std::string& fault_mode)
+{
+    Config cfg = defaultTargetConfig();
+    cfg.setInt("general/total_tiles", 8);
+    cfg.setInt("general/num_processes", pt.processes);
+    cfg.set("sync/model", pt.syncModel);
+    cfg.setInt("sync/quantum", 2000);
+    cfg.setInt("sync/slack", static_cast<std::int64_t>(pt.slack));
+    cfg.set("caching_protocol/directory_type", pt.directoryType);
+    cfg.setInt("caching_protocol/max_sharers", 2);
+    cfg.set("mem/host_concurrency", pt.concurrency);
+    // Deliberately tiny caches: the program working set must not fit,
+    // or capacity evictions (and the dirty-writeback path) never run.
+    for (const char* l1 :
+         {"perf_model/l1_icache", "perf_model/l1_dcache"}) {
+        cfg.setInt(std::string(l1) + "/cache_size", 1024);
+        cfg.setInt(std::string(l1) + "/associativity", 2);
+        cfg.setInt(std::string(l1) + "/line_size", pt.lineSize);
+    }
+    cfg.setInt("perf_model/l2_cache/cache_size", 2048);
+    cfg.setInt("perf_model/l2_cache/associativity", 2);
+    cfg.setInt("perf_model/l2_cache/line_size", pt.lineSize);
+    cfg.setInt("rng/seed", static_cast<std::int64_t>(seed | 1));
+    // The runner applies the full invariant suite itself, with richer
+    // reporting than the shutdown fatal().
+    cfg.setBool("check/validate_at_shutdown", false);
+    cfg.set("check/inject_fault", fault_mode);
+    cfg.setInt("check/fault_after", 4);
+    cfg.setInt("check/fault_addr_below",
+               static_cast<std::int64_t>(AddressSpaceLayout::MMAP_BASE));
+    return cfg;
+}
+
+} // namespace check
+} // namespace graphite

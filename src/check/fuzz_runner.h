@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Executes a FuzzProgram on one simulator configuration and samples the
+ * configuration matrix the differential sweep runs each seed across.
+ *
+ * runFuzzProgram() builds a Simulator from the given Config, runs the
+ * program with a ClockWatcher attached (clock monotonicity + optional
+ * periodic coherence probing), then runs the post-quiescence
+ * conservation suite. The returned fingerprint must be identical for
+ * the same program across every configuration in the matrix.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/fixed_types.h"
+#include "check/fuzz_program.h"
+
+namespace graphite
+{
+namespace check
+{
+
+struct RunOptions
+{
+    bool periodicValidate = true; ///< probe coherence mid-run
+    int watcherPeriodUs = 300;
+    int validateEvery = 8; ///< coherence probe every N clock samples
+    bool collectStats = false; ///< fill FuzzResult::statsReport
+};
+
+struct FuzzResult
+{
+    std::uint64_t fingerprint = 0;
+    std::vector<std::string> violations;
+    cycle_t simulatedCycles = 0;
+    cycle_t maxSkew = 0;
+    std::string statsReport;
+};
+
+/**
+ * Run @p prog under @p cfg. Throws FatalError on configuration errors
+ * or a failed shutdown validation; protocol invariant breaks surface in
+ * FuzzResult::violations.
+ */
+FuzzResult runFuzzProgram(const FuzzProgram& prog, const Config& cfg,
+                          const RunOptions& opt = {});
+
+/** One point of the configuration matrix (8-tile target). */
+struct ConfigPoint
+{
+    std::string name = "baseline";
+    int processes = 1;
+    std::string syncModel = "lax";
+    cycle_t slack = 100000; ///< LaxP2P only
+    std::string directoryType = "full_map";
+    int lineSize = 64;
+    std::string concurrency = "global";
+};
+
+/** The fixed reference point every variant is compared against. */
+ConfigPoint baselinePoint();
+
+/**
+ * Baseline plus @p variants seed-sampled points over
+ * {1,3,8 processes} x {lax, lax_barrier, lax_p2p} x
+ * {full_map, limited_no_broadcast, limitless} x {32,64-byte lines} x
+ * {sharded, global}. The first variant always enables sharded locking
+ * on 3 processes so every seed exercises cross-process + concurrent
+ * paths.
+ */
+std::vector<ConfigPoint> sampleMatrix(std::uint64_t seed, int variants);
+
+/**
+ * Materialize a Config for @p pt: 8 tiles, deliberately small caches
+ * (so capacity evictions and writebacks happen), shutdown validation
+ * off (the runner applies the richer invariant suite itself), and
+ * fault injection per @p fault_mode with the address filter set to the
+ * mmap base so sync words are never corrupted.
+ */
+Config makeFuzzConfig(const ConfigPoint& pt, std::uint64_t seed,
+                      const std::string& fault_mode = "none");
+
+} // namespace check
+} // namespace graphite

@@ -1,0 +1,169 @@
+#include "check/invariants.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/strfmt.h"
+#include "core/simulator.h"
+
+namespace graphite
+{
+namespace check
+{
+
+std::vector<std::string>
+checkConservation(Simulator& sim)
+{
+    std::vector<std::string> out;
+    MemorySystem& mem = sim.memory();
+
+    std::string coherence = mem.validateCoherence();
+    if (!coherence.empty())
+        out.push_back("coherence: " + coherence);
+
+    // Shared atomic aggregates must equal the per-tile sums at
+    // quiescence (PR 2's sharded-locking contract).
+    stat_t accesses = 0, writebacks = 0, l2_misses = 0;
+    for (tile_id_t t = 0; t < sim.totalTiles(); ++t) {
+        accesses += mem.stats(t).totalAccesses;
+        writebacks += mem.stats(t).writebacks;
+        l2_misses += mem.l2(t).misses();
+    }
+    stat_t agg_accesses = mem.totalAccessesCounter()->load();
+    stat_t agg_writebacks = mem.writebacksCounter()->load();
+    stat_t agg_l2 = mem.l2MissesCounter()->load();
+    if (accesses != agg_accesses)
+        out.push_back(strfmt("counter sum: per-tile accesses {} != "
+                             "aggregate {}",
+                             accesses, agg_accesses));
+    if (writebacks != agg_writebacks)
+        out.push_back(strfmt("counter sum: per-tile writebacks {} != "
+                             "aggregate {}",
+                             writebacks, agg_writebacks));
+    if (l2_misses != agg_l2)
+        out.push_back(strfmt("counter sum: per-tile L2 misses {} != "
+                             "aggregate {}",
+                             l2_misses, agg_l2));
+
+    // Every packet the fabric timed was classified as exactly one of
+    // intra-/inter-process, and its bytes likewise.
+    const NetworkFabric& fabric = sim.fabric();
+    auto net_check = [&](PacketType type, const char* tag) {
+        stat_t routed = fabric.modelFor(type).packetsRouted();
+        stat_t split = fabric.intraProcessMessages(type) +
+                       fabric.interProcessMessages(type);
+        if (routed != split)
+            out.push_back(strfmt("network {}: routed {} packets but "
+                                 "locality counters sum to {}",
+                                 tag, routed, split));
+        stat_t bytes = fabric.modelFor(type).bytesRouted();
+        stat_t byte_split = fabric.intraProcessBytes(type) +
+                            fabric.interProcessBytes(type);
+        if (bytes != byte_split)
+            out.push_back(strfmt("network {}: routed {} bytes but "
+                                 "locality counters sum to {}",
+                                 tag, bytes, byte_split));
+    };
+    net_check(PacketType::App, "app");
+    net_check(PacketType::Memory, "memory");
+    net_check(PacketType::System, "system");
+
+    // The fuzz program frees every allocation it makes, so nothing may
+    // be live at quiescence (bytesAllocated() is cumulative; the live
+    // set is what conservation cares about).
+    MemoryManager& mgr = mem.manager();
+    if (mgr.liveBytes() != 0 || mgr.liveBlockCount() != 0)
+        out.push_back(strfmt("heap: {} bytes in {} blocks still live "
+                             "after shutdown",
+                             mgr.liveBytes(), mgr.liveBlockCount()));
+    return out;
+}
+
+ClockWatcher::ClockWatcher(Simulator& sim, int period_us,
+                           int validate_every)
+    : sim_(sim), periodUs_(period_us), validateEvery_(validate_every)
+{
+    lastSeen_.assign(sim.totalTiles(), 0);
+}
+
+ClockWatcher::~ClockWatcher()
+{
+    stop();
+}
+
+void
+ClockWatcher::start()
+{
+    stopFlag_.store(false, std::memory_order_relaxed);
+    thread_ = std::thread([this] { loop(); });
+}
+
+void
+ClockWatcher::stop()
+{
+    stopFlag_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+ClockWatcher::loop()
+{
+    std::uint64_t ticks = 0;
+    while (!stopFlag_.load(std::memory_order_relaxed)) {
+        cycle_t lo = 0, hi = 0;
+        bool any = false;
+        for (tile_id_t t = 0; t < sim_.totalTiles(); ++t) {
+            Tile& tile = sim_.tile(t);
+            cycle_t c = tile.core().cycle();
+            if (c < lastSeen_[t]) {
+                std::scoped_lock lock(mutex_);
+                if (violations_.size() < 8)
+                    violations_.push_back(
+                        strfmt("clock: tile {} moved backwards "
+                               "({} -> {})",
+                               t, lastSeen_[t], c));
+            }
+            lastSeen_[t] = std::max(lastSeen_[t], c);
+            if (tile.running() && c > 0) {
+                if (!any || c < lo)
+                    lo = c;
+                if (!any || c > hi)
+                    hi = c;
+                any = true;
+            }
+        }
+        if (any) {
+            std::scoped_lock lock(mutex_);
+            maxSkew_ = std::max(maxSkew_, hi - lo);
+        }
+
+        ++ticks;
+        if (validateEvery_ > 0 && ticks % validateEvery_ == 0) {
+            std::string err = sim_.memory().validateCoherence();
+            if (!err.empty()) {
+                std::scoped_lock lock(mutex_);
+                violations_.push_back("coherence (mid-run): " + err);
+                return; // one report is enough; stop probing
+            }
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(periodUs_));
+    }
+}
+
+std::vector<std::string>
+ClockWatcher::violations() const
+{
+    std::scoped_lock lock(mutex_);
+    return violations_;
+}
+
+cycle_t
+ClockWatcher::maxSkew() const
+{
+    std::scoped_lock lock(mutex_);
+    return maxSkew_;
+}
+
+} // namespace check
+} // namespace graphite

@@ -353,6 +353,12 @@ stack_size_per_thread  = 2097152      ; 2 MB simulated stacks
 
 [rng]
 seed                   = 42
+
+[check]
+validate_at_shutdown   = true         ; coherence check when run() ends
+inject_fault           = none         ; none | drop_invalidation | stale_dram_fill | lost_writeback | skip_release_fence
+fault_after            = 4            ; opportunities to spare before firing
+fault_addr_below       = 0            ; 0 = no address filter
 )cfg");
     return cfg;
 }

@@ -522,8 +522,13 @@ barrierWait(addr_t b)
         atomicAdd32(gen, 1);
         futexWake(gen, std::numeric_limits<std::uint32_t>::max());
     } else {
-        while (read<std::uint32_t>(gen) == g)
-            futexWait(gen, g);
+        while (read<std::uint32_t>(gen) == g) {
+            // The MCP compares against the coherent value, so a
+            // mismatch means the generation already advanced even when
+            // our cached copy is stale — the barrier is open.
+            if (futexWait(gen, g) != 0)
+                break;
+        }
     }
 }
 

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "check/fault.h"
 #include "common/log.h"
 #include "common/strfmt.h"
 #include "common/table.h"
@@ -37,6 +38,7 @@ Simulator::Simulator(Config cfg)
                 cfg_.getInt("host/processes_per_machine", 1)))
 {
     obs::Observability::instance().configure(cfg_, topo_.totalTiles());
+    check::FaultPlan::instance().configure(cfg_);
     GRAPHITE_PROFILE_SCOPE("sim.init");
 
     transport_ = createTransport(topo_, cfg_);
@@ -189,6 +191,15 @@ Simulator::run(thread_func_t app_main, void* arg)
 
     currentSlot() = nullptr;
     obs::Observability::instance().finalize();
+
+    // The memory system is self-verifying: protocol state must be
+    // consistent at quiescence. On by default so every system test
+    // inherits the check; perf runs can disable it.
+    if (cfg_.getBool("check/validate_at_shutdown", true)) {
+        std::string err = memory_->validateCoherence();
+        if (!err.empty())
+            fatal("coherence validation failed at shutdown: {}", err);
+    }
 
     SimulationSummary summary;
     summary.simulatedCycles = simulatedTime();

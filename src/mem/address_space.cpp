@@ -166,4 +166,24 @@ MemoryManager::allocationCount() const
     return allocCount_;
 }
 
+stat_t
+MemoryManager::liveBytes() const
+{
+    std::scoped_lock lock(mutex_);
+    stat_t total = 0;
+    for (const auto& [addr, size] : liveBlocks_)
+        total += size;
+    for (const auto& [addr, size] : mmapRegions_)
+        total += size;
+    return total;
+}
+
+stat_t
+MemoryManager::liveBlockCount() const
+{
+    std::scoped_lock lock(mutex_);
+    return static_cast<stat_t>(liveBlocks_.size() +
+                               mmapRegions_.size());
+}
+
 } // namespace graphite

@@ -99,6 +99,10 @@ class MemoryManager
     /** @name Statistics @{ */
     stat_t bytesAllocated() const;
     stat_t allocationCount() const;
+    /** Bytes currently live (heap blocks + mmap regions). */
+    stat_t liveBytes() const;
+    /** Blocks + regions currently live. */
+    stat_t liveBlockCount() const;
     /** @} */
 
   private:

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "check/fault.h"
 #include "common/config.h"
 #include "common/log.h"
 #include "obs/trace_event.h"
@@ -294,7 +295,10 @@ MemorySystem::handleL2Eviction(tile_id_t tile, const Eviction& ev,
         aggWritebacks_.fetch_add(1, std::memory_order_relaxed);
         msg(tile, home, lineSize_ + CTRL_BYTES, now);
         shards_[home].dram->access(now, lineSize_ + CTRL_BYTES);
-        backing_.write(ev.lineAddr, ev.data.data(), ev.data.size());
+        if (!(check::FaultPlan::armed() &&
+              check::FaultPlan::instance().shouldFire(
+                  check::FaultMode::LostWriteback, ev.lineAddr)))
+            backing_.write(ev.lineAddr, ev.data.data(), ev.data.size());
         GRAPHITE_ASSERT(entry.state() == DirectoryState::Modified &&
                         entry.owner() == tile);
         entry.setState(DirectoryState::Uncached);
@@ -347,6 +351,17 @@ MemorySystem::fetchLineLocked(tile_id_t tile, addr_t line_addr,
                    existing->state == CacheState::Shared;
     GRAPHITE_ASSERT(upgrade || existing == nullptr);
 
+    // Fuzz-harness fault injection: a sabotaged DRAM fill returns one
+    // flipped bit, emulating a stale/corrupt memory response.
+    auto fill_from_memory = [&](std::vector<std::uint8_t>& d) {
+        d.resize(lineSize_);
+        backing_.read(line_addr, d.data(), lineSize_);
+        if (check::FaultPlan::armed() &&
+            check::FaultPlan::instance().shouldFire(
+                check::FaultMode::StaleDramFill, line_addr))
+            d[0] ^= 0x01;
+    };
+
     miss_class = upgrade ? MissClass::Upgrade
                          : classifyMiss(tile, line_addr, addr, size);
 
@@ -365,8 +380,7 @@ MemorySystem::fetchLineLocked(tile_id_t tile, addr_t line_addr,
         // Memory fetch at the home controller.
         lat += shards_[home].dram->access(now + lat,
                                           lineSize_ + CTRL_BYTES);
-        data.resize(lineSize_);
-        backing_.read(line_addr, data.data(), lineSize_);
+        fill_from_memory(data);
         if (mesi_ && !for_write)
             grant_exclusive = true;
         break;
@@ -380,6 +394,10 @@ MemorySystem::fetchLineLocked(tile_id_t tile, addr_t line_addr,
             for (tile_id_t s : entry.sharers()) {
                 if (s == tile)
                     continue;
+                if (check::FaultPlan::armed() &&
+                    check::FaultPlan::instance().shouldFire(
+                        check::FaultMode::DropInvalidation, line_addr))
+                    continue; // injected fault: sharer keeps stale copy
                 ++tm.stats.invalidationsSent;
                 cycle_t rt = msg(home, s, CTRL_BYTES, now + lat);
                 invalidateTile(s, line_addr, /*coherence=*/true,
@@ -393,14 +411,12 @@ MemorySystem::fetchLineLocked(tile_id_t tile, addr_t line_addr,
                 // Sharers hold clean copies; memory is current.
                 lat += shards_[home].dram->access(now + lat,
                                                   lineSize_ + CTRL_BYTES);
-                data.resize(lineSize_);
-                backing_.read(line_addr, data.data(), lineSize_);
+                fill_from_memory(data);
             }
         } else {
             lat += shards_[home].dram->access(now + lat,
                                               lineSize_ + CTRL_BYTES);
-            data.resize(lineSize_);
-            backing_.read(line_addr, data.data(), lineSize_);
+            fill_from_memory(data);
         }
         break;
       }
@@ -756,7 +772,10 @@ MemorySystem::atomicRmw(tile_id_t tile, addr_t addr, size_t size,
         // Keep any L1 copy in sync (write-through).
         if (tm.l1d) {
             CacheLine* l1line = tm.l1d->find(addr);
-            if (l1line != nullptr)
+            if (l1line != nullptr &&
+                !(check::FaultPlan::armed() &&
+                  check::FaultPlan::instance().shouldFire(
+                      check::FaultMode::SkipReleaseFence, line_addr)))
                 std::memcpy(l1line->data.data() + (addr - line_addr),
                             &new_val, size);
         }

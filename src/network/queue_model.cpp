@@ -8,6 +8,21 @@
 namespace graphite
 {
 
+namespace
+{
+
+// Queue clocks are u64 cycle counts; synthetic workloads (and fuzzed
+// configs) can push arrivals near the top of the range, where a plain
+// add wraps and the backlog math silently goes backwards.
+cycle_t
+satAdd(cycle_t a, cycle_t b)
+{
+    cycle_t sum = a + b;
+    return sum < a ? ~cycle_t{0} : sum;
+}
+
+} // namespace
+
 QueueModel::QueueModel(const GlobalProgress* progress,
                        cycle_t outlier_window, cycle_t max_backlog)
     : progress_(progress),
@@ -23,7 +38,7 @@ QueueModel::enqueue(cycle_t arrival_time, cycle_t processing_time)
     if (progress_ != nullptr && progress_->samples() > 0) {
         cycle_t now = progress_->estimate();
         cycle_t lo = now > outlierWindow_ ? now - outlierWindow_ : 0;
-        cycle_t hi = now + outlierWindow_;
+        cycle_t hi = satAdd(now, outlierWindow_);
         if (arrival_time < lo || arrival_time > hi) {
             effective_arrival = std::clamp(arrival_time, lo, hi);
         }
@@ -33,8 +48,8 @@ QueueModel::enqueue(cycle_t arrival_time, cycle_t processing_time)
     ++requests_;
     // Finite buffering / back-pressure: the backlog seen by any packet
     // is bounded, so a burst cannot drive latencies without bound.
-    if (queueClock_ > effective_arrival + maxBacklog_) {
-        queueClock_ = effective_arrival + maxBacklog_;
+    if (queueClock_ > satAdd(effective_arrival, maxBacklog_)) {
+        queueClock_ = satAdd(effective_arrival, maxBacklog_);
         ++saturations_;
     }
     cycle_t delay = 0;
@@ -45,7 +60,7 @@ QueueModel::enqueue(cycle_t arrival_time, cycle_t processing_time)
     } else {
         queueClock_ = effective_arrival;
     }
-    queueClock_ += processing_time;
+    queueClock_ = satAdd(queueClock_, processing_time);
     totalDelay_ += delay;
     GRAPHITE_ASSERT(delay < (1ull << 38));
     return delay;

@@ -173,6 +173,7 @@ TraceSink::toJson() const
     os << "{\"traceEvents\":[";
     bool first = true;
     std::uint64_t total_dropped = 0;
+    std::uint64_t total_recorded = 0;
 
     for (std::size_t li = 0; li < lanes_.size(); ++li) {
         const Lane& lane = *lanes_[li];
@@ -194,6 +195,7 @@ TraceSink::toJson() const
         // lane up to cross-thread jitter; sort so viewers get a clean
         // timeline.
         std::vector<TraceEvent> evs = lane.events;
+        total_recorded += evs.size();
         std::stable_sort(evs.begin(), evs.end(),
                          [](const TraceEvent& a, const TraceEvent& b) {
                              return a.ts < b.ts;
@@ -223,8 +225,9 @@ TraceSink::toJson() const
 
     os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{"
           "\"generator\":\"graphite-obs\",\"timeUnit\":"
-          "\"simulated cycles as us\",\"droppedEvents\":"
-       << total_dropped << "}}";
+          "\"simulated cycles as us\",\"recordedEvents\":"
+       << total_recorded << ",\"droppedEvents\":" << total_dropped
+       << "}}";
     return os.str();
 }
 

@@ -129,6 +129,43 @@ TEST(QueueModel, BacklogIsBounded)
     EXPECT_GT(q.saturations(), 0u);
 }
 
+TEST(QueueModel, EmptyHistoryWindowTrustsArrivals)
+{
+    // A progress estimator with no samples yet must not clamp: before
+    // any thread reports, the raw arrival timestamp is the only truth.
+    GlobalProgress gp(4);
+    QueueModel q(&gp, /*outlier_window=*/10);
+    EXPECT_EQ(q.enqueue(5000000, 10), 0u);
+    EXPECT_EQ(q.queueClock(), 5000010u);
+    EXPECT_EQ(q.clampedArrivals(), 0u);
+}
+
+TEST(QueueModel, CycleWraparoundSaturates)
+{
+    // Arrivals near the top of the u64 cycle range: the queue clock and
+    // the backlog bound must saturate instead of wrapping to small
+    // values (which would read as a huge spurious backlog or none).
+    const cycle_t NEAR_MAX = ~cycle_t{0} - 50;
+    QueueModel q(nullptr, 100000, 10000);
+    EXPECT_EQ(q.enqueue(NEAR_MAX, 200), 0u);
+    EXPECT_EQ(q.queueClock(), ~cycle_t{0});
+    // A later arrival sees a small, sane delay, not wrapped garbage.
+    EXPECT_EQ(q.enqueue(NEAR_MAX + 10, 1), 40u);
+    EXPECT_EQ(q.queueClock(), ~cycle_t{0});
+}
+
+TEST(QueueModel, WraparoundProgressEstimateSaturatesClampWindow)
+{
+    GlobalProgress gp(2);
+    gp.observe(~cycle_t{0} - 5);
+    gp.observe(~cycle_t{0} - 5);
+    QueueModel q(&gp, /*outlier_window=*/1000);
+    // hi = estimate + window saturates; an arrival at the very top is
+    // inside the window and must pass through unclamped.
+    q.enqueue(~cycle_t{0} - 2, 1);
+    EXPECT_EQ(q.clampedArrivals(), 0u);
+}
+
 // --------------------------------------------------------------- MeshShape
 
 TEST(MeshShape, NearSquareDimensions)

@@ -183,6 +183,60 @@ TEST(SkewTracker, ExcludesBlockedTiles)
     EXPECT_LE(intervals[0].maxSkew, 100.0);
 }
 
+TEST(SkewTracker, AnalyzeWithNoSnapshots)
+{
+    // Empty history window: a run that never sampled (or ended before
+    // the first period) must analyze to nothing, not divide by zero.
+    SkewTracker tracker(0);
+    EXPECT_EQ(tracker.sampleCount(), 0u);
+    EXPECT_TRUE(tracker.analyze(8).empty());
+    EXPECT_TRUE(tracker.analyze(0).empty());
+    EXPECT_TRUE(tracker.analyze(-3).empty());
+    tracker.maybeSnapshot(); // no cores attached: still no sample
+    EXPECT_EQ(tracker.sampleCount(), 0u);
+}
+
+TEST(SkewTracker, SingleRunnableClockIsNotSkew)
+{
+    // With fewer than two runnable clocks there is no deviation to
+    // measure; the snapshot must be dropped rather than recorded as a
+    // zero-width (or NaN) observation.
+    Config cfg = defaultTargetConfig();
+    CoreModel a(0, cfg), b(1, cfg);
+    std::atomic<bool> a_run{true}, b_run{false};
+    SkewTracker tracker(0);
+    tracker.attachCores({{&a, &a_run}, {&b, &b_run}});
+    a.addLatency(500);
+    b.addLatency(500);
+    tracker.maybeSnapshot();
+    EXPECT_EQ(tracker.sampleCount(), 0u);
+    EXPECT_TRUE(tracker.analyze(1).empty());
+}
+
+TEST(LaxP2P, ZeroSlackStaysLive)
+{
+    // slack = 0 makes every partner check with any clock difference a
+    // sleep candidate; the model must still make forward progress.
+    LaxP2PSync p2p(2, /*slack=*/0, /*interval=*/10, 42);
+    Config cfg = defaultTargetConfig();
+    CoreModel a(0, cfg), b(1, cfg);
+    p2p.threadStart(a);
+    p2p.threadStart(b);
+    auto runner = [&](CoreModel& core) {
+        for (int i = 0; i < 100; ++i) {
+            core.addLatency(10);
+            p2p.periodicSync(core);
+        }
+        p2p.threadExit(core);
+    };
+    std::thread t1([&] { runner(a); });
+    std::thread t2([&] { runner(b); });
+    t1.join();
+    t2.join(); // would hang here if zero slack could deadlock
+    EXPECT_GE(a.cycle(), 1000u);
+    EXPECT_GE(b.cycle(), 1000u);
+}
+
 TEST(SkewTracker, ThrottlesByPeriod)
 {
     Config cfg = defaultTargetConfig();

@@ -8,7 +8,13 @@ data rows.
 
 Usage:
     check_trace.py --trace trace.json [--metrics metrics.csv]
+    check_trace.py --replay trace.json
     check_trace.py --run-cli PATH_TO_GRAPHITE_CLI
+
+The --replay mode validates a failure-replay trace written by the fuzz
+harness: the structural checks above, plus per-thread non-overlap of
+wait-class scopes (a thread cannot be in two blocking waits at once)
+and the otherData recorded/dropped event accounting.
 
 The --run-cli mode drives the full acceptance path: it runs a small
 workload with tracing and metrics enabled in a temp directory, validates
@@ -24,6 +30,10 @@ import sys
 import tempfile
 
 VALID_PHASES = {"X", "i", "C", "M", "B", "E"}
+# X scopes during which the emitting thread is blocked; two instances
+# can never overlap on one lane. (Other X scopes, e.g. net.send, model
+# in-flight latency and may legitimately overlap.)
+WAIT_SCOPES = {"sys.wait", "msg.wait", "sync.barrier"}
 FIXED_METRICS_COLUMNS = [
     "interval",
     "start_cycle",
@@ -76,6 +86,47 @@ def check_trace(path):
     for ev in events:
         counts[ev["ph"]] = counts.get(ev["ph"], 0) + 1
     print(f"check_trace: {path}: {len(events)} events OK {counts}")
+    return doc
+
+
+def check_replay(path):
+    """Failure-replay traces: nesting + event accounting."""
+    doc = check_trace(path)
+    events = doc["traceEvents"]
+
+    # A thread is blocked for the whole span of a wait-class scope, so
+    # per (tid, name) the spans must be disjoint.
+    spans = {}
+    for ev in events:
+        if ev["ph"] == "X" and ev["name"] in WAIT_SCOPES:
+            spans.setdefault((ev["tid"], ev["name"]), []).append(
+                (ev["ts"], ev["ts"] + ev["dur"]))
+    overlaps = 0
+    for (tid, name), ivs in spans.items():
+        ivs.sort()
+        for (s0, e0), (s1, _) in zip(ivs, ivs[1:]):
+            if s1 < e0:
+                overlaps += 1
+                print(f"check_trace: {path}: tid {tid} '{name}' "
+                      f"[{s1},...) overlaps [{s0},{e0})",
+                      file=sys.stderr)
+    if overlaps:
+        fail(f"{path}: {overlaps} overlapping wait scopes")
+
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        fail(f"{path}: missing otherData")
+    for key in ("recordedEvents", "droppedEvents"):
+        if not isinstance(other.get(key), int) or other[key] < 0:
+            fail(f"{path}: otherData.{key} missing or negative")
+    emitted = sum(1 for ev in events if ev["ph"] != "M")
+    if other["recordedEvents"] != emitted:
+        fail(f"{path}: otherData.recordedEvents {other['recordedEvents']}"
+             f" != {emitted} non-metadata events in file")
+    n_waits = sum(len(v) for v in spans.values())
+    print(f"check_trace: {path}: replay OK ({n_waits} wait scopes "
+          f"disjoint, {other['recordedEvents']} recorded, "
+          f"{other['droppedEvents']} dropped)")
 
 
 def check_metrics(path, require_columns=()):
@@ -149,6 +200,8 @@ def run_cli_mode(cli):
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--trace", help="trace JSON to validate")
+    ap.add_argument("--replay",
+                    help="failure-replay trace JSON to validate")
     ap.add_argument("--metrics", help="metrics CSV to validate")
     ap.add_argument("--run-cli", metavar="PATH",
                     help="run graphite_cli end-to-end and validate")
@@ -157,10 +210,13 @@ def main():
     if args.run_cli:
         run_cli_mode(args.run_cli)
         return
-    if not args.trace and not args.metrics:
-        ap.error("nothing to do: pass --trace, --metrics, or --run-cli")
+    if not args.trace and not args.metrics and not args.replay:
+        ap.error("nothing to do: pass --trace, --replay, --metrics, "
+                 "or --run-cli")
     if args.trace:
         check_trace(args.trace)
+    if args.replay:
+        check_replay(args.replay)
     if args.metrics:
         check_metrics(args.metrics)
     print("check_trace: PASS")

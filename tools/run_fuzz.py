@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Drive the graphite differential fuzz harness.
+
+Two modes:
+
+  --smoke     Run the bounded smoke suite (32-seed clean sweep plus a
+              detection drill for every injectable fault mode), then
+              validate every reproducer artifact: repro.txt present and
+              any flushed trace.json passes the --replay checks of
+              check_trace.py. This is what the `fuzz_smoke` ctest runs.
+
+  (default)   Long local sweep: shard [--start, --start+--count) across
+              --jobs parallel graphite_fuzz processes, merge the
+              per-seed JSON-lines results into --out, and summarize.
+
+Examples:
+    run_fuzz.py --fuzz-bin build/graphite_fuzz --smoke
+    run_fuzz.py --fuzz-bin build/graphite_fuzz --start 1 \
+                --count 5000 --jobs 8 --out sweep.jsonl
+"""
+
+import argparse
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def fail(msg):
+    print(f"run_fuzz: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_check_trace(path):
+    if path is None:
+        path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "check_trace.py")
+    spec = importlib.util.spec_from_file_location("check_trace", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def validate_artifacts(artifacts, check_trace_mod):
+    """Every reproducer dir needs repro.txt; traces must replay clean."""
+    if not os.path.isdir(artifacts):
+        fail(f"no artifact directory {artifacts}")
+    dirs = sorted(
+        d for d in os.listdir(artifacts)
+        if os.path.isdir(os.path.join(artifacts, d)))
+    if not dirs:
+        fail(f"no reproducer directories under {artifacts}")
+    traces = 0
+    for d in dirs:
+        repro = os.path.join(artifacts, d, "repro.txt")
+        if not os.path.isfile(repro) or os.path.getsize(repro) == 0:
+            fail(f"{d}: missing or empty repro.txt")
+        with open(repro, "r", encoding="utf-8") as f:
+            text = f.read()
+        if "shrunk program" not in text:
+            fail(f"{d}: repro.txt has no shrunk program listing")
+        trace = os.path.join(artifacts, d, "trace.json")
+        if os.path.isfile(trace):
+            check_trace_mod.check_replay(trace)
+            traces += 1
+    print(f"run_fuzz: {len(dirs)} reproducers OK "
+          f"({traces} with replay traces)")
+    return dirs
+
+
+def run_smoke(args, check_trace_mod):
+    cmd = [args.fuzz_bin, "--smoke", "--artifacts", args.artifacts]
+    print("run_fuzz:", " ".join(cmd))
+    r = subprocess.run(cmd, text=True, timeout=args.timeout)
+    if r.returncode != 0:
+        fail(f"graphite_fuzz --smoke exited {r.returncode}")
+
+    dirs = validate_artifacts(args.artifacts, check_trace_mod)
+    # The drill writes one reproducer per fault mode; all four must be
+    # present for the smoke to count as detection-complete.
+    modes = ["drop_invalidation", "stale_dram_fill", "lost_writeback",
+             "skip_release_fence"]
+    for mode in modes:
+        if not any(d.endswith("_" + mode) for d in dirs):
+            fail(f"no reproducer for fault mode {mode}")
+    print("run_fuzz: smoke PASS")
+
+
+def run_sweep(args):
+    jobs = max(1, args.jobs)
+    chunk = (args.count + jobs - 1) // jobs
+    procs = []
+    tmpdir = tempfile.mkdtemp(prefix="graphite-fuzz-")
+    for j in range(jobs):
+        start = args.start + j * chunk
+        count = min(chunk, args.start + args.count - start)
+        if count <= 0:
+            break
+        jpath = os.path.join(tmpdir, f"shard{j}.jsonl")
+        cmd = [args.fuzz_bin,
+               "--seed-start", str(start),
+               "--seed-count", str(count),
+               "--variants", str(args.variants),
+               "--artifacts", args.artifacts,
+               "--json", jpath]
+        procs.append((subprocess.Popen(cmd), jpath, start, count))
+    print(f"run_fuzz: {len(procs)} shards x ~{chunk} seeds")
+
+    results = []
+    failed_shards = 0
+    for p, jpath, start, count in procs:
+        rc = p.wait()
+        if rc not in (0, 1):
+            print(f"run_fuzz: shard at seed {start} exited {rc}",
+                  file=sys.stderr)
+            failed_shards += 1
+        if os.path.isfile(jpath):
+            with open(jpath, "r", encoding="utf-8") as f:
+                for line in f:
+                    line = line.strip()
+                    if line:
+                        results.append(json.loads(line))
+
+    results.sort(key=lambda r: int(r["seed"], 16))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            for r in results:
+                f.write(json.dumps(r) + "\n")
+
+    failures = [r for r in results if not r["pass"]]
+    print(f"run_fuzz: {len(results)} seeds, {len(failures)} failing")
+    for r in failures[:20]:
+        print(f"  seed {r['seed']}: {r['verdict']} on {r['config']}")
+    if failures:
+        print(f"run_fuzz: reproducers under {args.artifacts}/")
+    sys.exit(1 if (failures or failed_shards) else 0)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--fuzz-bin", required=True,
+                    help="path to the graphite_fuzz binary")
+    ap.add_argument("--smoke", action="store_true",
+                    help="run the bounded smoke suite")
+    ap.add_argument("--artifacts", default="fuzz-artifacts")
+    ap.add_argument("--check-trace", default=None,
+                    help="path to check_trace.py (default: sibling)")
+    ap.add_argument("--start", type=int, default=1)
+    ap.add_argument("--count", type=int, default=256)
+    ap.add_argument("--variants", type=int, default=3)
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
+    ap.add_argument("--out", default=None,
+                    help="merged JSON-lines results path")
+    ap.add_argument("--timeout", type=int, default=600)
+    args = ap.parse_args()
+
+    if args.smoke:
+        run_smoke(args, load_check_trace(args.check_trace))
+    else:
+        run_sweep(args)
+
+
+if __name__ == "__main__":
+    main()
