@@ -9,6 +9,7 @@
 #include "core/api.h"
 #include "core/simulator.h"
 #include "mem/address_space.h"
+#include "race/detector.h"
 
 namespace graphite
 {
@@ -360,6 +361,13 @@ runFuzzProgram(const FuzzProgram& prog, const Config& cfg,
     res.violations = watcher.violations();
     for (std::string& v : checkConservation(sim))
         res.violations.push_back(std::move(v));
+    // Race-oracle verdicts: generated programs synchronize every shared
+    // access, so the detector must stay silent on a healthy stack.
+    if (race::Detector::armed()) {
+        race::Detector& det = race::Detector::instance();
+        for (const race::RaceRecord& r : det.records())
+            res.violations.push_back("race: " + det.describe(r));
+    }
     res.simulatedCycles = summary.simulatedCycles;
     res.maxSkew = watcher.maxSkew();
     if (opt.collectStats)
@@ -390,9 +398,11 @@ sampleMatrix(std::uint64_t seed, int variants)
     for (int i = 0; i < variants; ++i) {
         ConfigPoint pt;
         if (i == 0) {
-            // Always exercise sharded locking across processes.
+            // Always exercise sharded locking across processes, with
+            // the race oracle armed so every seed is race-checked.
             pt.processes = 3;
             pt.concurrency = "sharded";
+            pt.race = true;
             pt.syncModel = SYNCS[rng.nextBounded(3)];
             pt.directoryType = DIRS[rng.nextBounded(3)];
             pt.lineSize = LINES[rng.nextBounded(2)];
@@ -404,8 +414,9 @@ sampleMatrix(std::uint64_t seed, int variants)
             pt.lineSize = LINES[rng.nextBounded(2)];
         }
         pt.slack = rng.nextBounded(2) == 0 ? 2000 : 100000;
-        pt.name = strfmt("p{}_{}_{}_l{}_{}", pt.processes, pt.syncModel,
-                         pt.directoryType, pt.lineSize, pt.concurrency);
+        pt.name = strfmt("p{}_{}_{}_l{}_{}{}", pt.processes,
+                         pt.syncModel, pt.directoryType, pt.lineSize,
+                         pt.concurrency, pt.race ? "_race" : "");
         points.push_back(std::move(pt));
     }
     return points;
@@ -436,6 +447,7 @@ makeFuzzConfig(const ConfigPoint& pt, std::uint64_t seed,
     cfg.setInt("perf_model/l2_cache/associativity", 2);
     cfg.setInt("perf_model/l2_cache/line_size", pt.lineSize);
     cfg.setInt("rng/seed", static_cast<std::int64_t>(seed | 1));
+    cfg.setBool("race/enabled", pt.race);
     // The runner applies the full invariant suite itself, with richer
     // reporting than the shutdown fatal().
     cfg.setBool("check/validate_at_shutdown", false);

@@ -60,6 +60,10 @@ struct ConfigPoint
     std::string directoryType = "full_map";
     int lineSize = 64;
     std::string concurrency = "global";
+    /** Arm the happens-before race detector (src/race). Fuzz programs
+     *  are race-free by construction, so any report is a violation —
+     *  either a detector false positive or a missing sync edge. */
+    bool race = false;
 };
 
 /** The fixed reference point every variant is compared against. */

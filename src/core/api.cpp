@@ -7,6 +7,7 @@
 #include "core/simulator.h"
 #include "obs/metrics_sampler.h"
 #include "obs/trace_event.h"
+#include "race/detector.h"
 
 namespace graphite
 {
@@ -109,6 +110,19 @@ makeHeader(SysMsgType type)
     return SysMsgHeader{type, c.tile, c.core->cycle()};
 }
 
+/**
+ * Race-detector view of an atomic RMW: acquire from the address's sync
+ * clock and, when @p release, publish to it. A failed CAS passes
+ * release=false — it observes but publishes nothing.
+ */
+void
+atomicRaceHook(addr_t addr, bool release)
+{
+    if (!race::Detector::armed() || race::Detector::suppressed())
+        return;
+    race::Detector::instance().onAtomic(t_ctx.tile, addr, release);
+}
+
 } // namespace
 
 namespace detail
@@ -166,7 +180,13 @@ malloc(std::uint64_t size)
 {
     Context& c = ctx();
     c.core->addLatency(c.sim->syscallCost());
-    return c.sim->memory().manager().allocate(size);
+    addr_t addr = c.sim->memory().manager().allocate(size);
+    // Reused storage carries no happens-before history: a block freed
+    // by one thread and reallocated to another must not report the old
+    // owner's accesses as racing.
+    if (race::Detector::armed())
+        race::Detector::instance().clearRange(addr, size);
+    return addr;
 }
 
 void
@@ -190,7 +210,10 @@ mmap(std::uint64_t length)
 {
     Context& c = ctx();
     c.core->addLatency(c.sim->syscallCost());
-    return c.sim->memory().manager().mmap(length);
+    addr_t addr = c.sim->memory().manager().mmap(length);
+    if (race::Detector::armed())
+        race::Detector::instance().clearRange(addr, length);
+    return addr;
 }
 
 void
@@ -248,36 +271,53 @@ rmw(addr_t addr, size_t size,
 std::uint32_t
 atomicCas32(addr_t addr, std::uint32_t expected, std::uint32_t desired)
 {
-    return static_cast<std::uint32_t>(
-        rmw(addr, 4, [&](std::uint64_t old) {
-            return old == expected ? desired
-                                   : static_cast<std::uint32_t>(old);
+    auto old = static_cast<std::uint32_t>(
+        rmw(addr, 4, [&](std::uint64_t v) {
+            return v == expected ? desired
+                                 : static_cast<std::uint32_t>(v);
         }));
+    // A failed CAS is acquire-only: it reads the current value but
+    // publishes nothing, so it must not form a release edge.
+    atomicRaceHook(addr, old == expected);
+    return old;
 }
 
 std::uint32_t
 atomicExchange32(addr_t addr, std::uint32_t value)
 {
-    return static_cast<std::uint32_t>(
+    auto old = static_cast<std::uint32_t>(
         rmw(addr, 4, [&](std::uint64_t) { return value; }));
+    atomicRaceHook(addr, true);
+    return old;
 }
 
 std::uint32_t
 atomicAdd32(addr_t addr, std::int32_t delta)
 {
-    return static_cast<std::uint32_t>(
-        rmw(addr, 4, [&](std::uint64_t old) {
-            return static_cast<std::uint32_t>(old) +
+    auto old = static_cast<std::uint32_t>(
+        rmw(addr, 4, [&](std::uint64_t v) {
+            return static_cast<std::uint32_t>(v) +
                    static_cast<std::uint32_t>(delta);
         }));
+    atomicRaceHook(addr, true);
+    return old;
 }
 
 std::uint64_t
 atomicAdd64(addr_t addr, std::int64_t delta)
 {
-    return rmw(addr, 8, [&](std::uint64_t old) {
-        return old + static_cast<std::uint64_t>(delta);
+    std::uint64_t old = rmw(addr, 8, [&](std::uint64_t v) {
+        return v + static_cast<std::uint64_t>(delta);
     });
+    atomicRaceHook(addr, true);
+    return old;
+}
+
+void
+annotateSite(const char* site)
+{
+    if (race::Detector::armed())
+        race::Detector::instance().setSite(site);
 }
 
 // ------------------------------------------------------- instruction events
@@ -364,6 +404,10 @@ msgSend(tile_id_t dst, const void* data, size_t len)
     GRAPHITE_ASSERT(dst >= 0 && dst < c.sim->totalTiles());
     std::vector<std::uint8_t> payload(len);
     std::memcpy(payload.data(), data, len);
+    // Push the sender's clock before the packet becomes receivable; the
+    // per-(sender,receiver) channel is FIFO like the transport.
+    if (race::Detector::armed())
+        race::Detector::instance().msgSendEdge(c.tile, dst);
     c.net->send(PacketType::App, dst, std::move(payload),
                 c.core->cycle());
     // The send itself occupies the core briefly.
@@ -380,6 +424,8 @@ msgRecv()
     NetPacket pkt = c.net->recv(PacketType::App);
     c.sim->tile(c.tile).setRunning(true);
     c.sim->syncModel().threadUnblocked(*c.core);
+    if (race::Detector::armed())
+        race::Detector::instance().msgRecvEdge(pkt.sender, c.tile);
 
     // Receiving a message is a true synchronization event: forward the
     // clock to the packet's arrival time, then consume the "message
@@ -471,29 +517,48 @@ fileClose(int fd)
 }
 
 // --------------------------------------------------------- sync primitives
+//
+// The race detector treats this library the way TSan treats pthreads:
+// the implementation's internal accesses and atomics are masked with
+// InternalScope (a happens-before analysis of the raw futex spin loops
+// would flag benign patterns such as the barrier's plain count reset),
+// and each primitive instead contributes one lock-level edge —
+// acquireAddr after a lock is obtained, releaseAddr before it is
+// published free, barrierArrive/Leave around the generation. Condvars
+// need no extra edges: the protected data is ordered by the mutex, and
+// the futexWake -> futexWait transfer edge is applied at the MCP.
 
 void
 mutexInit(addr_t m)
 {
+    race::Detector::InternalScope guard;
     write<std::uint32_t>(m, 0);
 }
 
 void
 mutexLock(addr_t m)
 {
-    // glibc-style three-state futex lock: 0 free, 1 locked, 2 contended.
-    std::uint32_t c = atomicCas32(m, 0, 1);
-    if (c == 0)
-        return;
-    do {
-        if (c == 2 || atomicCas32(m, 1, 2) != 0)
-            futexWait(m, 2);
-    } while ((c = atomicCas32(m, 0, 2)) != 0);
+    {
+        race::Detector::InternalScope guard;
+        // glibc-style futex lock: 0 free, 1 locked, 2 contended.
+        std::uint32_t c = atomicCas32(m, 0, 1);
+        if (c != 0) {
+            do {
+                if (c == 2 || atomicCas32(m, 1, 2) != 0)
+                    futexWait(m, 2);
+            } while ((c = atomicCas32(m, 0, 2)) != 0);
+        }
+    }
+    if (race::Detector::armed())
+        race::Detector::instance().acquireAddr(ctx().tile, m);
 }
 
 void
 mutexUnlock(addr_t m)
 {
+    if (race::Detector::armed())
+        race::Detector::instance().releaseAddr(ctx().tile, m);
+    race::Detector::InternalScope guard;
     std::uint32_t old = atomicExchange32(m, 0);
     GRAPHITE_ASSERT(old != 0);
     if (old == 2)
@@ -504,6 +569,7 @@ void
 barrierInit(addr_t b, std::uint32_t participants)
 {
     GRAPHITE_ASSERT(participants > 0);
+    race::Detector::InternalScope guard;
     write<std::uint32_t>(b, 0);                 // arrival count
     write<std::uint32_t>(b + 4, 0);             // generation
     write<std::uint32_t>(b + 8, participants);  // total
@@ -512,10 +578,18 @@ barrierInit(addr_t b, std::uint32_t participants)
 void
 barrierWait(addr_t b)
 {
+    race::Detector::InternalScope guard;
     addr_t count = b;
     addr_t gen = b + 4;
     std::uint32_t total = read<std::uint32_t>(b + 8);
     std::uint32_t g = read<std::uint32_t>(gen);
+    // Arrival joins our clock into the generation's pending set and
+    // must precede the count increment that publishes the arrival.
+    bool armed = race::Detector::armed();
+    std::uint64_t rgen = 0;
+    if (armed)
+        rgen = race::Detector::instance().barrierArrive(ctx().tile, b,
+                                                        total);
     std::uint32_t n = atomicAdd32(count, 1) + 1;
     if (n == total) {
         write<std::uint32_t>(count, 0);
@@ -530,18 +604,25 @@ barrierWait(addr_t b)
                 break;
         }
     }
+    if (armed)
+        race::Detector::instance().barrierLeave(ctx().tile, b, rgen);
 }
 
 void
 condInit(addr_t cv)
 {
+    race::Detector::InternalScope guard;
     write<std::uint32_t>(cv, 0);
 }
 
 void
 condWait(addr_t cv, addr_t m)
 {
-    std::uint32_t seq = read<std::uint32_t>(cv);
+    std::uint32_t seq;
+    {
+        race::Detector::InternalScope guard;
+        seq = read<std::uint32_t>(cv);
+    }
     mutexUnlock(m);
     futexWait(cv, seq);
     mutexLock(m);
@@ -550,6 +631,7 @@ condWait(addr_t cv, addr_t m)
 void
 condSignal(addr_t cv)
 {
+    race::Detector::InternalScope guard;
     atomicAdd32(cv, 1);
     futexWake(cv, 1);
 }
@@ -557,6 +639,7 @@ condSignal(addr_t cv)
 void
 condBroadcast(addr_t cv)
 {
+    race::Detector::InternalScope guard;
     atomicAdd32(cv, 1);
     futexWake(cv, std::numeric_limits<std::uint32_t>::max());
 }

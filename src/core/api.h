@@ -98,6 +98,14 @@ std::uint32_t atomicAdd32(addr_t addr, std::int32_t delta);
 std::uint64_t atomicAdd64(addr_t addr, std::int64_t delta);
 /** @} */
 
+/**
+ * Label subsequent memory accesses of the calling thread for race
+ * reports ("access site"). @p site must be a string with static
+ * lifetime (typically a literal); the label is sticky until the next
+ * call. No-op while the race detector is disabled.
+ */
+void annotateSite(const char* site);
+
 /** @name Instruction events (direct execution) @{ */
 
 /** Report @p count natively executed instructions of class @p c. */

@@ -9,6 +9,7 @@
 #include "common/table.h"
 #include "obs/observability.h"
 #include "obs/profiler.h"
+#include "race/detector.h"
 #include "transport/socket_transport.h"
 
 namespace graphite
@@ -39,6 +40,7 @@ Simulator::Simulator(Config cfg)
 {
     obs::Observability::instance().configure(cfg_, topo_.totalTiles());
     check::FaultPlan::instance().configure(cfg_);
+    race::Detector::instance().configure(cfg_, topo_.totalTiles());
     GRAPHITE_PROFILE_SCOPE("sim.init");
 
     transport_ = createTransport(topo_, cfg_);
@@ -145,6 +147,22 @@ Simulator::registerStats()
         return sync->syncWaitMicroseconds();
     });
 
+    if (race::Detector::armed()) {
+        race::Detector* det = &race::Detector::instance();
+        stats_.registerGauge("race.races",
+                             [det] { return det->raceCount(); });
+        stats_.registerGauge("race.words_checked",
+                             [det] { return det->wordsChecked(); });
+        stats_.registerGauge("race.sync_edges",
+                             [det] { return det->syncEdges(); });
+        stats_.registerGauge("race.shadow_lines",
+                             [det] { return det->shadowLines(); });
+        stats_.registerGauge("race.shadow_evictions",
+                             [det] { return det->shadowEvictions(); });
+        stats_.registerGauge("race.shadow_expansions",
+                             [det] { return det->shadowExpansions(); });
+    }
+
     ThreadManager* threads = threads_.get();
     stats_.registerGauge("threads.spawned",
                          [threads] { return threads->threadsSpawned(); });
@@ -201,6 +219,13 @@ Simulator::run(thread_func_t app_main, void* arg)
             fatal("coherence validation failed at shutdown: {}", err);
     }
 
+    if (race::Detector::armed()) {
+        race::Detector& det = race::Detector::instance();
+        det.finalizeReport();
+        for (const race::RaceRecord& r : det.records())
+            warn("race detector: {}", det.describe(r));
+    }
+
     SimulationSummary summary;
     summary.simulatedCycles = simulatedTime();
     summary.totalInstructions = totalInstructions();
@@ -236,6 +261,13 @@ Simulator::statsReport() const
     os << "target heap       : "
        << memory_->manager().bytesAllocated() << " bytes in "
        << memory_->manager().allocationCount() << " allocations\n";
+    if (race::Detector::armed()) {
+        const race::Detector& det = race::Detector::instance();
+        os << "race detector     : " << det.raceCount()
+           << " races (words checked " << det.wordsChecked()
+           << ", sync edges " << det.syncEdges() << ", shadow lines "
+           << det.shadowLines() << ")\n";
+    }
 
     os << "\n=== network models ===\n";
     TextTable net;

@@ -8,6 +8,7 @@
 #include "core/simulator.h"
 #include "obs/profiler.h"
 #include "obs/trace_event.h"
+#include "race/detector.h"
 
 namespace graphite
 {
@@ -94,6 +95,12 @@ ThreadManager::appTrampoline(tile_id_t tile, thread_func_t func,
                              void* arg, cycle_t start_clock, bool is_main)
 {
     api::detail::bindContext(sim_, tile);
+    // New occupant of the tile slot: bump the epoch. The slot's vector
+    // clock is inherited — reuse of a freed tile is genuinely ordered
+    // through the exit -> MCP -> spawn chain, so stale stack/heap words
+    // from the previous occupant never report as races.
+    if (race::Detector::armed())
+        race::Detector::instance().threadStart(tile);
     Tile& t = sim_.tile(tile);
     CoreModel& core = t.core();
     core.forwardClock(start_clock);
@@ -265,6 +272,10 @@ ThreadManager::handleSpawn(const SysMsgHeader& hdr, const SpawnBody& body)
         ++busyTiles_;
         ++threadsSpawned_;
         exitClock_.erase(chosen);
+        // Parent -> child ordering; applied before the LCP can start
+        // the child, while the parent is blocked on SpawnReply.
+        if (race::Detector::armed())
+            race::Detector::instance().edge(hdr.srcTile, chosen);
         reply.error = 0;
         reply.tile = chosen;
         obs::TraceSink::instant(
@@ -293,6 +304,9 @@ ThreadManager::handleJoin(const SysMsgHeader& hdr, const JoinBody& body)
                     target < static_cast<tile_id_t>(tileState_.size()));
     auto it = exitClock_.find(target);
     if (tileState_[target] == TileState::Free && it != exitClock_.end()) {
+        // Exited target -> joiner ordering (immediate-join path).
+        if (race::Detector::armed())
+            race::Detector::instance().edge(target, hdr.srcTile);
         JoinBody reply{target, it->second};
         SysMsgHeader rh{SysMsgType::JoinReply, hdr.srcTile, it->second};
         mcpReplyToTile(hdr.srcTile, it->second, packSysMsg(rh, reply));
@@ -315,6 +329,9 @@ ThreadManager::handleThreadExit(const SysMsgHeader& hdr)
     auto wit = joinWaiters_.find(tile);
     if (wit != joinWaiters_.end()) {
         for (tile_id_t waiter : wit->second) {
+            // Exited thread -> each queued joiner.
+            if (race::Detector::armed())
+                race::Detector::instance().edge(tile, waiter);
             JoinBody reply{tile, hdr.timestamp};
             SysMsgHeader rh{SysMsgType::JoinReply, waiter,
                             hdr.timestamp};
@@ -349,12 +366,23 @@ ThreadManager::handleFutexWake(const SysMsgHeader& hdr,
 {
     auto qit = futexQueues_.find(body.addr);
     std::uint32_t woken = 0;
+    std::uint32_t race_edges = 0;
     if (qit != futexQueues_.end()) {
         auto& queue = qit->second;
         while (woken < body.count && !queue.empty()) {
             FutexWaiter w = queue.front();
             queue.pop_front();
             ++woken;
+            // The waker -> waiter happens-before edge forms ONLY here,
+            // where the wake actually transfers (a queued waiter is
+            // consumed). A futexWait that returned -1 on value mismatch
+            // was never queued and gets no edge — futexWake alone
+            // orders nothing it did not wake. Both endpoints are
+            // blocked on MCP replies, so their clocks are quiescent.
+            if (race::Detector::armed()) {
+                race::Detector::instance().edge(hdr.srcTile, w.tile);
+                ++race_edges;
+            }
             // The wakeup "occurs" at the waker's simulated time; the
             // waiter forwards its clock to this timestamp (§3.6.1).
             FutexBody reply{};
@@ -367,6 +395,9 @@ ThreadManager::handleFutexWake(const SysMsgHeader& hdr,
         if (queue.empty())
             futexQueues_.erase(qit);
     }
+    // Transfer-only invariant: one edge per consumed waiter, never for
+    // unconsumed wake count (see tests/test_race.cpp regressions).
+    GRAPHITE_ASSERT(!race::Detector::armed() || race_edges == woken);
     FutexBody reply = body;
     reply.count = woken;
     reply.result = 0;

@@ -8,6 +8,7 @@
 #include "common/config.h"
 #include "common/log.h"
 #include "obs/trace_event.h"
+#include "race/detector.h"
 
 namespace graphite
 {
@@ -722,6 +723,14 @@ MemorySystem::access(tile_id_t tile, MemAccessType type, addr_t addr,
                      void* buf, size_t size, cycle_t start_time)
 {
     GRAPHITE_ASSERT(size > 0);
+    // Race detection taps the single application-access funnel. Kernel
+    // paths (readCoherent/writeCoherent) and instruction fetches are
+    // exempt; sync-library internals are masked by InternalScope.
+    if (race::Detector::armed() && type != MemAccessType::Fetch &&
+        !race::Detector::suppressed()) {
+        race::Detector::instance().onAccess(
+            tile, addr, size, type == MemAccessType::Write, start_time);
+    }
     AccessResult total;
     total.l1Hit = true;
     total.l2Hit = true;

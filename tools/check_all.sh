@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# One-stop local analysis gate (what CI runs as `ctest -L analysis`):
+#
+#   1. configure + build the default tree;
+#   2. quick unit/system tests (ctest -L quick);
+#   3. clang-tidy over every first-party TU (SKIPs when the toolchain
+#      has no clang-tidy; see tools/run_tidy.py);
+#   4. a UBSan build (-fno-sanitize-recover=undefined) running the
+#      memory-system concurrency smoke (ubsan_smoke).
+#
+# Usage: tools/check_all.sh [build-dir]     (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+step() { printf '\n=== check_all: %s ===\n' "$*"; }
+
+step "configure + build ($BUILD)"
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j "$JOBS"
+
+step "quick tests"
+ctest --test-dir "$BUILD" -L quick --output-on-failure -j "$JOBS"
+
+step "clang-tidy"
+# ctest maps run_tidy.py's exit 77 to SKIPPED on toolchains without
+# clang-tidy; anything else must pass.
+ctest --test-dir "$BUILD" -L tidy --output-on-failure
+
+step "UBSan build + smoke ($BUILD-ubsan)"
+cmake -B "$BUILD-ubsan" -S . -DGRAPHITE_SANITIZE=undefined >/dev/null
+cmake --build "$BUILD-ubsan" -j "$JOBS" --target test_mem_concurrency
+ctest --test-dir "$BUILD-ubsan" -L analysis --output-on-failure
+
+step "PASS"

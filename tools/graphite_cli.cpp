@@ -46,6 +46,7 @@
 #include "core/simulator.h"
 #include "obs/observability.h"
 #include "obs/profiler.h"
+#include "race/detector.h"
 #include "workloads/registry.h"
 
 using namespace graphite;
@@ -63,7 +64,8 @@ usage(const char* argv0)
                  " [--set K=V]... [--stats]\n"
                  "          [--trace-out PATH] [--metrics-out PATH]"
                  " [--metrics-interval N]\n"
-                 "          [--self-profile] [--native] | --list\n",
+                 "          [--self-profile] [--native]"
+                 " [--race [--race-out PATH]] | --list\n",
                  argv0);
     std::exit(2);
 }
@@ -82,6 +84,8 @@ main(int argc, char** argv)
     std::string trace_out, metrics_out;
     int metrics_interval = -1;
     bool self_profile = false;
+    bool race = false;
+    std::string race_out;
 
     initLogFilterFromEnv();
 
@@ -126,6 +130,11 @@ main(int argc, char** argv)
             metrics_interval = std::atoi(next());
         } else if (arg == "--self-profile") {
             self_profile = true;
+        } else if (arg == "--race") {
+            race = true;
+        } else if (arg == "--race-out") {
+            race = true;
+            race_out = next();
         } else {
             usage(argv[0]);
         }
@@ -149,6 +158,10 @@ main(int argc, char** argv)
             cfg.setInt("obs/metrics_interval", metrics_interval);
         if (self_profile)
             cfg.setBool("obs/self_profile", true);
+        if (race)
+            cfg.setBool("race/enabled", true);
+        if (!race_out.empty())
+            cfg.set("race/report_out", race_out);
 
         const workloads::WorkloadInfo& w =
             workloads::findWorkload(workload);

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Pretty-print a race-detector report (race/report_out JSONL).
+
+The simulator's happens-before detector (src/race) writes one JSON
+object per deduplicated race record. This tool groups those records by
+conflicting site pair, sorts by dynamic hit count, and prints a compact
+human-readable summary:
+
+    race_report.py races.jsonl
+    race_report.py --json races.jsonl      # machine-readable groups
+    race_report.py --min-count 10 races.jsonl
+
+Sites are the labels installed with api::annotateSite(); unlabelled
+accesses show as "?". Exit status is 1 when any race is present, so the
+tool doubles as a scriptable gate:
+
+    graphite_cli --workload fft --race --race-out races.jsonl \
+        && race_report.py races.jsonl
+"""
+
+import argparse
+import json
+import sys
+
+KIND_NAMES = {
+    "ww": "write-write",
+    "rw": "read-write",
+    "wr": "write-read",
+}
+
+
+def load_records(path):
+    records = []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as err:
+                print(f"race_report: {path}:{lineno}: bad JSON: {err}",
+                      file=sys.stderr)
+                sys.exit(2)
+            for key in ("kind", "addr", "prev_tile", "cur_tile",
+                        "prev_site", "cur_site", "cycle", "count"):
+                if key not in rec:
+                    print(f"race_report: {path}:{lineno}: "
+                          f"missing key '{key}'", file=sys.stderr)
+                    sys.exit(2)
+            records.append(rec)
+    return records
+
+
+def group_records(records):
+    """Group by (kind, prev_site, cur_site); the detector already
+    dedups per (addr, kind, site-pair), so this folds the remaining
+    per-address records of one logical bug into a single row."""
+    groups = {}
+    for rec in records:
+        key = (rec["kind"], rec["prev_site"], rec["cur_site"])
+        g = groups.setdefault(key, {
+            "kind": rec["kind"],
+            "prev_site": rec["prev_site"],
+            "cur_site": rec["cur_site"],
+            "count": 0,
+            "addrs": set(),
+            "tiles": set(),
+            "first_cycle": rec["cycle"],
+        })
+        g["count"] += rec["count"]
+        g["addrs"].add(rec["addr"])
+        g["tiles"].add(rec["prev_tile"])
+        g["tiles"].add(rec["cur_tile"])
+        g["first_cycle"] = min(g["first_cycle"], rec["cycle"])
+    out = list(groups.values())
+    out.sort(key=lambda g: (-g["count"], g["first_cycle"]))
+    return out
+
+
+def fmt_addrs(addrs, limit=4):
+    shown = ", ".join(f"0x{a:x}" for a in sorted(addrs)[:limit])
+    if len(addrs) > limit:
+        shown += f", ... ({len(addrs)} addresses)"
+    return shown
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report", help="race/report_out JSONL file")
+    ap.add_argument("--json", action="store_true",
+                    help="emit grouped records as JSON")
+    ap.add_argument("--min-count", type=int, default=1,
+                    help="hide groups with fewer dynamic hits")
+    args = ap.parse_args()
+
+    records = load_records(args.report)
+    groups = [g for g in group_records(records)
+              if g["count"] >= args.min_count]
+
+    if args.json:
+        for g in groups:
+            g = dict(g, addrs=sorted(g["addrs"]),
+                     tiles=sorted(g["tiles"]))
+            print(json.dumps(g))
+        sys.exit(1 if records else 0)
+
+    if not records:
+        print("race_report: no races recorded")
+        sys.exit(0)
+
+    total = sum(r["count"] for r in records)
+    print(f"race_report: {len(records)} records, {len(groups)} site "
+          f"pairs, {total} dynamic hits\n")
+    for i, g in enumerate(groups, 1):
+        kind = KIND_NAMES.get(g["kind"], g["kind"])
+        tiles = ", ".join(str(t) for t in sorted(g["tiles"]))
+        print(f"#{i} {kind} [{g['prev_site']}] vs [{g['cur_site']}] "
+              f"x{g['count']}")
+        print(f"    tiles {tiles}; first at cycle {g['first_cycle']}")
+        print(f"    {fmt_addrs(g['addrs'])}")
+    sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

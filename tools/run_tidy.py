@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the project using the repo .clang-tidy profile.
+
+Wraps clang-tidy for the `tidy` ctest entry (part of the `analysis`
+label and tools/check_all.sh):
+
+  - finds a clang-tidy binary (versioned names included); when none is
+    installed the script exits 77, which ctest maps to SKIPPED via
+    SKIP_RETURN_CODE — the gate degrades gracefully on toolchains
+    without clang;
+  - reads compile_commands.json from the build directory
+    (CMAKE_EXPORT_COMPILE_COMMANDS is always on);
+  - checks every first-party translation unit (src/, tools/, tests/,
+    bench/, examples/), skipping anything outside the source tree;
+  - fails (exit 1) when clang-tidy reports any warning, so new findings
+    must be fixed or carry an explicit NOLINT with a reason.
+
+Usage:
+    run_tidy.py --build-dir build [--source-dir .] [--jobs N]
+    run_tidy.py --build-dir build --filter src/race   # one subsystem
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import shutil
+import subprocess
+import sys
+
+SKIP_RC = 77  # ctest SKIP_RETURN_CODE
+
+CANDIDATES = [
+    "clang-tidy",
+    "clang-tidy-21", "clang-tidy-20", "clang-tidy-19", "clang-tidy-18",
+    "clang-tidy-17", "clang-tidy-16", "clang-tidy-15", "clang-tidy-14",
+]
+
+
+def find_clang_tidy(explicit):
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in CANDIDATES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def project_sources(build_dir, source_dir, pattern):
+    ccj = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(ccj):
+        print(f"run_tidy: no {ccj} (configure the build first)",
+              file=sys.stderr)
+        sys.exit(2)
+    with open(ccj, "r", encoding="utf-8") as f:
+        entries = json.load(f)
+    root = os.path.realpath(source_dir) + os.sep
+    files = []
+    for e in entries:
+        path = os.path.realpath(
+            os.path.join(e.get("directory", ""), e["file"]))
+        if not path.startswith(root):
+            continue  # third-party / generated
+        if pattern and pattern not in os.path.relpath(path, root):
+            continue
+        if path not in files:
+            files.append(path)
+    return files
+
+
+def run_one(tidy, build_dir, path):
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", path],
+        capture_output=True, text=True)
+    noisy = [ln for ln in proc.stdout.splitlines()
+             if ": warning:" in ln or ": error:" in ln]
+    return path, proc.returncode, noisy, proc.stdout
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", required=True,
+                    help="build dir holding compile_commands.json")
+    ap.add_argument("--source-dir", default=None,
+                    help="repo root (default: parent of this script)")
+    ap.add_argument("--clang-tidy", default=None,
+                    help="clang-tidy binary to use")
+    ap.add_argument("--filter", default=None,
+                    help="only check files whose path contains this")
+    ap.add_argument("--jobs", type=int,
+                    default=max(1, multiprocessing.cpu_count() - 1))
+    args = ap.parse_args()
+
+    source_dir = args.source_dir or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+
+    tidy = find_clang_tidy(args.clang_tidy)
+    if tidy is None:
+        print("run_tidy: SKIP: no clang-tidy binary on PATH")
+        sys.exit(SKIP_RC)
+
+    files = project_sources(args.build_dir, source_dir, args.filter)
+    if not files:
+        print("run_tidy: no matching translation units", file=sys.stderr)
+        sys.exit(2)
+    print(f"run_tidy: {tidy}, {len(files)} translation units, "
+          f"{args.jobs} jobs")
+
+    findings = 0
+    with multiprocessing.Pool(args.jobs) as pool:
+        results = pool.starmap(
+            run_one, [(tidy, args.build_dir, f) for f in files])
+    for path, rc, noisy, stdout in results:
+        rel = os.path.relpath(path, source_dir)
+        if noisy or rc != 0:
+            findings += len(noisy) or 1
+            print(f"run_tidy: {rel}: {len(noisy)} finding(s)")
+            sys.stdout.write(stdout)
+
+    if findings:
+        print(f"run_tidy: FAIL: {findings} finding(s)", file=sys.stderr)
+        sys.exit(1)
+    print("run_tidy: PASS")
+
+
+if __name__ == "__main__":
+    main()
