@@ -399,10 +399,12 @@ sampleMatrix(std::uint64_t seed, int variants)
         ConfigPoint pt;
         if (i == 0) {
             // Always exercise sharded locking across processes, with
-            // the race oracle armed so every seed is race-checked.
+            // the race oracle armed so every seed is race-checked, and
+            // spans armed so every seed proves span timing-neutrality.
             pt.processes = 3;
             pt.concurrency = "sharded";
             pt.race = true;
+            pt.spans = true;
             pt.syncModel = SYNCS[rng.nextBounded(3)];
             pt.directoryType = DIRS[rng.nextBounded(3)];
             pt.lineSize = LINES[rng.nextBounded(2)];
@@ -414,9 +416,10 @@ sampleMatrix(std::uint64_t seed, int variants)
             pt.lineSize = LINES[rng.nextBounded(2)];
         }
         pt.slack = rng.nextBounded(2) == 0 ? 2000 : 100000;
-        pt.name = strfmt("p{}_{}_{}_l{}_{}{}", pt.processes,
+        pt.name = strfmt("p{}_{}_{}_l{}_{}{}{}", pt.processes,
                          pt.syncModel, pt.directoryType, pt.lineSize,
-                         pt.concurrency, pt.race ? "_race" : "");
+                         pt.concurrency, pt.race ? "_race" : "",
+                         pt.spans ? "_span" : "");
         points.push_back(std::move(pt));
     }
     return points;
@@ -448,6 +451,7 @@ makeFuzzConfig(const ConfigPoint& pt, std::uint64_t seed,
     cfg.setInt("perf_model/l2_cache/line_size", pt.lineSize);
     cfg.setInt("rng/seed", static_cast<std::int64_t>(seed | 1));
     cfg.setBool("race/enabled", pt.race);
+    cfg.setBool("obs/spans_enabled", pt.spans);
     // The runner applies the full invariant suite itself, with richer
     // reporting than the shutdown fatal().
     cfg.setBool("check/validate_at_shutdown", false);

@@ -64,6 +64,11 @@ struct ConfigPoint
      *  are race-free by construction, so any report is a violation —
      *  either a detector false positive or a missing sync edge. */
     bool race = false;
+    /** Arm the span engine (src/obs/span) without an output file. The
+     *  fingerprint-equality sweep then proves span instrumentation is
+     *  timing-neutral: an armed run must reproduce the baseline's
+     *  architectural fingerprint bit for bit. */
+    bool spans = false;
 };
 
 /** The fixed reference point every variant is compared against. */

@@ -9,6 +9,7 @@
 #include "common/table.h"
 #include "obs/observability.h"
 #include "obs/profiler.h"
+#include "obs/span/span_sink.h"
 #include "race/detector.h"
 #include "transport/socket_transport.h"
 
@@ -71,7 +72,8 @@ Simulator::Simulator(Config cfg)
                     clocks.push_back(static_cast<double>(c));
             }
             return clocks;
-        });
+        },
+        [this] { return fabric_->progress().estimate(); });
 }
 
 Simulator::~Simulator()
@@ -139,6 +141,13 @@ Simulator::registerStats()
     net_gauges("app", PacketType::App);
     net_gauges("memory", PacketType::Memory);
     net_gauges("system", PacketType::System);
+    stats_.registerGauge("net.inflight_packets", [fabric] {
+        return fabric->inflightAppPackets();
+    });
+    Transport* transport = transport_.get();
+    stats_.registerGauge("transport.queue_depth", [transport] {
+        return static_cast<stat_t>(transport->totalPending());
+    });
 
     SyncModel* sync = sync_.get();
     stats_.registerGauge("sync.events",
@@ -161,6 +170,18 @@ Simulator::registerStats()
                              [det] { return det->shadowEvictions(); });
         stats_.registerGauge("race.shadow_expansions",
                              [det] { return det->shadowExpansions(); });
+    }
+
+    if (obs::SpanSink::enabled()) {
+        obs::SpanSink* spans = &obs::SpanSink::instance();
+        stats_.registerCounter("span.completed",
+                               spans->completedCounter());
+        for (int s = 0; s < obs::NUM_SPAN_STAGES; ++s) {
+            auto stage = static_cast<obs::SpanStage>(s);
+            stats_.registerCounter(
+                strfmt("span.stage.{}_cycles", obs::spanStageName(stage)),
+                spans->stageCyclesCounter(stage));
+        }
     }
 
     ThreadManager* threads = threads_.get();

@@ -25,13 +25,23 @@ DramController::DramController(cycle_t latency_cycles,
 cycle_t
 DramController::access(cycle_t arrival_time, size_t bytes)
 {
+    return accessEx(arrival_time, bytes).total;
+}
+
+DramController::Breakdown
+DramController::accessEx(cycle_t arrival_time, size_t bytes)
+{
     ++accesses_;
     auto service = static_cast<cycle_t>(
         std::ceil(static_cast<double>(bytes) / bytesPerCycle_));
     serviceTime_ += service;
     cycle_t queue_delay =
         queueEnabled_ ? queue_.enqueue(arrival_time, service) : 0;
-    return latency_ + service + queue_delay;
+    Breakdown bd;
+    bd.queue = queue_delay;
+    bd.service = latency_ + service;
+    bd.total = bd.queue + bd.service;
+    return bd;
 }
 
 } // namespace graphite

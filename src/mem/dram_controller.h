@@ -44,11 +44,24 @@ class DramController
                    cycle_t outlier_window = 100000,
                    cycle_t max_backlog = 10000);
 
+    /** Latency decomposition of one access; queue + service == total. */
+    struct Breakdown
+    {
+        cycle_t total = 0;
+        /** Queueing delay at the controller. */
+        cycle_t queue = 0;
+        /** Device latency plus bandwidth service time. */
+        cycle_t service = 0;
+    };
+
     /**
      * Model one access of @p bytes arriving at @p arrival_time.
      * @return total latency in cycles (device + service + queueing).
      */
     cycle_t access(cycle_t arrival_time, size_t bytes);
+
+    /** Like access() but reporting the decomposition. Same totals. */
+    Breakdown accessEx(cycle_t arrival_time, size_t bytes);
 
     /** @name Statistics @{ */
     stat_t accesses() const { return accesses_; }

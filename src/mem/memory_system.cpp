@@ -7,6 +7,8 @@
 #include "check/fault.h"
 #include "common/config.h"
 #include "common/log.h"
+#include "obs/span/span.h"
+#include "obs/span/span_sink.h"
 #include "obs/trace_event.h"
 #include "race/detector.h"
 
@@ -32,6 +34,41 @@ sortUnique(std::vector<tile_id_t>& ids)
 {
     std::sort(ids.begin(), ids.end());
     ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+/**
+ * Translate one message's latency decomposition into span stage marks.
+ * The three components are laid out serialization -> queueing -> hop
+ * starting at @p begin; their durations sum to the message latency, so
+ * the span's exact-accounting invariant is preserved.
+ */
+void
+markNet(obs::SpanBuilder* sb, const NetBreakdown& bd, cycle_t begin,
+        bool reply)
+{
+    if (sb == nullptr)
+        return;
+    using obs::SpanStage;
+    sb->add(reply ? SpanStage::ReplySer : SpanStage::ReqSer, begin,
+            bd.serialization);
+    begin += bd.serialization;
+    sb->add(reply ? SpanStage::ReplyQueue : SpanStage::ReqQueue, begin,
+            bd.queue);
+    begin += bd.queue;
+    sb->add(reply ? SpanStage::ReplyHop : SpanStage::ReqHop, begin,
+            bd.hop);
+}
+
+/** DRAM breakdown as span stage marks: queueing then device+service. */
+void
+markDram(obs::SpanBuilder* sb, const DramController::Breakdown& bd,
+         cycle_t begin)
+{
+    if (sb == nullptr)
+        return;
+    using obs::SpanStage;
+    sb->add(SpanStage::DramQueue, begin, bd.queue);
+    sb->add(SpanStage::DramService, begin + bd.queue, bd.service);
 }
 
 } // namespace
@@ -121,11 +158,15 @@ MemorySystem::homeTile(addr_t addr) const
 
 cycle_t
 MemorySystem::msg(tile_id_t src, tile_id_t dst, size_t payload_bytes,
-                  cycle_t send_time)
+                  cycle_t send_time, NetBreakdown* bd)
 {
-    return fabric_.model(PacketType::Memory, src, dst,
-                         payload_bytes + NetPacket::HEADER_BYTES,
-                         send_time);
+    NetBreakdown b =
+        fabric_.modelEx(PacketType::Memory, src, dst,
+                        payload_bytes + NetPacket::HEADER_BYTES,
+                        send_time);
+    if (bd != nullptr)
+        *bd = b;
+    return b.total;
 }
 
 // ------------------------------------------------------------------ locking
@@ -288,14 +329,30 @@ MemorySystem::handleL2Eviction(tile_id_t tile, const Eviction& ev,
 
     tile_id_t home = homeTile(ev.lineAddr);
     DirectoryEntry& entry = shards_[home].directory->entry(ev.lineAddr);
+    // Victim handling runs inside the miss that displaced the line, so
+    // its span nests under the miss span (same trace ID) — the
+    // off-critical-path cost stays out of the parent's accounting.
+    std::optional<obs::SpanBuilder> span;
+    if (obs::SpanSink::enabled())
+        span.emplace(ev.dirty ? obs::SpanKind::Writeback
+                              : obs::SpanKind::Evict,
+                     tile, home, now);
     if (ev.dirty) {
         // Dirty writeback: data message to home, memory update. Off the
         // requester's critical path, so the latency is modeled (traffic
         // and queue occupancy) but not accumulated into the access.
         ++tm.stats.writebacks;
         aggWritebacks_.fetch_add(1, std::memory_order_relaxed);
-        msg(tile, home, lineSize_ + CTRL_BYTES, now);
-        shards_[home].dram->access(now, lineSize_ + CTRL_BYTES);
+        NetBreakdown nbd;
+        cycle_t m = msg(tile, home, lineSize_ + CTRL_BYTES, now,
+                        span ? &nbd : nullptr);
+        auto dbd =
+            shards_[home].dram->accessEx(now, lineSize_ + CTRL_BYTES);
+        if (span) {
+            markNet(&*span, nbd, now, /*reply=*/false);
+            markDram(&*span, dbd, now + m);
+            span->finish(now + m + dbd.total);
+        }
         if (!(check::FaultPlan::armed() &&
               check::FaultPlan::instance().shouldFire(
                   check::FaultMode::LostWriteback, ev.lineAddr)))
@@ -307,7 +364,13 @@ MemorySystem::handleL2Eviction(tile_id_t tile, const Eviction& ev,
         entry.clearSharers();
     } else {
         // Clean eviction notification keeps the directory precise.
-        msg(tile, home, CTRL_BYTES, now);
+        NetBreakdown nbd;
+        cycle_t m = msg(tile, home, CTRL_BYTES, now,
+                        span ? &nbd : nullptr);
+        if (span) {
+            markNet(&*span, nbd, now, /*reply=*/false);
+            span->finish(now + m);
+        }
         if (entry.state() == DirectoryState::Modified &&
             entry.owner() == tile) {
             // Exclusive (clean-owned) line: ownership simply lapses;
@@ -366,9 +429,22 @@ MemorySystem::fetchLineLocked(tile_id_t tile, addr_t line_addr,
     miss_class = upgrade ? MissClass::Upgrade
                          : classifyMiss(tile, line_addr, addr, size);
 
+    // The miss span (if one is live) belongs to the access that called
+    // us; every latency accumulation below mirrors into a stage mark so
+    // the marks sum exactly to the returned latency.
+    obs::SpanBuilder* sb =
+        obs::SpanSink::enabled() ? obs::SpanBuilder::active() : nullptr;
+
     cycle_t lat = 0;
     // Request to the home directory.
-    lat += msg(tile, home, CTRL_BYTES, now);
+    {
+        NetBreakdown nbd;
+        lat += msg(tile, home, CTRL_BYTES, now, sb ? &nbd : nullptr);
+        if (sb)
+            markNet(sb, nbd, now, /*reply=*/false);
+    }
+    if (sb)
+        sb->add(obs::SpanStage::Directory, now + lat, dirLatency_);
     lat += dirLatency_;
 
     DirectoryEntry& entry = dir.entry(line_addr);
@@ -379,8 +455,10 @@ MemorySystem::fetchLineLocked(tile_id_t tile, addr_t line_addr,
       case DirectoryState::Uncached: {
         GRAPHITE_ASSERT(!upgrade);
         // Memory fetch at the home controller.
-        lat += shards_[home].dram->access(now + lat,
-                                          lineSize_ + CTRL_BYTES);
+        auto dbd = shards_[home].dram->accessEx(now + lat,
+                                                lineSize_ + CTRL_BYTES);
+        markDram(sb, dbd, now + lat);
+        lat += dbd.total;
         fill_from_memory(data);
         if (mesi_ && !for_write)
             grant_exclusive = true;
@@ -406,17 +484,26 @@ MemorySystem::fetchLineLocked(tile_id_t tile, addr_t line_addr,
                 rt += msg(s, home, CTRL_BYTES, now + lat + rt);
                 max_rt = std::max(max_rt, rt);
             }
+            // One mark for the whole overlapped batch: charging the
+            // per-sharer messages individually would double-count the
+            // round trips the max already hides.
+            if (sb)
+                sb->add(obs::SpanStage::Invalidation, now + lat, max_rt);
             lat += max_rt;
             entry.clearSharers();
             if (!upgrade) {
                 // Sharers hold clean copies; memory is current.
-                lat += shards_[home].dram->access(now + lat,
-                                                  lineSize_ + CTRL_BYTES);
+                auto dbd = shards_[home].dram->accessEx(
+                    now + lat, lineSize_ + CTRL_BYTES);
+                markDram(sb, dbd, now + lat);
+                lat += dbd.total;
                 fill_from_memory(data);
             }
         } else {
-            lat += shards_[home].dram->access(now + lat,
-                                              lineSize_ + CTRL_BYTES);
+            auto dbd = shards_[home].dram->accessEx(
+                now + lat, lineSize_ + CTRL_BYTES);
+            markDram(sb, dbd, now + lat);
+            lat += dbd.total;
             fill_from_memory(data);
         }
         break;
@@ -429,8 +516,15 @@ MemorySystem::fetchLineLocked(tile_id_t tile, addr_t line_addr,
         GRAPHITE_ASSERT(owner != tile);
         ++tm.stats.recalls;
 
-        // Recall: home -> owner, owner -> home (with data).
-        lat += msg(home, owner, CTRL_BYTES, now + lat);
+        // Recall: home -> owner, owner -> home (with data). Both legs
+        // coalesce into one Recall mark (add() merges the adjacent
+        // same-stage slices).
+        {
+            cycle_t m = msg(home, owner, CTRL_BYTES, now + lat);
+            if (sb)
+                sb->add(obs::SpanStage::Recall, now + lat, m);
+            lat += m;
+        }
         TileMemory& otm = tiles_[owner];
         CacheLine* owner_line = otm.l2->find(line_addr);
         GRAPHITE_ASSERT(owner_line != nullptr);
@@ -446,7 +540,13 @@ MemorySystem::fetchLineLocked(tile_id_t tile, addr_t line_addr,
             GRAPHITE_ASSERT(owner_data.has_value());
             data = std::move(*owner_data);
         }
-        lat += msg(owner, home, lineSize_ + CTRL_BYTES, now + lat);
+        {
+            cycle_t m =
+                msg(owner, home, lineSize_ + CTRL_BYTES, now + lat);
+            if (sb)
+                sb->add(obs::SpanStage::Recall, now + lat, m);
+            lat += m;
+        }
         if (!for_write && owner_dirty) {
             // M -> S: shared copies must agree with memory, so the home
             // controller writes the recalled data back before replying.
@@ -454,8 +554,10 @@ MemorySystem::fetchLineLocked(tile_id_t tile, addr_t line_addr,
             // queueing feedback loop: demand on a saturated controller
             // throttles the threads generating it).
             backing_.write(line_addr, data.data(), data.size());
-            lat += shards_[home].dram->access(now + lat,
-                                              lineSize_ + CTRL_BYTES);
+            auto dbd = shards_[home].dram->accessEx(
+                now + lat, lineSize_ + CTRL_BYTES);
+            markDram(sb, dbd, now + lat);
+            lat += dbd.total;
         }
         // M -> M: dirty ownership migrates cache-to-cache; memory stays
         // stale (the functional copy lives in the new owner's L2).
@@ -469,6 +571,9 @@ MemorySystem::fetchLineLocked(tile_id_t tile, addr_t line_addr,
             entry.setOwner(INVALID_TILE_ID);
             AddSharerResult r = entry.addSharer(owner);
             GRAPHITE_ASSERT(!r.evicted.has_value());
+            if (sb)
+                sb->add(obs::SpanStage::Directory, now + lat,
+                        r.extraLatency);
             lat += r.extraLatency;
         }
         break;
@@ -485,6 +590,9 @@ MemorySystem::fetchLineLocked(tile_id_t tile, addr_t line_addr,
     } else {
         entry.setState(DirectoryState::Shared);
         AddSharerResult r = entry.addSharer(tile);
+        if (sb)
+            sb->add(obs::SpanStage::Directory, now + lat,
+                    r.extraLatency);
         lat += r.extraLatency;
         if (r.evicted.has_value()) {
             // Dir_iNB pointer eviction: invalidate the displaced sharer.
@@ -495,16 +603,28 @@ MemorySystem::fetchLineLocked(tile_id_t tile, addr_t line_addr,
             invalidateTile(victim, line_addr, /*coherence=*/true,
                            nullptr);
             rt += msg(victim, home, CTRL_BYTES, now + lat + rt);
+            if (sb)
+                sb->add(obs::SpanStage::Invalidation, now + lat, rt);
             lat += rt;
         }
     }
 
     // Reply to the requester and install.
     if (upgrade) {
-        lat += msg(home, tile, CTRL_BYTES, now + lat);
+        NetBreakdown nbd;
+        cycle_t m = msg(home, tile, CTRL_BYTES, now + lat,
+                        sb ? &nbd : nullptr);
+        if (sb)
+            markNet(sb, nbd, now + lat, /*reply=*/true);
+        lat += m;
         existing->state = CacheState::Modified;
     } else {
-        lat += msg(home, tile, lineSize_ + CTRL_BYTES, now + lat);
+        NetBreakdown nbd;
+        cycle_t m = msg(home, tile, lineSize_ + CTRL_BYTES, now + lat,
+                        sb ? &nbd : nullptr);
+        if (sb)
+            markNet(sb, nbd, now + lat, /*reply=*/true);
+        lat += m;
         GRAPHITE_ASSERT(data.size() == lineSize_);
         CacheState install = for_write ? CacheState::Modified
                              : grant_exclusive ? CacheState::Exclusive
@@ -677,11 +797,19 @@ MemorySystem::accessLine(tile_id_t tile, MemAccessType type, addr_t addr,
 
         // Commit: run the access through the full transaction with the
         // serial engine's exact stats/latency sequence.
+        std::optional<obs::SpanBuilder> span;
+        if (obs::SpanSink::enabled())
+            span.emplace(is_write ? obs::SpanKind::WriteMiss
+                                  : obs::SpanKind::ReadMiss,
+                         tile, home, start_time);
         if (l1) {
             res.latency += l1Latency_;
             l1->access(addr, /*is_write=*/false);
         }
         res.latency += l2Latency_;
+        if (span)
+            span->add(obs::SpanStage::LocalCheck, start_time,
+                      res.latency);
         CacheLine* l2line = tm.l2->access(addr, is_write);
         GRAPHITE_ASSERT(l2line == nullptr);
         aggL2Misses_.fetch_add(1, std::memory_order_relaxed);
@@ -691,6 +819,11 @@ MemorySystem::accessLine(tile_id_t tile, MemAccessType type, addr_t addr,
                                        mc);
         res.missClass = mc;
         recordMiss(tile, tm, mc, start_time + res.latency);
+        if (span) {
+            if (mc == MissClass::Upgrade)
+                span->setKind(obs::SpanKind::Upgrade);
+            span->finish(start_time + res.latency);
+        }
         l2line = tm.l2->find(line_addr);
         GRAPHITE_ASSERT(l2line != nullptr);
 
@@ -860,7 +993,13 @@ MemorySystem::atomicRmw(tile_id_t tile, addr_t addr, size_t size,
                 continue; // victim changed shard: replan
         }
 
+        std::optional<obs::SpanBuilder> span;
+        if (obs::SpanSink::enabled())
+            span.emplace(obs::SpanKind::Atomic, tile, home, start_time);
         res.latency += l2Latency_;
+        if (span)
+            span->add(obs::SpanStage::LocalCheck, start_time,
+                      res.latency);
         CacheLine* l2line = tm.l2->access(addr, /*is_write=*/true);
         GRAPHITE_ASSERT(l2line == nullptr);
         aggL2Misses_.fetch_add(1, std::memory_order_relaxed);
@@ -869,6 +1008,8 @@ MemorySystem::atomicRmw(tile_id_t tile, addr_t addr, size_t size,
                                        /*for_write=*/true, addr, size,
                                        start_time + res.latency, mc);
         recordMiss(tile, tm, mc, start_time + res.latency);
+        if (span)
+            span->finish(start_time + res.latency);
         l2line = tm.l2->find(line_addr);
         GRAPHITE_ASSERT(l2line != nullptr);
         rmw(l2line, res);

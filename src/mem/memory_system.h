@@ -276,9 +276,13 @@ class MemorySystem
     /** Acquire a shard lock, recording contention statistics. */
     std::unique_lock<std::mutex> lockShard(Shard& shard);
 
-    /** Model one coherence message; returns its network latency. */
+    /**
+     * Model one coherence message; returns its network latency. When
+     * @p bd is non-null the latency decomposition is reported through
+     * it (span-stage attribution; same totals either way).
+     */
     cycle_t msg(tile_id_t src, tile_id_t dst, size_t payload_bytes,
-                cycle_t send_time);
+                cycle_t send_time, NetBreakdown* bd = nullptr);
 
     /** One-line access; addr..addr+size must stay within a line. */
     AccessResult accessLine(tile_id_t tile, MemAccessType type,

@@ -11,7 +11,7 @@ std::vector<std::uint8_t>
 NetPacket::serialize() const
 {
     std::vector<std::uint8_t> out;
-    out.resize(1 + 4 + 4 + 8 + payload.size());
+    out.resize(1 + 4 + 4 + 8 + 8 + 8 + payload.size());
     size_t off = 0;
     out[off++] = static_cast<std::uint8_t>(type);
     std::memcpy(out.data() + off, &sender, 4);
@@ -19,6 +19,10 @@ NetPacket::serialize() const
     std::memcpy(out.data() + off, &receiver, 4);
     off += 4;
     std::memcpy(out.data() + off, &time, 8);
+    off += 8;
+    std::memcpy(out.data() + off, &traceId, 8);
+    off += 8;
+    std::memcpy(out.data() + off, &spanId, 8);
     off += 8;
     if (!payload.empty())
         std::memcpy(out.data() + off, payload.data(), payload.size());
@@ -28,7 +32,7 @@ NetPacket::serialize() const
 NetPacket
 NetPacket::deserialize(const std::vector<std::uint8_t>& bytes)
 {
-    constexpr size_t WIRE_HEADER = 1 + 4 + 4 + 8;
+    constexpr size_t WIRE_HEADER = 1 + 4 + 4 + 8 + 8 + 8;
     if (bytes.size() < WIRE_HEADER)
         panic("net packet deserialize: short buffer ({} bytes)",
               bytes.size());
@@ -43,6 +47,10 @@ NetPacket::deserialize(const std::vector<std::uint8_t>& bytes)
     std::memcpy(&pkt.receiver, bytes.data() + off, 4);
     off += 4;
     std::memcpy(&pkt.time, bytes.data() + off, 8);
+    off += 8;
+    std::memcpy(&pkt.traceId, bytes.data() + off, 8);
+    off += 8;
+    std::memcpy(&pkt.spanId, bytes.data() + off, 8);
     off += 8;
     pkt.payload.assign(bytes.begin() + off, bytes.end());
     return pkt;

@@ -2,6 +2,8 @@
 
 #include "common/config.h"
 #include "common/log.h"
+#include "obs/span/span.h"
+#include "obs/span/span_sink.h"
 #include "obs/trace_event.h"
 
 namespace graphite
@@ -39,6 +41,13 @@ cycle_t
 NetworkFabric::model(PacketType type, tile_id_t src, tile_id_t dst,
                      size_t bytes, cycle_t send_time)
 {
+    return modelEx(type, src, dst, bytes, send_time).total;
+}
+
+NetBreakdown
+NetworkFabric::modelEx(PacketType type, tile_id_t src, tile_id_t dst,
+                       size_t bytes, cycle_t send_time)
+{
     if (!msgMatrix_.empty() && type != PacketType::System) {
         size_t idx = static_cast<size_t>(src) * topo_.totalTiles() + dst;
         msgMatrix_[idx].fetch_add(1, std::memory_order_relaxed);
@@ -52,7 +61,7 @@ NetworkFabric::model(PacketType type, tile_id_t src, tile_id_t dst,
         ctr.interMsgs.fetch_add(1, std::memory_order_relaxed);
         ctr.interBytes.fetch_add(bytes, std::memory_order_relaxed);
     }
-    return modelFor(type).computeLatency(src, dst, bytes, send_time);
+    return modelFor(type).computeLatencyEx(src, dst, bytes, send_time);
 }
 
 NetworkModel&
@@ -131,8 +140,29 @@ Network::send(PacketType type, tile_id_t dst,
     pkt.receiver = dst;
     pkt.payload = std::move(payload);
     size_t bytes = pkt.modeledBytes();
-    cycle_t latency = fabric_.model(type, tile_, dst, bytes, send_time);
+    NetBreakdown bd = fabric_.modelEx(type, tile_, dst, bytes, send_time);
+    cycle_t latency = bd.total;
     pkt.time = send_time + latency;
+    if (type == PacketType::App) {
+        fabric_.noteAppSend();
+        if (obs::SpanSink::enabled()) {
+            // The arrival time is fully determined at send under lax
+            // delivery, so the whole span — including the receive-side
+            // flow step — is emitted here; nothing dangles if the
+            // receiver never drains it.
+            obs::SpanBuilder span(obs::SpanKind::AppMsg, tile_, dst,
+                                  send_time);
+            span.add(obs::SpanStage::ReqSer, send_time,
+                     bd.serialization);
+            span.add(obs::SpanStage::ReqQueue,
+                     send_time + bd.serialization, bd.queue);
+            span.add(obs::SpanStage::ReqHop,
+                     send_time + bd.serialization + bd.queue, bd.hop);
+            span.finish(send_time + latency);
+            pkt.traceId = span.traceId();
+            pkt.spanId = span.spanId();
+        }
+    }
     obs::TraceSink::complete(static_cast<std::uint32_t>(tile_),
                              "net.send", send_time, latency, "bytes",
                              static_cast<std::int64_t>(bytes));
@@ -173,6 +203,8 @@ Network::recv(PacketType type)
             return out;
         }
         NetPacket pkt = NetPacket::deserialize(buf.data);
+        if (pkt.type == PacketType::App)
+            fabric_.noteAppDelivered();
         if (pkt.type == type) {
             obs::TraceSink::instant(static_cast<std::uint32_t>(tile_),
                                     "net.recv", pkt.time);
@@ -192,6 +224,8 @@ Network::tryRecv(PacketType type, NetPacket& out)
     while (transport_.tryRecv(fabric_.topology().tileEndpoint(tile_),
                               buf)) {
         NetPacket pkt = NetPacket::deserialize(buf.data);
+        if (pkt.type == PacketType::App)
+            fabric_.noteAppDelivered();
         if (pkt.type == type) {
             out = std::move(pkt);
             return true;

@@ -58,6 +58,30 @@ class NetworkFabric
     cycle_t model(PacketType type, tile_id_t src, tile_id_t dst,
                   size_t bytes, cycle_t send_time);
 
+    /**
+     * Like model() but reporting the latency decomposition (the span
+     * engine's attribution input). Identical accounting and totals.
+     */
+    NetBreakdown modelEx(PacketType type, tile_id_t src, tile_id_t dst,
+                         size_t bytes, cycle_t send_time);
+
+    /**
+     * @name In-flight application packets
+     * Sent via a tile endpoint but not yet pulled off the transport
+     * by the receiver. Sampled as the net.inflight_packets gauge so
+     * span queueing attribution can be cross-checked coarsely.
+     * @{
+     */
+    void noteAppSend() { inflightApp_.fetch_add(1, std::memory_order_relaxed); }
+    void noteAppDelivered() { inflightApp_.fetch_sub(1, std::memory_order_relaxed); }
+    stat_t
+    inflightAppPackets() const
+    {
+        std::int64_t v = inflightApp_.load(std::memory_order_relaxed);
+        return v > 0 ? static_cast<stat_t>(v) : 0;
+    }
+    /** @} */
+
     /** The model serving @p type (for stats inspection). */
     NetworkModel& modelFor(PacketType type);
     const NetworkModel& modelFor(PacketType type) const;
@@ -97,6 +121,7 @@ class NetworkFabric
 
     ClusterTopology topo_;
     GlobalProgress progress_;
+    std::atomic<std::int64_t> inflightApp_{0};
     std::array<std::unique_ptr<NetworkModel>, NUM_PACKET_TYPES> models_;
     std::array<LocalityCounters, NUM_PACKET_TYPES> counters_;
     /** N*N atomic counters, src-major; empty when recording disabled. */

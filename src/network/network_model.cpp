@@ -77,13 +77,22 @@ EMeshHopNetworkModel::serializationCycles(size_t bytes) const
 
 cycle_t
 EMeshHopNetworkModel::computeLatency(tile_id_t src, tile_id_t dst,
-                                     size_t bytes, cycle_t)
+                                     size_t bytes, cycle_t send_time)
 {
-    int nhops = shape_.hops(src, dst);
-    cycle_t latency = static_cast<cycle_t>(nhops) * hopLatency_ +
-                      serializationCycles(bytes);
-    account(bytes, latency, nhops);
-    return latency;
+    return computeLatencyEx(src, dst, bytes, send_time).total;
+}
+
+NetBreakdown
+EMeshHopNetworkModel::computeLatencyEx(tile_id_t src, tile_id_t dst,
+                                       size_t bytes, cycle_t)
+{
+    NetBreakdown bd;
+    bd.hops = shape_.hops(src, dst);
+    bd.hop = static_cast<cycle_t>(bd.hops) * hopLatency_;
+    bd.serialization = serializationCycles(bytes);
+    bd.total = bd.hop + bd.serialization;
+    account(bytes, bd.total, bd.hops);
+    return bd;
 }
 
 // --------------------------------------------- EMeshContentionNetworkModel
@@ -107,18 +116,33 @@ EMeshContentionNetworkModel::computeLatency(tile_id_t src, tile_id_t dst,
                                             size_t bytes,
                                             cycle_t send_time)
 {
+    return computeLatencyEx(src, dst, bytes, send_time).total;
+}
+
+NetBreakdown
+EMeshContentionNetworkModel::computeLatencyEx(tile_id_t src,
+                                              tile_id_t dst,
+                                              size_t bytes,
+                                              cycle_t send_time)
+{
     if (progress_ != nullptr)
         progress_->observe(send_time);
 
+    NetBreakdown bd;
     const cycle_t service = serializationCycles(bytes);
+    bd.serialization = service;
     cycle_t latency = service; // injection serialization
     for (int link : shape_.route(src, dst)) {
         cycle_t arrival = send_time + latency;
         cycle_t queue_delay = links_[link]->enqueue(arrival, service);
         latency += hopLatency_ + queue_delay;
+        bd.hop += hopLatency_;
+        bd.queue += queue_delay;
     }
-    account(bytes, latency, shape_.hops(src, dst));
-    return latency;
+    bd.hops = shape_.hops(src, dst);
+    bd.total = latency;
+    account(bytes, latency, bd.hops);
+    return bd;
 }
 
 stat_t

@@ -66,6 +66,20 @@ class MeshShape
 };
 
 /**
+ * Decomposition of one packet's modeled latency, consumed by the span
+ * engine's latency attribution. Invariant:
+ * total == hop + queue + serialization (exact accounting).
+ */
+struct NetBreakdown
+{
+    cycle_t total = 0;
+    cycle_t hop = 0;           ///< per-hop propagation
+    cycle_t queue = 0;         ///< link-contention queueing delay
+    cycle_t serialization = 0; ///< bandwidth-limited injection
+    int hops = 0;
+};
+
+/**
  * Abstract network timing model. Thread-safe: any application thread may
  * model a packet concurrently (memory traffic is modeled from the
  * requesting thread under lax synchronization).
@@ -85,6 +99,23 @@ class NetworkModel
      */
     virtual cycle_t computeLatency(tile_id_t src, tile_id_t dst,
                                    size_t bytes, cycle_t send_time) = 0;
+
+    /**
+     * Like computeLatency() but reporting the component breakdown.
+     * The returned total is bit-identical to what computeLatency()
+     * would produce for the same call (the mesh models implement the
+     * math once and route both entry points through it). The default
+     * attributes everything to hop latency.
+     */
+    virtual NetBreakdown
+    computeLatencyEx(tile_id_t src, tile_id_t dst, size_t bytes,
+                     cycle_t send_time)
+    {
+        NetBreakdown bd;
+        bd.total = computeLatency(src, dst, bytes, send_time);
+        bd.hop = bd.total;
+        return bd;
+    }
 
     /** Human-readable model name (matches the config value). */
     virtual std::string name() const = 0;
@@ -140,6 +171,9 @@ class EMeshHopNetworkModel : public NetworkModel
 
     cycle_t computeLatency(tile_id_t src, tile_id_t dst, size_t bytes,
                            cycle_t send_time) override;
+    NetBreakdown computeLatencyEx(tile_id_t src, tile_id_t dst,
+                                  size_t bytes,
+                                  cycle_t send_time) override;
     std::string name() const override { return "emesh_hop"; }
 
     const MeshShape& shape() const { return shape_; }
@@ -169,6 +203,9 @@ class EMeshContentionNetworkModel : public EMeshHopNetworkModel
 
     cycle_t computeLatency(tile_id_t src, tile_id_t dst, size_t bytes,
                            cycle_t send_time) override;
+    NetBreakdown computeLatencyEx(tile_id_t src, tile_id_t dst,
+                                  size_t bytes,
+                                  cycle_t send_time) override;
     std::string name() const override { return "emesh_contention"; }
 
     /** Total queueing delay accumulated over all links (for ablations). */

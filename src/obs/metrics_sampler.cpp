@@ -202,9 +202,11 @@ MetricsSampler::finalize()
     std::scoped_lock lock(mutex_);
     if (finalized_ || registry_ == nullptr)
         return;
-    // Tail interval: whatever accumulated since the last boundary.
+    // Tail interval: whatever accumulated since the last boundary. A
+    // run shorter than one interval still gets its single partial row
+    // (an empty artifact would hide the whole run).
     cycle_t now = now_ ? now_() : 0;
-    if (now > lastSampleCycle_)
+    if (now > lastSampleCycle_ || rows_.empty())
         sampleLocked(now);
     finalized_ = true;
     nextSample_.store(INVALID_CYCLE, std::memory_order_relaxed);

@@ -5,6 +5,7 @@
 #include "common/strfmt.h"
 #include "obs/metrics_sampler.h"
 #include "obs/profiler.h"
+#include "obs/span/span_sink.h"
 #include "obs/trace_event.h"
 
 namespace graphite
@@ -31,6 +32,8 @@ Observability::configure(const Config& cfg, tile_id_t total_tiles)
     metricsInterval_ = static_cast<cycle_t>(
         cfg.getInt("obs/metrics_interval", 100000));
     selfProfile_ = cfg.getBool("obs/self_profile", false);
+    spansPath_ = cfg.getString("obs/spans_out", "");
+    spansArmed_ = cfg.getBool("obs/spans_enabled", false);
     finalized_ = false;
 
     TraceSink& sink = TraceSink::instance();
@@ -51,6 +54,22 @@ Observability::configure(const Config& cfg, tile_id_t total_tiles)
     HostProfiler::instance().reset();
     HostProfiler::instance().setEnabled(selfProfile_);
 
+    SpanSink& spans = SpanSink::instance();
+    spans.reset();
+    if (spansEnabled()) {
+        SpanSink::Options opt;
+        opt.reservoirCapacity = static_cast<std::size_t>(
+            cfg.getInt("obs/span_reservoir", 4096));
+        opt.slowestCapacity = static_cast<std::size_t>(
+            cfg.getInt("obs/span_slowest", 64));
+        opt.intervalCycles = static_cast<cycle_t>(
+            cfg.getInt("obs/span_interval", 100000));
+        opt.flowEvents = cfg.getBool("obs/span_flow_events", true);
+        opt.seed = static_cast<std::uint64_t>(cfg.getInt("rng/seed", 42));
+        spans.configure(total_tiles, opt);
+        spans.setEnabled(true);
+    }
+
     if (cfg.has("log/filter"))
         setLogFilter(cfg.getString("log/filter"));
 }
@@ -59,8 +78,11 @@ void
 Observability::attachSources(const StatsRegistry* registry,
                              std::function<cycle_t()> now,
                              std::function<std::vector<double>()>
-                                 active_clocks)
+                                 active_clocks,
+                             std::function<cycle_t()> progress)
 {
+    if (spansEnabled() && progress)
+        SpanSink::instance().attachProgress(std::move(progress));
     if (!metricsEnabled())
         return;
     MetricsSampler& sampler = MetricsSampler::instance();
@@ -82,6 +104,18 @@ Observability::finalize()
         sampler.finalize();
         informc("obs", "wrote {} metrics intervals to {}",
                 sampler.rowCount(), metricsPath_);
+    }
+
+    if (spansEnabled()) {
+        SpanSink& spans = SpanSink::instance();
+        spans.setEnabled(false);
+        if (!spansPath_.empty()) {
+            spans.writeFile(spansPath_);
+            informc("obs", "wrote {} sampled spans ({} completed) to {}",
+                    spans.sampledCount(), spans.completedCount(),
+                    spansPath_);
+        }
+        spans.detachSources();
     }
 
     if (traceEnabled()) {

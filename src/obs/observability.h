@@ -11,6 +11,15 @@
  *                              interval snapshots when non-empty
  *   obs/metrics_interval       simulated cycles per row (default 100000)
  *   obs/self_profile           bool; enables host profiling scopes
+ *   obs/spans_out              spans.jsonl path; non-empty enables the
+ *                              causal span engine
+ *   obs/spans_enabled          bool; arm spans without an output file
+ *                              (aggregates/stats only)
+ *   obs/span_reservoir         sampled full records kept (default 4096)
+ *   obs/span_slowest           top-N slowest records kept (default 64)
+ *   obs/span_interval          cycles per bottleneck bin (default 100000)
+ *   obs/span_flow_events       emit Chrome flow events for sampled spans
+ *                              when tracing is also on (default true)
  *   log/filter                 component log filter spec (convenience)
  *
  * Lifecycle: Simulator's constructor calls configure() (resetting all
@@ -51,15 +60,19 @@ class Observability
     void configure(const Config& cfg, tile_id_t total_tiles);
 
     /**
-     * Wire simulator-owned data sources into the metrics sampler.
+     * Wire simulator-owned data sources into the metrics sampler and
+     * the span sink.
      * @param registry       the simulator's stats registry
      * @param now            current simulated time (max tile clock)
      * @param active_clocks  clocks of currently-running tiles
+     * @param progress       global-progress estimate (span skew
+     *                       stamping); may be null
      */
     void attachSources(const StatsRegistry* registry,
                        std::function<cycle_t()> now,
                        std::function<std::vector<double>()>
-                           active_clocks);
+                           active_clocks,
+                       std::function<cycle_t()> progress = nullptr);
 
     /**
      * Write trace/metrics artifacts (when enabled) and detach from
@@ -71,14 +84,21 @@ class Observability
     bool traceEnabled() const { return !tracePath_.empty(); }
     bool metricsEnabled() const { return !metricsPath_.empty(); }
     bool selfProfileEnabled() const { return selfProfile_; }
+    bool spansEnabled() const
+    {
+        return spansArmed_ || !spansPath_.empty();
+    }
     const std::string& tracePath() const { return tracePath_; }
     const std::string& metricsPath() const { return metricsPath_; }
+    const std::string& spansPath() const { return spansPath_; }
 
   private:
     std::string tracePath_;
     std::string metricsPath_;
+    std::string spansPath_;
     cycle_t metricsInterval_ = 0;
     bool selfProfile_ = false;
+    bool spansArmed_ = false;
     bool finalized_ = true;
 };
 

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Process-global collector and aggregator of completed spans.
+ *
+ * Completion is the only synchronization point of the span engine:
+ * builders live on the completing thread's stack, so the sink sees
+ * one complete() call per transaction. Aggregation is split between
+ * lock-free atomics (per-stage/per-kind cycle totals, per-home and
+ * per-distance tallies, kind×stage histograms — all readable live by
+ * the metrics sampler) and a short mutex-guarded section (reservoir
+ * sample, top-K slowest, per-interval bottleneck bins).
+ *
+ * Memory is bounded: the reservoir keeps a uniform sample of at most
+ * `obs/span_reservoir` full records (Vitter's algorithm R with an
+ * xorshift generator — deterministic given the seed and completion
+ * order), the slowest list keeps `obs/span_slowest`, and interval
+ * bins are capped. Everything else is O(tiles + stages).
+ *
+ * Artifacts: spans.jsonl (sampled + slowest records, interval rows, a
+ * summary row with the *exact* totals) and — when the event tracer is
+ * also on — Chrome flow events ('s'/'t'/'f') that render each
+ * sampled transaction as an arrow requester → home → requester in
+ * Perfetto.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/fixed_types.h"
+#include "common/stats.h"
+#include "obs/span/span.h"
+
+namespace graphite
+{
+namespace obs
+{
+
+/** Process-global span collector. */
+class SpanSink
+{
+  public:
+    struct Options
+    {
+        std::size_t reservoirCapacity = 4096;
+        std::size_t slowestCapacity = 64;
+        cycle_t intervalCycles = 100000;
+        /** Emit Chrome flow events for *sampled* spans (needs the
+         *  event tracer enabled too). */
+        bool flowEvents = true;
+        std::uint64_t seed = 42;
+    };
+
+    static SpanSink& instance();
+
+    /** Cached enable flag — the only hot-path check. */
+    static bool
+    enabled()
+    {
+        return enabledFlag_.load(std::memory_order_relaxed);
+    }
+
+    /** Allocate a process-unique span ID (never 0). */
+    static std::uint64_t
+    nextSpanId()
+    {
+        return nextId_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** (Re)initialize for a run over @p total_tiles tiles. */
+    void configure(tile_id_t total_tiles, const Options& opt);
+
+    void setEnabled(bool on);
+
+    /**
+     * Wire the global-progress estimate used to stamp per-span skew.
+     * Cleared by detachSources(); spans completing with no callback
+     * get skew 0.
+     */
+    void attachProgress(std::function<cycle_t()> progress);
+
+    /** Drop simulator-owned callbacks (call before the sim dies). */
+    void detachSources();
+
+    /** Record a finished span (called by SpanBuilder::finish). */
+    void complete(const SpanRecord& rec);
+
+    /** @name Live aggregates @{ */
+    stat_t completedCount() const { return completed_.load(); }
+    const atomic_stat_t* completedCounter() const { return &completed_; }
+    stat_t stageCycles(SpanStage s) const
+    {
+        return stageCycles_[static_cast<int>(s)].load();
+    }
+    const atomic_stat_t* stageCyclesCounter(SpanStage s) const
+    {
+        return &stageCycles_[static_cast<int>(s)];
+    }
+    stat_t kindCount(SpanKind k) const
+    {
+        return kindCount_[static_cast<int>(k)].load();
+    }
+    stat_t kindCycles(SpanKind k) const
+    {
+        return kindCycles_[static_cast<int>(k)].load();
+    }
+    const HistogramStat& stageHistogram(SpanKind k, SpanStage s) const
+    {
+        return hist_[static_cast<int>(k)][static_cast<int>(s)];
+    }
+    /** @} */
+
+    /** @name Bounded sample access (copies; for tests/reports) @{ */
+    std::vector<SpanRecord> sampled() const;
+    std::vector<SpanRecord> slowest() const;
+    std::size_t sampledCount() const;
+    /** @} */
+
+    /** Mesh hops between two tiles (the models' MeshShape geometry). */
+    std::uint16_t distance(tile_id_t a, tile_id_t b) const;
+
+    /** Render the spans.jsonl document. */
+    std::string renderJsonl() const;
+
+    /** Write renderJsonl() to @p path; fatal on I/O error. */
+    void writeFile(const std::string& path) const;
+
+    /** Drop all state; leaves the sink disabled. */
+    void reset();
+
+  private:
+    struct IntervalBin
+    {
+        stat_t spans = 0;
+        stat_t stage[NUM_SPAN_STAGES] = {};
+    };
+
+    SpanSink();
+
+    void emitFlow(const SpanRecord& rec);
+
+    static std::atomic<bool> enabledFlag_;
+    static std::atomic<std::uint64_t> nextId_;
+
+    Options opt_;
+    int meshWidth_ = 1;
+    tile_id_t totalTiles_ = 0;
+    std::function<cycle_t()> progress_;
+
+    atomic_stat_t completed_{0};
+    atomic_stat_t stageCycles_[NUM_SPAN_STAGES] = {};
+    atomic_stat_t kindCount_[NUM_SPAN_KINDS] = {};
+    atomic_stat_t kindCycles_[NUM_SPAN_KINDS] = {};
+    std::vector<atomic_stat_t> homeCount_; ///< per home tile
+    std::vector<atomic_stat_t> homeCycles_;
+    std::vector<atomic_stat_t> distCount_; ///< per mesh distance
+    std::vector<atomic_stat_t> distCycles_;
+    HistogramStat hist_[NUM_SPAN_KINDS][NUM_SPAN_STAGES];
+
+    mutable std::mutex mutex_;
+    std::vector<SpanRecord> reservoir_;
+    std::uint64_t reservoirSeen_ = 0;
+    std::uint64_t rngState_ = 0x9e3779b97f4a7c15ull;
+    std::vector<SpanRecord> slowest_; ///< sorted descending by total
+    std::vector<IntervalBin> intervals_;
+    stat_t intervalOverflow_ = 0; ///< spans past the last bin
+};
+
+} // namespace obs
+} // namespace graphite

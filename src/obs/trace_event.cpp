@@ -114,6 +114,22 @@ TraceSink::counter(std::uint32_t lane, const char* name, cycle_t ts,
     instance().record(ev);
 }
 
+void
+TraceSink::flow(char phase, std::uint32_t lane, const char* name,
+                cycle_t ts, std::uint64_t id)
+{
+    if (!enabled())
+        return;
+    GRAPHITE_ASSERT(phase == 's' || phase == 't' || phase == 'f');
+    TraceEvent ev;
+    ev.name = name;
+    ev.ts = ts;
+    ev.id = id;
+    ev.lane = lane;
+    ev.phase = phase;
+    instance().record(ev);
+}
+
 std::size_t
 TraceSink::recorded() const
 {
@@ -212,6 +228,14 @@ TraceSink::toJson() const
                 os << ",\"dur\":" << ev.dur;
             if (ev.phase == 'i')
                 os << ",\"s\":\"t\"";
+            if (ev.phase == 's' || ev.phase == 't' ||
+                ev.phase == 'f') {
+                // Flow chains match on (cat, id, name); the end event
+                // binds to the enclosing slice.
+                os << ",\"cat\":\"span\",\"id\":" << ev.id;
+                if (ev.phase == 'f')
+                    os << ",\"bp\":\"e\"";
+            }
             if (ev.phase == 'C') {
                 os << ",\"args\":{\"value\":" << ev.arg << "}";
             } else if (ev.argName != nullptr) {

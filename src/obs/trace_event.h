@@ -43,8 +43,11 @@ struct TraceEvent
     cycle_t ts = 0;                ///< simulated cycles
     cycle_t dur = 0;               ///< for phase 'X' only
     std::int64_t arg = 0;
+    std::uint64_t id = 0; ///< flow-binding id, phases 's'/'t'/'f' only
     std::uint32_t lane = 0;
-    char phase = 'i'; ///< 'X' complete, 'i' instant, 'C' counter
+    /** 'X' complete, 'i' instant, 'C' counter, or a flow phase:
+     *  's' start, 't' step, 'f' end (Perfetto arrows). */
+    char phase = 'i';
 };
 
 /** Process-global trace sink. */
@@ -81,6 +84,14 @@ class TraceSink
                         std::int64_t arg = 0);
     static void counter(std::uint32_t lane, const char* name, cycle_t ts,
                         std::int64_t value);
+    /**
+     * Record a flow event: @p phase is 's' (start), 't' (step) or
+     * 'f' (end). Events with the same @p name and @p id form one
+     * arrow chain; the 'f' event binds to the enclosing slice
+     * ("bp":"e"). All events of one chain share category "span".
+     */
+    static void flow(char phase, std::uint32_t lane, const char* name,
+                     cycle_t ts, std::uint64_t id);
     /** @} */
 
     /** Events currently held across all lanes. */

@@ -185,6 +185,17 @@ UnixSocketTransport::pending(endpoint_id_t dst) const
     return n >= 0 ? 1 : 0;
 }
 
+size_t
+UnixSocketTransport::totalPending() const
+{
+    // Same hint semantics as pending(): counts endpoints with at least
+    // one queued datagram, not the exact datagram count.
+    size_t total = 0;
+    for (endpoint_id_t ep = 0; ep < topo_.numEndpoints(); ++ep)
+        total += pending(ep);
+    return total;
+}
+
 void
 UnixSocketTransport::shutdown()
 {

@@ -46,6 +46,7 @@ class UnixSocketTransport : public Transport
     TransportBuffer recv(endpoint_id_t dst) override;
     bool tryRecv(endpoint_id_t dst, TransportBuffer& out) override;
     size_t pending(endpoint_id_t dst) const override;
+    size_t totalPending() const override;
     void shutdown() override;
 
     const ClusterTopology& topology() const { return topo_; }

@@ -78,6 +78,15 @@ InProcessTransport::pending(endpoint_id_t dst) const
     return box.queue.size();
 }
 
+size_t
+InProcessTransport::totalPending() const
+{
+    size_t total = 0;
+    for (endpoint_id_t ep = 0; ep < topo_.numEndpoints(); ++ep)
+        total += pending(ep);
+    return total;
+}
+
 void
 InProcessTransport::shutdown()
 {

@@ -67,6 +67,13 @@ class Transport
     virtual size_t pending(endpoint_id_t dst) const = 0;
 
     /**
+     * Datagrams pending across every endpoint — the instantaneous
+     * transport queue depth (sampled as the transport.queue_depth
+     * gauge). A snapshot: endpoints are counted one at a time.
+     */
+    virtual size_t totalPending() const = 0;
+
+    /**
      * Wake all blocked receivers; subsequent recv() calls on a shut-down
      * transport return an empty buffer with src == -1. Used at teardown.
      */
@@ -93,6 +100,7 @@ class InProcessTransport : public Transport
     TransportBuffer recv(endpoint_id_t dst) override;
     bool tryRecv(endpoint_id_t dst, TransportBuffer& out) override;
     size_t pending(endpoint_id_t dst) const override;
+    size_t totalPending() const override;
     void shutdown() override;
 
     /** @name Host-side traffic accounting (see src/host). @{ */

@@ -430,6 +430,42 @@ TEST(TraceSink, RingDropsNewestWhenFull)
     sink.reset();
 }
 
+TEST(TraceSink, LaneOverflowIsIndependentPerLane)
+{
+    obs::TraceSink& sink = obs::TraceSink::instance();
+    sink.reset();
+    sink.configure(2, 4);
+    sink.setEnabled(true);
+    // Overflow lane 0; lane 1 stays under capacity.
+    for (int i = 0; i < 6; ++i)
+        obs::TraceSink::instant(0, "full", i);
+    obs::TraceSink::instant(1, "ok", 100);
+    obs::TraceSink::instant(1, "ok", 101);
+    // Flow events obey the same ring bound: dropped on the full lane,
+    // recorded on the other.
+    obs::TraceSink::flow('s', 0, "span.read_miss", 6, 77);
+    obs::TraceSink::flow('f', 1, "span.read_miss", 102, 77);
+    sink.setEnabled(false);
+
+    EXPECT_EQ(sink.recorded(), 7u); // 4 + 3
+    EXPECT_EQ(sink.dropped(), 3u);  // two instants + the flow 's'
+    std::string json = sink.toJson();
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.valid()) << json;
+    // Lane 0 kept the beginning of the run; its overflow never touched
+    // lane 1, whose flow event renders with binding fields intact.
+    EXPECT_NE(json.find("\"ts\":0"), std::string::npos);
+    EXPECT_EQ(json.find("\"ts\":4"), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":102"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+    EXPECT_EQ(json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"span\""), std::string::npos);
+    EXPECT_NE(json.find("\"id\":77"), std::string::npos);
+    EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+    EXPECT_NE(json.find("\"droppedEvents\":3"), std::string::npos);
+    sink.reset();
+}
+
 // ---------------------------------------------------------- MetricsSampler
 
 TEST(MetricsSampler, IntervalDeltaMath)
@@ -519,6 +555,35 @@ TEST(MetricsSampler, CsvRendering)
     sampler.finalize();
 }
 
+TEST(MetricsSampler, ShortRunEmitsPartialRowAtFinalize)
+{
+    StatsRegistry reg;
+    stat_t counter = 0;
+    reg.registerCounter("c", &counter);
+    cycle_t clock = 0;
+    obs::MetricsSampler sampler;
+    sampler.configure(&reg, 100000, "", [&clock] { return clock; },
+                      nullptr);
+
+    // The run ends well inside the first interval: maybeSample never
+    // crossed a boundary, but finalize still emits the partial row so
+    // short runs don't produce empty artifacts.
+    counter = 12;
+    clock = 40;
+    sampler.maybeSample();
+    EXPECT_EQ(sampler.rowCount(), 0u);
+    sampler.finalize();
+    ASSERT_EQ(sampler.rowCount(), 1u);
+    auto r = sampler.row(0);
+    EXPECT_EQ(r.startCycle, 0u);
+    EXPECT_EQ(r.endCycle, 40u);
+    ASSERT_EQ(r.deltas.size(), 1u);
+    EXPECT_EQ(r.deltas[0], 12);
+    // Header plus the one data row.
+    std::string csv = sampler.render();
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+}
+
 // --------------------------------------------------------------- profiler
 
 TEST(HostProfiler, ScopesAccumulateOnlyWhenEnabled)
@@ -542,6 +607,53 @@ TEST(HostProfiler, ScopesAccumulateOnlyWhenEnabled)
     std::string report = prof.report();
     EXPECT_NE(report.find("test.enabled"), std::string::npos);
     EXPECT_EQ(report.find("test.disabled"), std::string::npos);
+    prof.reset();
+}
+
+namespace
+{
+
+std::uint64_t
+profiledFib(int n)
+{
+    GRAPHITE_PROFILE_SCOPE("test.fib");
+    if (n < 2)
+        return static_cast<std::uint64_t>(n);
+    return profiledFib(n - 1) + profiledFib(n - 2);
+}
+
+} // namespace
+
+TEST(HostProfiler, NestedAndReentrantScopesAttributeInclusively)
+{
+    obs::HostProfiler& prof = obs::HostProfiler::instance();
+    prof.reset();
+    prof.setEnabled(true);
+    {
+        GRAPHITE_PROFILE_SCOPE("test.outer");
+        {
+            GRAPHITE_PROFILE_SCOPE("test.inner");
+        }
+        {
+            GRAPHITE_PROFILE_SCOPE("test.inner");
+        }
+    }
+    // Re-entrant recursion through one site: every activation counts,
+    // and nested RAII scopes unwind innermost-first without losing any.
+    profiledFib(6); // 25 calls
+    prof.setEnabled(false);
+
+    obs::HostProfiler::Site& outer = prof.site("test.outer");
+    obs::HostProfiler::Site& inner = prof.site("test.inner");
+    obs::HostProfiler::Site& fib = prof.site("test.fib");
+    EXPECT_EQ(outer.calls.load(), 1u);
+    EXPECT_EQ(inner.calls.load(), 2u);
+    EXPECT_EQ(fib.calls.load(), 25u);
+    // Timing is inclusive: the enclosing scope's wall time covers its
+    // nested activations.
+    EXPECT_GE(outer.totalNs.load(), inner.totalNs.load());
+    EXPECT_GE(outer.maxNs.load(), inner.maxNs.load());
+    EXPECT_LE(fib.maxNs.load(), fib.totalNs.load());
     prof.reset();
 }
 

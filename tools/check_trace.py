@@ -8,8 +8,22 @@ data rows.
 
 Usage:
     check_trace.py --trace trace.json [--metrics metrics.csv]
+    check_trace.py --spans spans.jsonl
     check_trace.py --replay trace.json
     check_trace.py --run-cli PATH_TO_GRAPHITE_CLI
+
+Flow events ('s'/'t'/'f', the span engine's Perfetto arrows) are
+validated for well-formedness: every flow event carries an id and the
+"span" category, every flow id has exactly one start and one finish
+(finish at or after the start, binding enclosing with bp="e"), and
+steps stay within [start, finish]. Dangling flow ids are fatal only
+when the trace dropped no events; a lane ring that wrapped may
+legitimately have lost one side of a pair.
+
+The --spans mode validates a spans.jsonl dump written via --spans-out:
+every record parses, carries the expected schema, and satisfies the
+exact-accounting invariant (stage durations sum to the span total);
+the summary row's stage_cycles must likewise sum to total_cycles.
 
 The --replay mode validates a failure-replay trace written by the fuzz
 harness: the structural checks above, plus per-thread non-overlap of
@@ -17,8 +31,9 @@ wait-class scopes (a thread cannot be in two blocking waits at once)
 and the otherData recorded/dropped event accounting.
 
 The --run-cli mode drives the full acceptance path: it runs a small
-workload with tracing and metrics enabled in a temp directory, validates
-both artifacts, then re-runs with observability disabled and asserts no
+workload with tracing, metrics, and spans enabled in a temp directory,
+validates all three artifacts (including span flow arrows in the
+trace), then re-runs with observability disabled and asserts no
 artifact files appear.
 """
 
@@ -29,7 +44,13 @@ import subprocess
 import sys
 import tempfile
 
-VALID_PHASES = {"X", "i", "C", "M", "B", "E"}
+VALID_PHASES = {"X", "i", "C", "M", "B", "E", "s", "t", "f"}
+FLOW_PHASES = {"s", "t", "f"}
+SPAN_KINDS = {"read_miss", "write_miss", "upgrade", "atomic",
+              "writeback", "evict", "app_msg"}
+SPAN_STAGES = {"local_check", "req_hop", "req_queue", "req_ser",
+               "directory", "invalidation", "recall", "dram_queue",
+               "dram_service", "reply_hop", "reply_queue", "reply_ser"}
 # X scopes during which the emitting thread is blocked; two instances
 # can never overlap on one lane. (Other X scopes, e.g. net.send, model
 # in-flight latency and may legitimately overlap.)
@@ -81,12 +102,55 @@ def check_trace(path):
         if ev["ph"] == "C":
             if "args" not in ev or "value" not in ev["args"]:
                 fail(f"{where}: counter event needs args.value")
+        if ev["ph"] in FLOW_PHASES:
+            if "id" not in ev or not isinstance(ev["id"], int):
+                fail(f"{where}: flow event needs an integer id")
+            if ev.get("cat") != "span":
+                fail(f"{where}: flow event needs cat 'span'")
+            if ev["ph"] == "f" and ev.get("bp") != "e":
+                fail(f"{where}: flow finish needs bp 'e'")
+
+    check_flows(path, doc)
 
     counts = {}
     for ev in events:
         counts[ev["ph"]] = counts.get(ev["ph"], 0) + 1
     print(f"check_trace: {path}: {len(events)} events OK {counts}")
     return doc
+
+
+def check_flows(path, doc):
+    """Flow pairing: one 's' and one 'f' per id, steps in between."""
+    events = doc["traceEvents"]
+    flows = {}
+    for i, ev in enumerate(events):
+        if ev["ph"] in FLOW_PHASES:
+            flows.setdefault(ev["id"], []).append((ev["ph"], ev["ts"], i))
+    if not flows:
+        return
+    dropped = doc.get("otherData", {}).get("droppedEvents", 0)
+    dangling = 0
+    for fid, evs in flows.items():
+        starts = [e for e in evs if e[0] == "s"]
+        finishes = [e for e in evs if e[0] == "f"]
+        if len(starts) > 1 or len(finishes) > 1:
+            fail(f"{path}: flow id {fid}: duplicate start/finish")
+        if not starts or not finishes:
+            dangling += 1
+            continue
+        s_ts, f_ts = starts[0][1], finishes[0][1]
+        if f_ts < s_ts:
+            fail(f"{path}: flow id {fid}: finish ts {f_ts} before "
+                 f"start ts {s_ts}")
+        for ph, ts, i in evs:
+            if ph == "t" and not (s_ts <= ts <= f_ts):
+                fail(f"{path}: flow id {fid}: step ts {ts} outside "
+                     f"[{s_ts}, {f_ts}]")
+    if dangling and not dropped:
+        fail(f"{path}: {dangling} dangling flow ids with no dropped "
+             f"events to explain them")
+    print(f"check_trace: {path}: {len(flows)} flow ids OK "
+          f"({dangling} unpaired, {dropped} events dropped)")
 
 
 def check_replay(path):
@@ -161,27 +225,104 @@ def check_metrics(path, require_columns=()):
           f"{len(header)} columns OK")
 
 
+def check_spans(path):
+    """spans.jsonl: schema + exact accounting per span and in summary."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = [ln for ln in f.read().splitlines() if ln]
+    except OSError as e:
+        fail(f"{path}: unreadable: {e}")
+    if not lines:
+        fail(f"{path}: empty spans file")
+
+    n_spans = 0
+    summary = None
+    for i, line in enumerate(lines):
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: line {i}: not JSON: {e}")
+        kind = rec.get("type")
+        if kind == "span":
+            n_spans += 1
+            for key in ("set", "trace", "span", "parent", "kind",
+                        "requester", "home", "distance", "start", "end",
+                        "total", "skew", "folded", "stages"):
+                if key not in rec:
+                    fail(f"{path}: line {i}: span missing '{key}'")
+            if rec["kind"] not in SPAN_KINDS:
+                fail(f"{path}: line {i}: unknown kind {rec['kind']!r}")
+            if rec["span"] == 0:
+                fail(f"{path}: line {i}: span id 0")
+            if rec["total"] != rec["end"] - rec["start"]:
+                fail(f"{path}: line {i}: total != end - start")
+            stage_sum = 0
+            for st in rec["stages"]:
+                if st["stage"] not in SPAN_STAGES:
+                    fail(f"{path}: line {i}: unknown stage "
+                         f"{st['stage']!r}")
+                if st["dur"] < 0 or st["begin"] < rec["start"]:
+                    fail(f"{path}: line {i}: bad stage mark {st}")
+                stage_sum += st["dur"]
+            if stage_sum != rec["total"]:
+                fail(f"{path}: line {i}: stage sum {stage_sum} != "
+                     f"total {rec['total']} (exact accounting broken)")
+        elif kind == "interval":
+            if sum(rec["stage_cycles"].values()) != rec["total_cycles"]:
+                fail(f"{path}: line {i}: interval stage_cycles do not "
+                     f"sum to total_cycles")
+        elif kind == "summary":
+            if summary is not None:
+                fail(f"{path}: line {i}: duplicate summary row")
+            summary = rec
+            if sum(rec["stage_cycles"].values()) != rec["total_cycles"]:
+                fail(f"{path}: line {i}: summary stage_cycles do not "
+                     f"sum to total_cycles")
+            kind_cycles = sum(v["cycles"] for v in rec["kinds"].values())
+            if kind_cycles != rec["total_cycles"]:
+                fail(f"{path}: line {i}: per-kind cycles {kind_cycles} "
+                     f"!= total_cycles {rec['total_cycles']}")
+        else:
+            fail(f"{path}: line {i}: unknown record type {kind!r}")
+    if summary is None:
+        fail(f"{path}: no summary row")
+    if summary["sampled"] and not n_spans:
+        fail(f"{path}: summary claims samples but file has none")
+    print(f"check_trace: {path}: {n_spans} span records OK "
+          f"({summary['completed']} completed, bottleneck "
+          f"{summary['bottleneck']})")
+    return summary
+
+
 def run_cli_mode(cli):
     workload = ["--workload", "fft", "--tiles", "8", "--threads", "8",
                 "--size", "256"]
     with tempfile.TemporaryDirectory() as tmp:
         trace = os.path.join(tmp, "trace.json")
         metrics = os.path.join(tmp, "metrics.csv")
+        spans = os.path.join(tmp, "spans.jsonl")
         cmd = [cli] + workload + [
             "--trace-out", trace,
             "--metrics-out", metrics,
             "--metrics-interval", "10000",
+            "--spans-out", spans,
         ]
         r = subprocess.run(cmd, capture_output=True, text=True,
                            timeout=300)
         if r.returncode != 0:
             fail(f"cli exited {r.returncode}:\n{r.stdout}\n{r.stderr}")
-        check_trace(trace)
+        doc = check_trace(trace)
+        if not any(ev["ph"] == "s" for ev in doc["traceEvents"]):
+            fail(f"{trace}: spans enabled but no flow events emitted")
         check_metrics(metrics, require_columns=[
             "mem.l2_misses_total", "tile.0.l2.misses", "sim.cycles_max",
             "mem.shard_lock.acquisitions", "mem.shard_lock.contended",
-            "mem.shard_lock.wait_ns",
+            "mem.shard_lock.wait_ns", "transport.queue_depth",
+            "net.inflight_packets", "span.completed",
         ])
+        summary = check_spans(spans)
+        if summary["completed"] == 0:
+            fail(f"{spans}: fft run completed no spans")
 
     # Disabled mode must create no artifact files.
     with tempfile.TemporaryDirectory() as tmp:
@@ -203,6 +344,7 @@ def main():
     ap.add_argument("--replay",
                     help="failure-replay trace JSON to validate")
     ap.add_argument("--metrics", help="metrics CSV to validate")
+    ap.add_argument("--spans", help="spans.jsonl to validate")
     ap.add_argument("--run-cli", metavar="PATH",
                     help="run graphite_cli end-to-end and validate")
     args = ap.parse_args()
@@ -210,15 +352,18 @@ def main():
     if args.run_cli:
         run_cli_mode(args.run_cli)
         return
-    if not args.trace and not args.metrics and not args.replay:
+    if (not args.trace and not args.metrics and not args.replay
+            and not args.spans):
         ap.error("nothing to do: pass --trace, --replay, --metrics, "
-                 "or --run-cli")
+                 "--spans, or --run-cli")
     if args.trace:
         check_trace(args.trace)
     if args.replay:
         check_replay(args.replay)
     if args.metrics:
         check_metrics(args.metrics)
+    if args.spans:
+        check_spans(args.spans)
     print("check_trace: PASS")
 
 

@@ -30,6 +30,8 @@
  *                          .jsonl)
  *   --metrics-interval N   simulated cycles per snapshot row
  *   --self-profile         time simulator phases; print a table at exit
+ *   --spans-out PATH       write causal transaction spans (.jsonl);
+ *                          analyze with tools/span_report.py
  *
  * The GRAPHITE_LOG environment variable sets per-component log levels,
  * e.g. GRAPHITE_LOG=net:debug,mem:warn.
@@ -64,8 +66,9 @@ usage(const char* argv0)
                  " [--set K=V]... [--stats]\n"
                  "          [--trace-out PATH] [--metrics-out PATH]"
                  " [--metrics-interval N]\n"
-                 "          [--self-profile] [--native]"
-                 " [--race [--race-out PATH]] | --list\n",
+                 "          [--spans-out PATH] [--self-profile]"
+                 " [--native]\n"
+                 "          [--race [--race-out PATH]] | --list\n",
                  argv0);
     std::exit(2);
 }
@@ -81,7 +84,7 @@ main(int argc, char** argv)
     int tiles = 32, processes = 1, threads = -1;
     int size = -1, iters = -1;
     bool stats = false, native = false;
-    std::string trace_out, metrics_out;
+    std::string trace_out, metrics_out, spans_out;
     int metrics_interval = -1;
     bool self_profile = false;
     bool race = false;
@@ -128,6 +131,8 @@ main(int argc, char** argv)
             metrics_out = next();
         } else if (arg == "--metrics-interval") {
             metrics_interval = std::atoi(next());
+        } else if (arg == "--spans-out") {
+            spans_out = next();
         } else if (arg == "--self-profile") {
             self_profile = true;
         } else if (arg == "--race") {
@@ -156,6 +161,8 @@ main(int argc, char** argv)
             cfg.set("obs/metrics_out", metrics_out);
         if (metrics_interval > 0)
             cfg.setInt("obs/metrics_interval", metrics_interval);
+        if (!spans_out.empty())
+            cfg.set("obs/spans_out", spans_out);
         if (self_profile)
             cfg.setBool("obs/self_profile", true);
         if (race)

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Roll up a graphite spans.jsonl dump into a latency-attribution report.
+
+Sections:
+  summary      exact per-stage cycle totals (from every completed span,
+               not just the sampled ones) with the bottleneck stage and
+               the queueing-vs-service decomposition
+  percentiles  per-stage P50/P95/P99 over the sampled spans, per kind
+  slowest      the top-N slowest transactions with their waterfalls
+  intervals    per-interval bottleneck timeline
+
+Queueing-vs-service decomposition: queueing cycles are time spent
+waiting behind other traffic (link queues, the memory-controller
+queue); everything else — hop propagation, serialization, directory
+occupancy, device latency, coherence round trips — is service. A
+queueing share that grows with load is the signature of a saturated
+resource; the per-stage split then names it.
+
+Usage:
+    span_report.py spans.jsonl [--top N] [--kind KIND]
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+QUEUE_STAGES = {"req_queue", "reply_queue", "dram_queue"}
+STAGE_ORDER = ["local_check", "req_ser", "req_queue", "req_hop",
+               "directory", "invalidation", "recall", "dram_queue",
+               "dram_service", "reply_ser", "reply_queue", "reply_hop"]
+
+
+def load(path):
+    spans, intervals, summary = [], [], None
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec["type"] == "span":
+                spans.append(rec)
+            elif rec["type"] == "interval":
+                intervals.append(rec)
+            elif rec["type"] == "summary":
+                summary = rec
+    if summary is None:
+        sys.exit(f"span_report: {path}: no summary row")
+    return spans, intervals, summary
+
+
+def percentile(sorted_vals, p):
+    if not sorted_vals:
+        return 0
+    idx = min(len(sorted_vals) - 1,
+              int(p / 100.0 * len(sorted_vals)))
+    return sorted_vals[idx]
+
+
+def fmt_count(n):
+    return f"{n:,}"
+
+
+def print_summary(summary):
+    total = summary["total_cycles"]
+    print(f"completed spans : {fmt_count(summary['completed'])}")
+    print(f"attributed      : {fmt_count(total)} cycles")
+    print(f"bottleneck      : {summary['bottleneck']}")
+    queue = sum(c for s, c in summary["stage_cycles"].items()
+                if s in QUEUE_STAGES)
+    service = total - queue
+    if total:
+        print(f"queueing        : {fmt_count(queue)} cycles "
+              f"({100.0 * queue / total:.1f}%)")
+        print(f"service         : {fmt_count(service)} cycles "
+              f"({100.0 * service / total:.1f}%)")
+    print()
+    print(f"{'stage':<14}{'cycles':>16}{'share':>9}")
+    for stage in STAGE_ORDER:
+        cycles = summary["stage_cycles"].get(stage, 0)
+        if cycles == 0:
+            continue
+        share = 100.0 * cycles / total if total else 0.0
+        tag = " (queueing)" if stage in QUEUE_STAGES else ""
+        print(f"{stage:<14}{fmt_count(cycles):>16}{share:>8.1f}%{tag}")
+    print()
+    kinds = summary.get("kinds", {})
+    active = {k: v for k, v in kinds.items() if v["count"]}
+    if active:
+        print(f"{'kind':<12}{'count':>12}{'cycles':>16}{'mean':>10}")
+        for kind, v in sorted(active.items(),
+                              key=lambda kv: -kv[1]["cycles"]):
+            mean = v["cycles"] / v["count"]
+            print(f"{kind:<12}{fmt_count(v['count']):>12}"
+                  f"{fmt_count(v['cycles']):>16}{mean:>10.1f}")
+        print()
+
+
+def print_percentiles(spans, kind_filter):
+    # Percentiles come from the uniform reservoir sample; the slowest
+    # set is excluded so the tail does not get double weight.
+    sample = [s for s in spans if s["set"] == "sample"]
+    if kind_filter:
+        sample = [s for s in sample if s["kind"] == kind_filter]
+    if not sample:
+        print("no sampled spans" +
+              (f" of kind {kind_filter}" if kind_filter else ""))
+        return
+    by_stage = defaultdict(list)
+    totals = []
+    for s in sample:
+        totals.append(s["total"])
+        for st in s["stages"]:
+            by_stage[st["stage"]].append(st["dur"])
+    totals.sort()
+    scope = kind_filter or "all kinds"
+    print(f"percentiles over {len(sample)} sampled spans ({scope}):")
+    print(f"{'stage':<14}{'spans':>8}{'p50':>8}{'p95':>8}{'p99':>8}"
+          f"{'max':>8}")
+    print(f"{'end-to-end':<14}{len(totals):>8}"
+          f"{percentile(totals, 50):>8}{percentile(totals, 95):>8}"
+          f"{percentile(totals, 99):>8}{totals[-1]:>8}")
+    for stage in STAGE_ORDER:
+        vals = by_stage.get(stage)
+        if not vals:
+            continue
+        vals.sort()
+        print(f"{stage:<14}{len(vals):>8}{percentile(vals, 50):>8}"
+              f"{percentile(vals, 95):>8}{percentile(vals, 99):>8}"
+              f"{vals[-1]:>8}")
+    print()
+
+
+def print_slowest(spans, top, kind_filter):
+    slowest = [s for s in spans if s["set"] == "slowest"]
+    if kind_filter:
+        slowest = [s for s in slowest if s["kind"] == kind_filter]
+    slowest.sort(key=lambda s: -s["total"])
+    slowest = slowest[:top]
+    if not slowest:
+        return
+    print(f"top {len(slowest)} slowest transactions:")
+    for s in slowest:
+        parts = ", ".join(f"{st['stage']} {st['dur']}"
+                          for st in s["stages"] if st["dur"])
+        folded = " [folded]" if s.get("folded") else ""
+        print(f"  {s['total']:>8} cyc  {s['kind']:<10} "
+              f"tile {s['requester']} -> home {s['home']} "
+              f"({s['distance']} hops, start {s['start']}, "
+              f"skew {s['skew']:+d}){folded}")
+        print(f"           {parts}")
+    print()
+
+
+def print_intervals(intervals):
+    if not intervals:
+        return
+    print(f"{'interval':<10}{'cycles':>20}{'spans':>10}"
+          f"{'bottleneck':>14}{'queueing':>10}")
+    for iv in intervals:
+        queue = sum(c for s, c in iv["stage_cycles"].items()
+                    if s in QUEUE_STAGES)
+        share = (100.0 * queue / iv["total_cycles"]
+                 if iv["total_cycles"] else 0.0)
+        rng = f"[{iv['start']},{iv['end']})"
+        print(f"{iv['index']:<10}{rng:>20}{fmt_count(iv['spans']):>10}"
+              f"{iv['bottleneck']:>14}{share:>9.1f}%")
+    print()
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("spans", help="spans.jsonl written via --spans-out")
+    ap.add_argument("--top", type=int, default=10,
+                    help="slowest transactions to list (default 10)")
+    ap.add_argument("--kind", default=None,
+                    help="restrict percentiles/slowest to one kind "
+                         "(e.g. read_miss)")
+    args = ap.parse_args()
+
+    spans, intervals, summary = load(args.spans)
+    print("=== span latency attribution ===")
+    print_summary(summary)
+    print_percentiles(spans, args.kind)
+    print_slowest(spans, args.top, args.kind)
+    print_intervals(intervals)
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:  # e.g. piped into head
+        sys.exit(0)
