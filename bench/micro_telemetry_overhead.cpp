@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Host-overhead microbenchmark for the live telemetry plane
+ * (src/obs/telemetry): the same workload simulated with everything off
+ * (recorder disarmed, no HTTP server, watchdog off) and fully armed
+ * (flight recorder on, telemetry server bound and idle — no scrapes —
+ * watchdog beating at its default period), comparing wall time.
+ *
+ * The armed configuration is the always-on black-box posture the ISSUE
+ * budgets at <= 1.10x: per recorded event the ring costs one fetch_add
+ * plus five relaxed stores, the idle server sleeps in poll(), and the
+ * watchdog reads a handful of atomics four times a second. The armed
+ * run must also actually record: a zero event count would mean the
+ * instrumentation points were compiled out, not that they are cheap.
+ *
+ * Each configuration runs REPS times and keeps the fastest wall time
+ * (host noise is one-sided). Emits BENCH_telemetry.json.
+ * GRAPHITE_BENCH_FAST=1 shrinks the problem size for smoke runs.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/config.h"
+#include "common/table.h"
+#include "core/simulator.h"
+#include "obs/telemetry/flight_recorder.h"
+#include "workloads/registry.h"
+
+namespace graphite
+{
+namespace
+{
+
+constexpr int TILES = 8;
+constexpr int THREADS = 8;
+constexpr int REPS = 5;
+
+struct RunResult
+{
+    bool armed = false;
+    double wallSeconds = 0.0; ///< fastest of REPS
+    cycle_t simulatedCycles = 0;
+    stat_t eventsRecorded = 0;
+    stat_t watchdogBeats = 0;
+    bool serverWasUp = false;
+};
+
+bool
+fastMode()
+{
+    const char* v = std::getenv("GRAPHITE_BENCH_FAST");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+RunResult
+runConfig(const workloads::WorkloadInfo& w,
+          const workloads::WorkloadParams& p, bool armed)
+{
+    RunResult out;
+    out.armed = armed;
+    out.wallSeconds = 1e30;
+    for (int rep = 0; rep < REPS; ++rep) {
+        Config cfg = defaultTargetConfig();
+        cfg.setInt("general/total_tiles", TILES);
+        cfg.setBool("telemetry/recorder", armed);
+        cfg.setBool("telemetry/watchdog", armed);
+        if (armed)
+            cfg.setInt("telemetry/http_port", 0); // bound, never scraped
+        Simulator sim(cfg);
+        workloads::SimRunResult r = workloads::runSim(sim, w, p);
+        out.wallSeconds = std::min(out.wallSeconds, r.wallSeconds);
+        out.simulatedCycles = r.simulatedCycles;
+        out.eventsRecorded =
+            obs::telemetry::FlightRecorder::instance().recorded();
+        out.watchdogBeats = sim.watchdog().beats().load();
+        out.serverWasUp = sim.telemetryServer().running();
+    }
+    return out;
+}
+
+} // namespace
+} // namespace graphite
+
+int
+main()
+{
+    using namespace graphite;
+
+    const workloads::WorkloadInfo& w = workloads::findWorkload("fft");
+    workloads::WorkloadParams p = w.defaults;
+    p.threads = THREADS;
+    if (fastMode())
+        p.size = 512;
+
+    std::printf("=== micro_telemetry_overhead ===\n");
+    std::printf("Telemetry-plane wall overhead on %s (size %d, "
+                "%d threads, best of %d reps).\n\n",
+                w.name.c_str(), p.size, p.threads, REPS);
+
+    RunResult off = runConfig(w, p, false);
+    RunResult on = runConfig(w, p, true);
+    double slowdown = on.wallSeconds / off.wallSeconds;
+
+    TextTable table;
+    table.header({"telemetry", "wall s", "events", "wd beats",
+                  "server"});
+    for (const RunResult* r : {&off, &on}) {
+        char wall[32];
+        std::snprintf(wall, sizeof wall, "%.3f", r->wallSeconds);
+        table.row({r->armed ? "armed" : "off", wall,
+                   std::to_string(r->eventsRecorded),
+                   std::to_string(r->watchdogBeats),
+                   r->serverWasUp ? "idle" : "off"});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("slowdown armed/off: %.2fx (criterion: <= 1.10x)\n",
+                slowdown);
+
+    bool recording = on.eventsRecorded > 0 && on.serverWasUp;
+    if (!recording)
+        std::printf("FAIL: armed run recorded %llu events, server %s\n",
+                    static_cast<unsigned long long>(on.eventsRecorded),
+                    on.serverWasUp ? "up" : "down");
+
+    FILE* f = std::fopen("BENCH_telemetry.json", "w");
+    if (f == nullptr) {
+        std::perror("BENCH_telemetry.json");
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"benchmark\": \"micro_telemetry_overhead\",\n");
+    std::fprintf(f, "  \"workload\": \"%s\",\n", w.name.c_str());
+    std::fprintf(f, "  \"size\": %d,\n", p.size);
+    std::fprintf(f, "  \"threads\": %d,\n", p.threads);
+    std::fprintf(f, "  \"reps\": %d,\n", REPS);
+    std::fprintf(f, "  \"runs\": [\n");
+    for (const RunResult* r : {&off, &on}) {
+        std::fprintf(
+            f,
+            "    {\"telemetry\": \"%s\", \"wall_s\": %.6f, "
+            "\"simulated_cycles\": %llu, \"events_recorded\": %llu, "
+            "\"watchdog_beats\": %llu, \"server_idle\": %s}%s\n",
+            r->armed ? "armed" : "off", r->wallSeconds,
+            static_cast<unsigned long long>(r->simulatedCycles),
+            static_cast<unsigned long long>(r->eventsRecorded),
+            static_cast<unsigned long long>(r->watchdogBeats),
+            r->serverWasUp ? "true" : "false", r == &off ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"slowdown_armed\": %.3f,\n", slowdown);
+    std::fprintf(f, "  \"criterion\": \"slowdown_armed <= 1.10 && "
+                    "events_recorded > 0\",\n");
+    std::fprintf(f, "  \"criterion_met\": %s\n",
+                 slowdown <= 1.10 && recording ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_telemetry.json\n");
+    return slowdown <= 1.10 && recording ? 0 : 1;
+}

@@ -220,6 +220,17 @@ StatsRegistry::names() const
     return out;
 }
 
+std::vector<std::string>
+StatsRegistry::histogramNames() const
+{
+    std::scoped_lock lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_)
+        out.push_back(name);
+    return out;
+}
+
 std::vector<std::pair<std::string, stat_t>>
 StatsRegistry::snapshot() const
 {

@@ -167,6 +167,9 @@ class StatsRegistry
     /** All registered names (all kinds), sorted. */
     std::vector<std::string> names() const;
 
+    /** Names of registered histograms, sorted (Prometheus export). */
+    std::vector<std::string> histogramNames() const;
+
     /**
      * Flatten counters, gauges, and histogram count/sum projections to
      * sorted (name, value) pairs — the interval sampler's input.

@@ -6,6 +6,7 @@
 #include "common/log.h"
 #include "core/simulator.h"
 #include "obs/metrics_sampler.h"
+#include "obs/telemetry/flight_recorder.h"
 #include "obs/trace_event.h"
 #include "race/detector.h"
 
@@ -408,6 +409,9 @@ msgSend(tile_id_t dst, const void* data, size_t len)
     // per-(sender,receiver) channel is FIFO like the transport.
     if (race::Detector::armed())
         race::Detector::instance().msgSendEdge(c.tile, dst);
+    obs::telemetry::FlightRecorder::record(
+        obs::telemetry::FrEvent::MsgSend, c.tile, c.core->cycle(),
+        static_cast<std::uint64_t>(dst), len);
     c.net->send(PacketType::App, dst, std::move(payload),
                 c.core->cycle());
     // The send itself occupies the core briefly.
@@ -426,6 +430,9 @@ msgRecv()
     c.sim->syncModel().threadUnblocked(*c.core);
     if (race::Detector::armed())
         race::Detector::instance().msgRecvEdge(pkt.sender, c.tile);
+    obs::telemetry::FlightRecorder::record(
+        obs::telemetry::FrEvent::MsgRecv, c.tile, c.core->cycle(),
+        static_cast<std::uint64_t>(pkt.sender), pkt.payload.size());
 
     // Receiving a message is a true synchronization event: forward the
     // clock to the packet's arrival time, then consume the "message

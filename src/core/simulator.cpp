@@ -10,6 +10,7 @@
 #include "obs/observability.h"
 #include "obs/profiler.h"
 #include "obs/span/span_sink.h"
+#include "obs/telemetry/flight_recorder.h"
 #include "race/detector.h"
 #include "transport/socket_transport.h"
 
@@ -59,6 +60,30 @@ Simulator::Simulator(Config cfg)
     syncCheckInterval_ = cfg_.getInt("sync/check_interval", 200);
     syscallCost_ = cfg_.getInt("system/syscall_cost", 100);
     spawnCost_ = cfg_.getInt("system/spawn_cost", 1000);
+
+    telemetryPort_ =
+        static_cast<int>(cfg_.getInt("telemetry/http_port", -1));
+    watchdogEnabled_ = cfg_.getBool("telemetry/watchdog", true);
+    watchdogConfig_.intervalMs = static_cast<std::uint64_t>(
+        cfg_.getInt("telemetry/watchdog_interval_ms", 250));
+    watchdogConfig_.stallBeats = static_cast<int>(
+        cfg_.getInt("telemetry/watchdog_stall_beats", 8));
+    watchdogConfig_.dumpBeats = static_cast<int>(
+        cfg_.getInt("telemetry/watchdog_dump_beats", 4));
+    watchdogConfig_.dumpPath =
+        cfg_.getString("telemetry/watchdog_dump", "");
+    std::string action =
+        cfg_.getString("telemetry/watchdog_action", "flag");
+    if (action == "flag")
+        watchdogConfig_.action = obs::telemetry::WatchdogAction::Flag;
+    else if (action == "dump")
+        watchdogConfig_.action = obs::telemetry::WatchdogAction::Dump;
+    else if (action == "abort")
+        watchdogConfig_.action = obs::telemetry::WatchdogAction::Abort;
+    else
+        fatal("telemetry/watchdog_action must be flag|dump|abort, "
+              "got '{}'",
+              action);
 
     registerStats();
     obs::Observability::instance().attachSources(
@@ -191,6 +216,59 @@ Simulator::registerStats()
                          [threads] { return threads->totalSyscalls(); });
     stats_.registerGauge("sim.cycles_max",
                          [this] { return simulatedTime(); });
+    stats_.registerGauge("sim.instructions_total",
+                         [this] { return totalInstructions(); });
+
+    // Telemetry plane: scrape counters, watchdog verdict counters, and
+    // the flight recorder's high-water mark.
+    stats_.registerCounter("telemetry.http.requests",
+                           &telemetryServer_.requestsServed());
+    stats_.registerCounter("telemetry.http.bytes",
+                           &telemetryServer_.bytesServed());
+    stats_.registerCounter("telemetry.stall.beats", &watchdog_.beats());
+    stats_.registerCounter("telemetry.stall.stalls",
+                           &watchdog_.stallFlags());
+    stats_.registerCounter("telemetry.stall.deadlocks",
+                           &watchdog_.deadlockFlags());
+    stats_.registerCounter("telemetry.stall.livelocks",
+                           &watchdog_.livelockFlags());
+    stats_.registerCounter("telemetry.stall.dumps", &watchdog_.dumps());
+    stats_.registerGauge("telemetry.recorder.events", [] {
+        return obs::telemetry::FlightRecorder::instance().recorded();
+    });
+}
+
+obs::telemetry::StatusSource
+Simulator::makeStatusSource()
+{
+    obs::telemetry::StatusSource src;
+    src.stats = &stats_;
+    src.tiles = [this] {
+        std::vector<obs::telemetry::TileStatus> out;
+        out.reserve(tiles_.size());
+        for (const auto& tile : tiles_) {
+            obs::telemetry::TileStatus ts;
+            ts.tile = tile->id();
+            ts.cycles = tile->core().cycle();
+            ts.instructions = tile->core().instructionsRetired();
+            ts.occupied = tile->occupied();
+            ts.running = tile->running();
+            out.push_back(ts);
+        }
+        return out;
+    };
+    src.simulatedTime = [this] { return simulatedTime(); };
+    src.waitSets = [this] { return threads_->waitSets(); };
+    src.transportQueueDepth = [this] {
+        return static_cast<stat_t>(transport_->totalPending());
+    };
+    src.inflightPackets = [this] {
+        return fabric_->inflightAppPackets();
+    };
+    src.syncEvents = [this] { return sync_->syncEvents(); };
+    src.syncWaitUs = [this] { return sync_->syncWaitMicroseconds(); };
+    src.syncModelName = sync_->name();
+    return src;
 }
 
 void
@@ -219,6 +297,15 @@ Simulator::run(thread_func_t app_main, void* arg)
     GRAPHITE_ASSERT(currentSlot() == nullptr);
     currentSlot() = this;
 
+    if (telemetryPort_ >= 0 && !telemetryServer_.running()) {
+        telemetryServer_.start(
+            static_cast<std::uint16_t>(telemetryPort_),
+            makeStatusSource(),
+            [this] { return watchdog_.view(); });
+    }
+    if (watchdogEnabled_)
+        watchdog_.start(watchdogConfig_, makeStatusSource());
+
     auto t0 = std::chrono::steady_clock::now();
     {
         GRAPHITE_PROFILE_SCOPE("sim.run");
@@ -227,6 +314,11 @@ Simulator::run(thread_func_t app_main, void* arg)
         threads_->waitForShutdown();
     }
     auto t1 = std::chrono::steady_clock::now();
+
+    // The watchdog only judges an in-flight run; the HTTP server keeps
+    // serving final values until the Simulator dies so external probes
+    // can scrape a quiescent /metrics (see --telemetry-linger).
+    watchdog_.stop();
 
     currentSlot() = nullptr;
     obs::Observability::instance().finalize();

@@ -32,6 +32,8 @@
 #include "core/tile.h"
 #include "mem/memory_system.h"
 #include "network/network.h"
+#include "obs/telemetry/server.h"
+#include "obs/telemetry/watchdog.h"
 #include "sync/skew_tracker.h"
 #include "sync/sync_model.h"
 #include "transport/transport.h"
@@ -102,6 +104,23 @@ class Simulator
      */
     const StatsRegistry& stats() const { return stats_; }
 
+    /**
+     * @name Telemetry plane
+     * The HTTP server starts with run() when telemetry/http_port >= 0
+     * and keeps serving until the Simulator dies, so a prober can
+     * scrape final values after run() returns (--telemetry-linger).
+     * The watchdog beats only while run() is in flight.
+     * @{
+     */
+    obs::telemetry::TelemetryServer& telemetryServer()
+    {
+        return telemetryServer_;
+    }
+    obs::telemetry::ProgressWatchdog& watchdog() { return watchdog_; }
+    /** Build the live-status callbacks for servers/watchdogs/tests. */
+    obs::telemetry::StatusSource makeStatusSource();
+    /** @} */
+
     /** Cycles between periodic sync-model checks. */
     cycle_t syncCheckInterval() const { return syncCheckInterval_; }
 
@@ -136,6 +155,14 @@ class Simulator
     cycle_t syncCheckInterval_;
     cycle_t syscallCost_;
     cycle_t spawnCost_;
+
+    // Telemetry plane. Declared last so both host threads die before
+    // the components their status callbacks read.
+    int telemetryPort_ = -1; ///< -1 off, 0 ephemeral, >0 fixed
+    bool watchdogEnabled_ = false;
+    obs::telemetry::WatchdogConfig watchdogConfig_;
+    obs::telemetry::TelemetryServer telemetryServer_;
+    obs::telemetry::ProgressWatchdog watchdog_;
 };
 
 } // namespace graphite

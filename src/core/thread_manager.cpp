@@ -7,6 +7,7 @@
 #include "core/api.h"
 #include "core/simulator.h"
 #include "obs/profiler.h"
+#include "obs/telemetry/flight_recorder.h"
 #include "obs/trace_event.h"
 #include "race/detector.h"
 
@@ -109,6 +110,9 @@ ThreadManager::appTrampoline(tile_id_t tile, thread_func_t func,
     t.setOccupied(true);
     t.setRunning(true);
     sim_.syncModel().threadStart(core);
+    obs::telemetry::FlightRecorder::record(
+        obs::telemetry::FrEvent::ThreadStart, tile, core.cycle(),
+        start_clock);
     cycle_t trace_start = core.cycle();
 
     func(arg);
@@ -116,6 +120,9 @@ ThreadManager::appTrampoline(tile_id_t tile, thread_func_t func,
     sim_.syncModel().threadExit(core);
     t.setRunning(false);
     t.setOccupied(false);
+    obs::telemetry::FlightRecorder::record(
+        obs::telemetry::FrEvent::ThreadExit, tile, core.cycle(),
+        core.cycle());
     obs::TraceSink::complete(static_cast<std::uint32_t>(tile),
                              is_main ? "thread.main" : "thread",
                              trace_start, core.cycle() - trace_start);
@@ -212,6 +219,10 @@ ThreadManager::mcpLoop()
         if (buf.src < 0)
             return;
         GRAPHITE_PROFILE_SCOPE("mcp.dispatch");
+        // One uncontended lock per dispatched message buys the
+        // telemetry plane (waitSets()) a consistent read of the futex
+        // queues, join waiters, and tile table.
+        std::scoped_lock state_lock(mcpStateMutex_);
         NetPacket pkt = NetPacket::deserialize(buf.data);
         SysMsgHeader hdr = peekHeader(pkt.payload);
         switch (hdr.type) {
@@ -278,6 +289,10 @@ ThreadManager::handleSpawn(const SysMsgHeader& hdr, const SpawnBody& body)
             race::Detector::instance().edge(hdr.srcTile, chosen);
         reply.error = 0;
         reply.tile = chosen;
+        obs::telemetry::FlightRecorder::record(
+            obs::telemetry::FrEvent::Spawn, hdr.srcTile, hdr.timestamp,
+            static_cast<std::uint64_t>(chosen),
+            static_cast<std::uint64_t>(hdr.srcTile));
         obs::TraceSink::instant(
             static_cast<std::uint32_t>(sim_.topology().totalTiles()),
             "mcp.spawn", hdr.timestamp, "tile", chosen);
@@ -358,6 +373,9 @@ ThreadManager::handleFutexWait(const SysMsgHeader& hdr,
     }
     futexQueues_[body.addr].push_back(
         FutexWaiter{hdr.srcTile, body.value});
+    obs::telemetry::FlightRecorder::record(
+        obs::telemetry::FrEvent::FutexWait, hdr.srcTile, hdr.timestamp,
+        body.addr, body.value);
 }
 
 void
@@ -398,6 +416,9 @@ ThreadManager::handleFutexWake(const SysMsgHeader& hdr,
     // Transfer-only invariant: one edge per consumed waiter, never for
     // unconsumed wake count (see tests/test_race.cpp regressions).
     GRAPHITE_ASSERT(!race::Detector::armed() || race_edges == woken);
+    obs::telemetry::FlightRecorder::record(
+        obs::telemetry::FrEvent::FutexWake, hdr.srcTile, hdr.timestamp,
+        body.addr, woken);
     FutexBody reply = body;
     reply.count = woken;
     reply.result = 0;
@@ -518,6 +539,38 @@ ThreadManager::totalSyscalls() const
     for (stat_t s : syscalls_)
         total += s;
     return total;
+}
+
+obs::telemetry::WaitSetSnapshot
+ThreadManager::waitSets() const
+{
+    obs::telemetry::WaitSetSnapshot out;
+    std::scoped_lock lock(mcpStateMutex_);
+    out.busyTiles = busyTiles_;
+    out.shutdownRequested = shutdownRequested_;
+    out.futexes.reserve(futexQueues_.size());
+    for (const auto& [addr, queue] : futexQueues_) {
+        obs::telemetry::WaitSetSnapshot::FutexQueue q;
+        q.addr = addr;
+        q.waiters.reserve(queue.size());
+        for (const FutexWaiter& w : queue)
+            q.waiters.push_back(w.tile);
+        out.futexes.push_back(std::move(q));
+    }
+    std::sort(out.futexes.begin(), out.futexes.end(),
+              [](const auto& a, const auto& b) { return a.addr < b.addr; });
+    out.joins.reserve(joinWaiters_.size());
+    for (const auto& [target, waiters] : joinWaiters_) {
+        obs::telemetry::WaitSetSnapshot::JoinQueue q;
+        q.target = target;
+        q.waiters = waiters;
+        out.joins.push_back(std::move(q));
+    }
+    std::sort(out.joins.begin(), out.joins.end(),
+              [](const auto& a, const auto& b) {
+                  return a.target < b.target;
+              });
+    return out;
 }
 
 } // namespace graphite

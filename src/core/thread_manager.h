@@ -33,6 +33,7 @@
 #include "common/stats.h"
 #include "core/sys_msg.h"
 #include "network/net_packet.h"
+#include "obs/telemetry/status.h"
 #include "transport/transport.h"
 
 namespace graphite
@@ -78,6 +79,14 @@ class ThreadManager
     stat_t totalSyscalls() const;
     /** @} */
 
+    /**
+     * Snapshot of the MCP's blocking state — futex wait queues, join
+     * waiters, busy-tile count — for the telemetry plane. Safe to call
+     * from any host thread; copies under mcpStateMutex_, which the MCP
+     * takes once per dispatched message.
+     */
+    obs::telemetry::WaitSetSnapshot waitSets() const;
+
   private:
     friend class Api; // the API layer sends requests directly
 
@@ -121,7 +130,10 @@ class ThreadManager
     std::mutex appThreadsMutex_;
     std::vector<std::thread> appThreads_;
 
-    // ---- MCP-private state (touched only by the MCP thread) ----
+    // ---- MCP state: written only by the MCP thread, which holds
+    // mcpStateMutex_ across each message dispatch so waitSets() can
+    // read a consistent snapshot from telemetry host threads. ----
+    mutable std::mutex mcpStateMutex_;
     std::vector<TileState> tileState_;
     std::unordered_map<tile_id_t, cycle_t> exitClock_;
     std::unordered_map<tile_id_t, std::vector<tile_id_t>> joinWaiters_;

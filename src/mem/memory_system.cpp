@@ -9,6 +9,7 @@
 #include "common/log.h"
 #include "obs/span/span.h"
 #include "obs/span/span_sink.h"
+#include "obs/telemetry/flight_recorder.h"
 #include "obs/trace_event.h"
 #include "race/detector.h"
 
@@ -343,6 +344,9 @@ MemorySystem::handleL2Eviction(tile_id_t tile, const Eviction& ev,
         // and queue occupancy) but not accumulated into the access.
         ++tm.stats.writebacks;
         aggWritebacks_.fetch_add(1, std::memory_order_relaxed);
+        obs::telemetry::FlightRecorder::record(
+            obs::telemetry::FrEvent::Writeback, tile, now, ev.lineAddr,
+            static_cast<std::uint64_t>(home));
         NetBreakdown nbd;
         cycle_t m = msg(tile, home, lineSize_ + CTRL_BYTES, now,
                         span ? &nbd : nullptr);
@@ -428,6 +432,9 @@ MemorySystem::fetchLineLocked(tile_id_t tile, addr_t line_addr,
 
     miss_class = upgrade ? MissClass::Upgrade
                          : classifyMiss(tile, line_addr, addr, size);
+    obs::telemetry::FlightRecorder::record(
+        obs::telemetry::FrEvent::MissPath, tile, now, line_addr,
+        for_write ? 1 : 0);
 
     // The miss span (if one is live) belongs to the access that called
     // us; every latency accumulation below mirrors into a stage mark so

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/log.h"
+#include "obs/telemetry/status.h"
 
 namespace graphite
 {
@@ -91,6 +92,8 @@ MetricsSampler::sampleLocked(cycle_t now)
     row.wallSeconds = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - start_)
                           .count();
+    row.hostWallMs = row.wallSeconds * 1000.0;
+    row.hostRssKb = telemetry::hostRssKb();
 
     if (activeClocks_) {
         std::vector<double> clocks = activeClocks_();
@@ -168,6 +171,8 @@ MetricsSampler::renderLocked() const
             os << "{\"interval\":" << r.index << ",\"start_cycle\":"
                << r.startCycle << ",\"end_cycle\":" << r.endCycle
                << ",\"wall_seconds\":" << r.wallSeconds
+               << ",\"host_wall_ms\":" << r.hostWallMs
+               << ",\"host_rss_kb\":" << r.hostRssKb
                << ",\"skew_max_cycles\":" << r.skewMax
                << ",\"skew_min_cycles\":" << r.skewMin
                << ",\"counters\":{";
@@ -180,14 +185,14 @@ MetricsSampler::renderLocked() const
         }
     } else {
         os << "interval,start_cycle,end_cycle,wall_seconds,"
-              "skew_max_cycles,skew_min_cycles";
+              "host_wall_ms,host_rss_kb,skew_max_cycles,skew_min_cycles";
         for (const std::string& c : columns_)
             os << "," << c;
         os << "\n";
         for (const Row& r : rows_) {
             os << r.index << "," << r.startCycle << "," << r.endCycle
-               << "," << r.wallSeconds << "," << r.skewMax << ","
-               << r.skewMin;
+               << "," << r.wallSeconds << "," << r.hostWallMs << ","
+               << r.hostRssKb << "," << r.skewMax << "," << r.skewMin;
             for (std::int64_t d : r.deltas)
                 os << "," << d;
             os << "\n";

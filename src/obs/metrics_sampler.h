@@ -100,6 +100,8 @@ class MetricsSampler
         cycle_t startCycle = 0;
         cycle_t endCycle = 0;
         double wallSeconds = 0;
+        double hostWallMs = 0;  ///< host wall clock since configure, ms
+        stat_t hostRssKb = 0;   ///< host resident set at snapshot, KiB
         double skewMax = 0; ///< max (clock − mean), active tiles, cycles
         double skewMin = 0; ///< min (clock − mean), active tiles, cycles
         std::vector<std::int64_t> deltas; ///< parallel to columns()

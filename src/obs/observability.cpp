@@ -6,6 +6,7 @@
 #include "obs/metrics_sampler.h"
 #include "obs/profiler.h"
 #include "obs/span/span_sink.h"
+#include "obs/telemetry/flight_recorder.h"
 #include "obs/trace_event.h"
 
 namespace graphite
@@ -69,6 +70,22 @@ Observability::configure(const Config& cfg, tile_id_t total_tiles)
         spans.configure(total_tiles, opt);
         spans.setEnabled(true);
     }
+
+    // Black-box flight recorder: always-on by default. Reconfigure
+    // drops the previous run's events so dumps never mix runs.
+    telemetry::FlightRecorder& recorder =
+        telemetry::FlightRecorder::instance();
+    recorder.setArmed(false);
+    if (cfg.getBool("telemetry/recorder", true)) {
+        recorder.configure(static_cast<std::size_t>(
+            cfg.getInt("telemetry/recorder_capacity", 4096)));
+        recorder.setArmed(true);
+    }
+    crashDumpPath_ = cfg.getString("telemetry/crash_dump", "");
+    if (!crashDumpPath_.empty())
+        recorder.installCrashHandler(crashDumpPath_);
+    else
+        recorder.uninstallCrashHandler();
 
     if (cfg.has("log/filter"))
         setLogFilter(cfg.getString("log/filter"));

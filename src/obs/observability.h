@@ -22,6 +22,15 @@
  *                              when tracing is also on (default true)
  *   log/filter                 component log filter spec (convenience)
  *
+ * Telemetry keys (see graphite.cfg [telemetry]): unlike the pillars
+ * above, the flight recorder is ON by default — it records per
+ * miss/sync/syscall, not per instruction, so an always-on black box is
+ * affordable (see bench/micro_telemetry_overhead.cpp):
+ *   telemetry/recorder           bool, default true; arm the recorder
+ *   telemetry/recorder_capacity  ring slots (default 4096, pow2)
+ *   telemetry/crash_dump         path; non-empty installs the crash
+ *                                signal handler dumping the ring there
+ *
  * Lifecycle: Simulator's constructor calls configure() (resetting all
  * global sinks for the new run) and attachSources() once its components
  * exist; Simulator::run() and ~Simulator() call finalize(), which writes
@@ -91,11 +100,13 @@ class Observability
     const std::string& tracePath() const { return tracePath_; }
     const std::string& metricsPath() const { return metricsPath_; }
     const std::string& spansPath() const { return spansPath_; }
+    const std::string& crashDumpPath() const { return crashDumpPath_; }
 
   private:
     std::string tracePath_;
     std::string metricsPath_;
     std::string spansPath_;
+    std::string crashDumpPath_;
     cycle_t metricsInterval_ = 0;
     bool selfProfile_ = false;
     bool spansArmed_ = false;

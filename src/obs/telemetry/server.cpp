@@ -1,0 +1,259 @@
+#include "obs/telemetry/server.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/log.h"
+
+namespace graphite
+{
+namespace obs
+{
+namespace telemetry
+{
+
+namespace
+{
+
+constexpr std::size_t MAX_REQUEST_BYTES = 4096;
+constexpr int IO_TIMEOUT_MS = 2000;
+
+void
+closeIfOpen(int& fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+/** Blocking-with-timeout send of the full buffer. */
+bool
+sendAll(int fd, const char* data, std::size_t len)
+{
+    std::size_t off = 0;
+    while (off < len) {
+        ssize_t w = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (w == 0)
+            return false;
+        off += static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+std::string
+httpResponse(int code, const char* reason, const char* content_type,
+             const std::string& body)
+{
+    std::string out = "HTTP/1.1 ";
+    out += std::to_string(code);
+    out += " ";
+    out += reason;
+    out += "\r\nContent-Type: ";
+    out += content_type;
+    out += "\r\nContent-Length: ";
+    out += std::to_string(body.size());
+    out += "\r\nConnection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+} // namespace
+
+bool
+TelemetryServer::start(std::uint16_t port, StatusSource source,
+                       watchdog_view_fn watchdog)
+{
+    if (running())
+        return true;
+
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        warnc("obs", "telemetry: socket() failed: {}",
+              std::strerror(errno));
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+        warnc("obs", "telemetry: bind(127.0.0.1:{}) failed: {}", port,
+              std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+    if (::listen(fd, 8) < 0) {
+        warnc("obs", "telemetry: listen() failed: {}",
+              std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+    // Resolve the real port after a port-0 (ephemeral) bind.
+    sockaddr_in bound;
+    socklen_t blen = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) ==
+        0)
+        port = ntohs(bound.sin_port);
+
+    if (::pipe(stopPipe_) < 0) {
+        warnc("obs", "telemetry: pipe() failed: {}",
+              std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+
+    listenFd_ = fd;
+    source_ = std::move(source);
+    watchdog_ = std::move(watchdog);
+    running_.store(true, std::memory_order_release);
+    port_.store(port, std::memory_order_release);
+    thread_ = std::thread([this] { serveLoop(); });
+    informc("obs", "telemetry: serving on http://127.0.0.1:{}", port);
+    return true;
+}
+
+void
+TelemetryServer::stop()
+{
+    if (!running_.exchange(false, std::memory_order_acq_rel)) {
+        return;
+    }
+    // Wake the poll() in serveLoop.
+    if (stopPipe_[1] >= 0) {
+        char c = 'x';
+        [[maybe_unused]] ssize_t rc = ::write(stopPipe_[1], &c, 1);
+    }
+    if (thread_.joinable())
+        thread_.join();
+    closeIfOpen(listenFd_);
+    closeIfOpen(stopPipe_[0]);
+    closeIfOpen(stopPipe_[1]);
+    port_.store(0, std::memory_order_release);
+}
+
+void
+TelemetryServer::serveLoop()
+{
+    while (running_.load(std::memory_order_acquire)) {
+        pollfd fds[2];
+        fds[0].fd = listenFd_;
+        fds[0].events = POLLIN;
+        fds[0].revents = 0;
+        fds[1].fd = stopPipe_[0];
+        fds[1].events = POLLIN;
+        fds[1].revents = 0;
+        int rc = ::poll(fds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (fds[1].revents != 0)
+            break; // stop() signalled
+        if ((fds[0].revents & POLLIN) == 0)
+            continue;
+        int conn = ::accept(listenFd_, nullptr, nullptr);
+        if (conn < 0)
+            continue;
+        // Bound the whole exchange so a stuck client can't wedge the
+        // telemetry thread.
+        timeval tv;
+        tv.tv_sec = IO_TIMEOUT_MS / 1000;
+        tv.tv_usec = (IO_TIMEOUT_MS % 1000) * 1000;
+        ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+        handleConnection(conn);
+        ::close(conn);
+    }
+}
+
+void
+TelemetryServer::handleConnection(int fd)
+{
+    // Read until the end of the request headers or the size cap. The
+    // endpoints are all GET, so the body (if any) is ignored.
+    char buf[MAX_REQUEST_BYTES + 1];
+    std::size_t got = 0;
+    while (got < MAX_REQUEST_BYTES) {
+        ssize_t r = ::recv(fd, buf + got, MAX_REQUEST_BYTES - got, 0);
+        if (r <= 0)
+            break;
+        got += static_cast<std::size_t>(r);
+        buf[got] = '\0';
+        if (std::strstr(buf, "\r\n\r\n") != nullptr ||
+            std::strstr(buf, "\n\n") != nullptr)
+            break;
+    }
+    if (got == 0)
+        return;
+    buf[got] = '\0';
+
+    // Parse "METHOD /path HTTP/1.x" from the request line only.
+    char method[8] = {0};
+    char path[256] = {0};
+    if (std::sscanf(buf, "%7s %255s", method, path) != 2) {
+        std::string resp = httpResponse(400, "Bad Request",
+                                        "text/plain; charset=utf-8",
+                                        "bad request\n");
+        sendAll(fd, resp.data(), resp.size());
+        return;
+    }
+
+    std::string response;
+    if (std::strcmp(method, "GET") != 0) {
+        response = httpResponse(405, "Method Not Allowed",
+                                "text/plain; charset=utf-8",
+                                "only GET is supported\n");
+    } else if (std::strcmp(path, "/metrics") == 0) {
+        std::string body = source_.stats != nullptr
+                               ? renderPrometheus(*source_.stats)
+                               : std::string();
+        response = httpResponse(
+            200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+            body);
+    } else if (std::strcmp(path, "/status") == 0) {
+        WatchdogView wd;
+        if (watchdog_)
+            wd = watchdog_();
+        response = httpResponse(
+            200, "OK", "application/json; charset=utf-8",
+            renderStatusJson(source_, watchdog_ ? &wd : nullptr));
+    } else if (std::strcmp(path, "/healthz") == 0) {
+        WatchdogView wd;
+        if (watchdog_)
+            wd = watchdog_();
+        response = httpResponse(
+            200, "OK", "application/json; charset=utf-8",
+            renderHealthJson(source_, watchdog_ ? &wd : nullptr));
+    } else {
+        response = httpResponse(
+            404, "Not Found", "text/plain; charset=utf-8",
+            "unknown endpoint; try /metrics /status /healthz\n");
+    }
+    if (sendAll(fd, response.data(), response.size())) {
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        bytes_.fetch_add(response.size(), std::memory_order_relaxed);
+    }
+}
+
+} // namespace telemetry
+} // namespace obs
+} // namespace graphite

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Embedded HTTP telemetry server.
+ *
+ * One background host thread, plain BSD sockets, loopback only. Serves
+ * three read-only endpoints while the simulation runs:
+ *
+ *   GET /metrics  — Prometheus text exposition of every registered
+ *                   statistic (renderPrometheus)
+ *   GET /status   — JSON live snapshot: per-tile cycle/IPC/run state,
+ *                   sync-model slack, MCP wait sets, queue depths,
+ *                   host RSS and wall time (renderStatusJson)
+ *   GET /healthz  — tiny liveness document incorporating the watchdog
+ *                   verdict (renderHealthJson)
+ *
+ * Request handling is deliberately bounded: one connection at a time,
+ * a 4 KiB request cap, a short socket timeout, method+path parsing
+ * only. The server never blocks simulation threads — every render goes
+ * through the same thread-safe reads the interval sampler already
+ * uses. Binding port 0 picks an ephemeral port, published via port()
+ * so tests and the CLI can print the real endpoint.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/stats.h"
+#include "obs/telemetry/status.h"
+
+namespace graphite
+{
+namespace obs
+{
+namespace telemetry
+{
+
+/** Loopback HTTP server exposing /metrics, /status, /healthz. */
+class TelemetryServer
+{
+  public:
+    /** Callback returning the current watchdog view (may be empty). */
+    using watchdog_view_fn = std::function<WatchdogView()>;
+
+    TelemetryServer() = default;
+    ~TelemetryServer() { stop(); }
+
+    TelemetryServer(const TelemetryServer&) = delete;
+    TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+    /**
+     * Bind 127.0.0.1:@p port (0 = ephemeral) and start the accept
+     * thread. @return true on success; failure (port in use, sockets
+     * unavailable) is reported and the simulation carries on without
+     * telemetry.
+     */
+    bool start(std::uint16_t port, StatusSource source,
+               watchdog_view_fn watchdog = nullptr);
+
+    /** Stop the accept thread and close the socket. Idempotent. */
+    void stop();
+
+    bool running() const
+    {
+        return running_.load(std::memory_order_acquire);
+    }
+
+    /** Actual bound port (after port-0 resolution); 0 when stopped. */
+    std::uint16_t port() const
+    {
+        return port_.load(std::memory_order_acquire);
+    }
+
+    /** @name Scrape counters (exported as telemetry.* stats) @{ */
+    const atomic_stat_t& requestsServed() const { return requests_; }
+    const atomic_stat_t& bytesServed() const { return bytes_; }
+    /** @} */
+
+  private:
+    void serveLoop();
+    void handleConnection(int fd);
+
+    StatusSource source_;
+    watchdog_view_fn watchdog_;
+    std::thread thread_;
+    std::atomic<bool> running_{false};
+    std::atomic<std::uint16_t> port_{0};
+    int listenFd_ = -1;
+    int stopPipe_[2] = {-1, -1};
+    atomic_stat_t requests_{0};
+    atomic_stat_t bytes_{0};
+};
+
+} // namespace telemetry
+} // namespace obs
+} // namespace graphite

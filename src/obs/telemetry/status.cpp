@@ -1,0 +1,247 @@
+#include "obs/telemetry/status.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <unistd.h>
+
+namespace graphite
+{
+namespace obs
+{
+namespace telemetry
+{
+
+namespace
+{
+
+/** JSON string escaping (names here are ASCII identifiers, but be safe). */
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+double
+hostWallSeconds(const StatusSource& src)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - src.start)
+        .count();
+}
+
+} // namespace
+
+stat_t
+hostRssKb()
+{
+    FILE* f = std::fopen("/proc/self/statm", "r");
+    if (f == nullptr)
+        return 0;
+    unsigned long size_pages = 0;
+    unsigned long rss_pages = 0;
+    int rc = std::fscanf(f, "%lu %lu", &size_pages, &rss_pages);
+    std::fclose(f);
+    if (rc != 2)
+        return 0;
+    long page = ::sysconf(_SC_PAGESIZE);
+    if (page <= 0)
+        page = 4096;
+    return static_cast<stat_t>(rss_pages) *
+           static_cast<stat_t>(page) / 1024;
+}
+
+std::string
+prometheusName(const std::string& stat_name)
+{
+    std::string out = "graphite_";
+    out.reserve(out.size() + stat_name.size());
+    for (char c : stat_name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+std::string
+renderPrometheus(const StatsRegistry& reg)
+{
+    std::ostringstream os;
+
+    // Histograms first, as proper Prometheus histogram families. Their
+    // scalar ".count"/".sum" projections in snapshot() would sanitize to
+    // the same "_count"/"_sum" series names, so collect them for
+    // skipping below.
+    std::set<std::string> histogram_projections;
+    for (const std::string& name : reg.histogramNames()) {
+        histogram_projections.insert(name + ".count");
+        histogram_projections.insert(name + ".sum");
+        const HistogramStat* h = reg.histogram(name);
+        if (h == nullptr)
+            continue;
+        std::string pname = prometheusName(name);
+        os << "# TYPE " << pname << " histogram\n";
+        stat_t cumulative = 0;
+        for (int i = 0; i < HistogramStat::NUM_BUCKETS; ++i) {
+            stat_t in_bucket = h->bucket(i);
+            if (in_bucket == 0)
+                continue;
+            cumulative += in_bucket;
+            // Bucket i holds values of bit-width i: upper bound 2^i - 1.
+            stat_t le = i == 0 ? 0 : (stat_t{1} << i) - 1;
+            os << pname << "_bucket{le=\"" << le << "\"} "
+               << cumulative << "\n";
+        }
+        os << pname << "_bucket{le=\"+Inf\"} " << h->count() << "\n";
+        os << pname << "_sum " << h->sum() << "\n";
+        os << pname << "_count " << h->count() << "\n";
+    }
+
+    // Everything else as untyped gauges (counters included: the scraper
+    // cares about values, and interval semantics live in the sampler).
+    for (const auto& [name, value] : reg.snapshot()) {
+        if (histogram_projections.count(name))
+            continue;
+        std::string pname = prometheusName(name);
+        os << "# TYPE " << pname << " gauge\n";
+        os << pname << " " << value << "\n";
+    }
+
+    // Host-side meta-series so a scrape is self-describing.
+    os << "# TYPE graphite_host_rss_kb gauge\n";
+    os << "graphite_host_rss_kb " << hostRssKb() << "\n";
+    return os.str();
+}
+
+std::string
+renderStatusJson(const StatusSource& src, const WatchdogView* wd)
+{
+    std::ostringstream os;
+    os << "{";
+    os << "\"simulated_cycles\":"
+       << (src.simulatedTime ? src.simulatedTime() : 0) << ",";
+    os << "\"host_wall_seconds\":" << hostWallSeconds(src) << ",";
+    os << "\"host_rss_kb\":" << hostRssKb() << ",";
+    os << "\"sync_model\":\"" << jsonEscape(src.syncModelName) << "\",";
+    os << "\"sync_events\":" << (src.syncEvents ? src.syncEvents() : 0)
+       << ",";
+    os << "\"sync_wait_us\":"
+       << (src.syncWaitUs ? src.syncWaitUs() : 0) << ",";
+    os << "\"transport_queue_depth\":"
+       << (src.transportQueueDepth ? src.transportQueueDepth() : 0)
+       << ",";
+    os << "\"inflight_packets\":"
+       << (src.inflightPackets ? src.inflightPackets() : 0) << ",";
+
+    // Per-tile heartbeats with derived IPC.
+    os << "\"tiles\":[";
+    if (src.tiles) {
+        bool first = true;
+        for (const TileStatus& t : src.tiles()) {
+            if (!first)
+                os << ",";
+            first = false;
+            double ipc =
+                t.cycles == 0
+                    ? 0.0
+                    : static_cast<double>(t.instructions) /
+                          static_cast<double>(t.cycles);
+            os << "{\"tile\":" << t.tile << ",\"cycles\":" << t.cycles
+               << ",\"instructions\":" << t.instructions
+               << ",\"ipc\":" << ipc
+               << ",\"occupied\":" << (t.occupied ? "true" : "false")
+               << ",\"running\":" << (t.running ? "true" : "false")
+               << "}";
+        }
+    }
+    os << "],";
+
+    // MCP wait sets: who is parked on what.
+    os << "\"wait_sets\":{";
+    WaitSetSnapshot ws;
+    if (src.waitSets)
+        ws = src.waitSets();
+    os << "\"busy_tiles\":" << ws.busyTiles << ",";
+    os << "\"shutdown_requested\":"
+       << (ws.shutdownRequested ? "true" : "false") << ",";
+    os << "\"futexes\":[";
+    for (std::size_t i = 0; i < ws.futexes.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "{\"addr\":\"0x" << std::hex << ws.futexes[i].addr
+           << std::dec << "\",\"waiters\":[";
+        for (std::size_t j = 0; j < ws.futexes[i].waiters.size(); ++j) {
+            if (j)
+                os << ",";
+            os << ws.futexes[i].waiters[j];
+        }
+        os << "]}";
+    }
+    os << "],";
+    os << "\"joins\":[";
+    for (std::size_t i = 0; i < ws.joins.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "{\"target\":" << ws.joins[i].target << ",\"waiters\":[";
+        for (std::size_t j = 0; j < ws.joins[i].waiters.size(); ++j) {
+            if (j)
+                os << ",";
+            os << ws.joins[i].waiters[j];
+        }
+        os << "]}";
+    }
+    os << "]},";
+
+    os << "\"watchdog\":{";
+    if (wd != nullptr) {
+        os << "\"enabled\":" << (wd->enabled ? "true" : "false")
+           << ",\"verdict\":\"" << wd->verdict << "\""
+           << ",\"beats\":" << wd->beats
+           << ",\"stall_flags\":" << wd->stallFlags
+           << ",\"dumps\":" << wd->dumps;
+    } else {
+        os << "\"enabled\":false";
+    }
+    os << "}";
+    os << "}";
+    return os.str();
+}
+
+std::string
+renderHealthJson(const StatusSource& src, const WatchdogView* wd)
+{
+    const char* verdict = wd != nullptr ? wd->verdict : "ok";
+    bool healthy =
+        verdict[0] == 'o' && verdict[1] == 'k' && verdict[2] == '\0';
+    std::ostringstream os;
+    os << "{\"status\":\"" << (healthy ? "ok" : "unhealthy")
+       << "\",\"verdict\":\"" << verdict << "\",\"simulated_cycles\":"
+       << (src.simulatedTime ? src.simulatedTime() : 0)
+       << ",\"host_wall_seconds\":" << hostWallSeconds(src) << "}";
+    return os.str();
+}
+
+} // namespace telemetry
+} // namespace obs
+} // namespace graphite

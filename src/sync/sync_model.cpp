@@ -6,6 +6,7 @@
 #include "common/config.h"
 #include "common/log.h"
 #include "obs/profiler.h"
+#include "obs/telemetry/flight_recorder.h"
 #include "obs/trace_event.h"
 #include "perf/core_model.h"
 
@@ -103,11 +104,15 @@ LaxBarrierSync::arrive(tile_id_t tile, cycle_t now)
         std::uint64_t my_epoch = epoch_;
         cv_.wait(lock, [&] { return epoch_ != my_epoch; });
     }
+    std::uint64_t released_epoch = epoch_;
     lock.unlock();
     auto dt = std::chrono::duration_cast<std::chrono::microseconds>(
                   std::chrono::steady_clock::now() - t0)
                   .count();
     waitMicros_.fetch_add(dt, std::memory_order_relaxed);
+    obs::telemetry::FlightRecorder::record(
+        obs::telemetry::FrEvent::SyncBarrier, tile, now, released_epoch,
+        static_cast<std::uint64_t>(dt));
     obs::TraceSink::instant(static_cast<std::uint32_t>(tile),
                             "sync.barrier", now, "wait_us", dt);
 }
@@ -224,6 +229,10 @@ LaxP2PSync::periodicSync(CoreModel& core)
             return;
         sleeps_.fetch_add(1, std::memory_order_relaxed);
         sleepMicros_.fetch_add(micros, std::memory_order_relaxed);
+        obs::telemetry::FlightRecorder::record(
+            obs::telemetry::FrEvent::SyncSleep, tile, my_clock,
+            static_cast<std::uint64_t>(micros),
+            my_clock - partner_clock);
         obs::TraceSink::instant(static_cast<std::uint32_t>(tile),
                                 "sync.p2p_sleep", my_clock, "sleep_us",
                                 micros);

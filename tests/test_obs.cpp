@@ -549,6 +549,7 @@ TEST(MetricsSampler, CsvRendering)
     sampler.maybeSample();
     std::string csv = sampler.render();
     EXPECT_NE(csv.find("interval,start_cycle,end_cycle,wall_seconds,"
+                       "host_wall_ms,host_rss_kb,"
                        "skew_max_cycles,skew_min_cycles,x.total"),
               std::string::npos);
     EXPECT_NE(csv.find("\n0,0,10,"), std::string::npos);

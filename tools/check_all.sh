@@ -3,6 +3,8 @@
 #
 #   1. configure + build the default tree;
 #   2. quick unit/system tests (ctest -L quick);
+#      ... then the telemetry plane (ctest -L telemetry): unit suite +
+#      the end-to-end HTTP scrape probe;
 #   3. clang-tidy over every first-party TU (SKIPs when the toolchain
 #      has no clang-tidy; see tools/run_tidy.py);
 #   4. a UBSan build (-fno-sanitize-recover=undefined) running the
@@ -23,6 +25,10 @@ cmake --build "$BUILD" -j "$JOBS"
 
 step "quick tests"
 ctest --test-dir "$BUILD" -L quick --output-on-failure -j "$JOBS"
+
+step "telemetry plane"
+# Unit suite plus the end-to-end probe (CLI + HTTP scrape cross-check).
+ctest --test-dir "$BUILD" -L telemetry --output-on-failure
 
 step "clang-tidy"
 # ctest maps run_tidy.py's exit 77 to SKIPPED on toolchains without

@@ -60,6 +60,8 @@ FIXED_METRICS_COLUMNS = [
     "start_cycle",
     "end_cycle",
     "wall_seconds",
+    "host_wall_ms",
+    "host_rss_kb",
     "skew_max_cycles",
     "skew_min_cycles",
 ]
@@ -204,7 +206,8 @@ def check_metrics(path, require_columns=()):
 
     header = lines[0].split(",")
     if header[: len(FIXED_METRICS_COLUMNS)] != FIXED_METRICS_COLUMNS:
-        fail(f"{path}: fixed lead columns wrong: {header[:6]}")
+        fail(f"{path}: fixed lead columns wrong: "
+             f"{header[:len(FIXED_METRICS_COLUMNS)]}")
     for col in require_columns:
         if col not in header:
             fail(f"{path}: required column '{col}' missing")
@@ -231,9 +234,11 @@ def check_spans(path):
         with open(path, "r", encoding="utf-8") as f:
             lines = [ln for ln in f.read().splitlines() if ln]
     except OSError as e:
-        fail(f"{path}: unreadable: {e}")
+        fail(f"{path}: unreadable: {e}. Generate one with "
+             "graphite_cli --spans-out PATH.")
     if not lines:
-        fail(f"{path}: empty spans file")
+        fail(f"{path}: empty spans file — the run wrote no spans. "
+             "Was --spans-out set and did the run finish?")
 
     n_spans = 0
     summary = None

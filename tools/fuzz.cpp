@@ -36,6 +36,7 @@
 #include "common/config.h"
 #include "common/log.h"
 #include "common/strfmt.h"
+#include "obs/telemetry/flight_recorder.h"
 
 using namespace graphite;
 using namespace graphite::check;
@@ -165,6 +166,12 @@ runChild(const FuzzProgram& prog, const ConfigPoint& pt,
         } catch (...) {
             st = 'F';
             msg = "unknown exception";
+        }
+        // On any failure verdict, attach the flight-recorder tail: the
+        // last sync/miss/futex events leading up to the violation.
+        if (st != 'O') {
+            msg += '\n';
+            msg += obs::telemetry::FlightRecorder::instance().dump(32);
         }
         std::uint32_t len =
             static_cast<std::uint32_t>(std::min<std::size_t>(

@@ -33,14 +33,25 @@
  *   --spans-out PATH       write causal transaction spans (.jsonl);
  *                          analyze with tools/span_report.py
  *
+ * Live telemetry (see README "Live telemetry"):
+ *   --telemetry-port N     serve /metrics, /status, /healthz over HTTP
+ *                          on 127.0.0.1:N (0 picks an ephemeral port;
+ *                          the bound port is printed)
+ *   --telemetry-linger S   keep serving S seconds after the run so an
+ *                          external prober can scrape final values
+ *   --telemetry-dump PATH  watchdog/crash diagnostic dump path; also
+ *                          escalates the watchdog action to "dump"
+ *
  * The GRAPHITE_LOG environment variable sets per-component log levels,
  * e.g. GRAPHITE_LOG=net:debug,mem:warn.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/config.h"
@@ -68,6 +79,8 @@ usage(const char* argv0)
                  " [--metrics-interval N]\n"
                  "          [--spans-out PATH] [--self-profile]"
                  " [--native]\n"
+                 "          [--telemetry-port N] [--telemetry-linger S]"
+                 " [--telemetry-dump PATH]\n"
                  "          [--race [--race-out PATH]] | --list\n",
                  argv0);
     std::exit(2);
@@ -89,6 +102,9 @@ main(int argc, char** argv)
     bool self_profile = false;
     bool race = false;
     std::string race_out;
+    int telemetry_port = -1;
+    double telemetry_linger = 0.0;
+    std::string telemetry_dump;
 
     initLogFilterFromEnv();
 
@@ -140,6 +156,12 @@ main(int argc, char** argv)
         } else if (arg == "--race-out") {
             race = true;
             race_out = next();
+        } else if (arg == "--telemetry-port") {
+            telemetry_port = std::atoi(next());
+        } else if (arg == "--telemetry-linger") {
+            telemetry_linger = std::atof(next());
+        } else if (arg == "--telemetry-dump") {
+            telemetry_dump = next();
         } else {
             usage(argv[0]);
         }
@@ -169,6 +191,13 @@ main(int argc, char** argv)
             cfg.setBool("race/enabled", true);
         if (!race_out.empty())
             cfg.set("race/report_out", race_out);
+        if (telemetry_port >= 0)
+            cfg.setInt("telemetry/http_port", telemetry_port);
+        if (!telemetry_dump.empty()) {
+            cfg.set("telemetry/watchdog_dump", telemetry_dump);
+            cfg.set("telemetry/watchdog_action", "dump");
+            cfg.set("telemetry/crash_dump", telemetry_dump);
+        }
 
         const workloads::WorkloadInfo& w =
             workloads::findWorkload(workload);
@@ -210,6 +239,19 @@ main(int argc, char** argv)
         else if (self_profile)
             std::printf("\n=== host self-profile ===\n%s",
                         obs::HostProfiler::instance().report().c_str());
+
+        // The server (if any) keeps serving final values until the
+        // Simulator dies; linger holds it open for external probers.
+        if (sim.telemetryServer().running()) {
+            std::printf("telemetry         : http://127.0.0.1:%u "
+                        "(/metrics /status /healthz)\n",
+                        static_cast<unsigned>(
+                            sim.telemetryServer().port()));
+            std::fflush(stdout);
+            if (telemetry_linger > 0.0)
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(telemetry_linger));
+        }
         return violation.empty() ? 0 : 1;
     } catch (const FatalError& err) {
         std::fprintf(stderr, "fatal: %s\n", err.what());

@@ -33,20 +33,36 @@ STAGE_ORDER = ["local_check", "req_ser", "req_queue", "req_hop",
 
 def load(path):
     spans, intervals, summary = [], [], None
-    with open(path, "r", encoding="utf-8") as f:
-        for line in f:
-            line = line.strip()
-            if not line:
-                continue
-            rec = json.loads(line)
-            if rec["type"] == "span":
-                spans.append(rec)
-            elif rec["type"] == "interval":
-                intervals.append(rec)
-            elif rec["type"] == "summary":
-                summary = rec
+    saw_data = False
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                saw_data = True
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError as err:
+                    sys.exit(f"span_report: {path}:{lineno}: "
+                             f"not valid JSONL ({err.msg}); was the run "
+                             "interrupted mid-write?")
+                if rec["type"] == "span":
+                    spans.append(rec)
+                elif rec["type"] == "interval":
+                    intervals.append(rec)
+                elif rec["type"] == "summary":
+                    summary = rec
+    except OSError as err:
+        sys.exit(f"span_report: cannot read {path}: {err.strerror}. "
+                 "Generate one with graphite_cli --spans-out PATH.")
+    if not saw_data:
+        sys.exit(f"span_report: {path} is empty — the run wrote no "
+                 "spans. Was span tracking enabled (--spans-out) and "
+                 "did the run finish?")
     if summary is None:
-        sys.exit(f"span_report: {path}: no summary row")
+        sys.exit(f"span_report: {path}: no summary row (file is "
+                 "truncated; the summary is written at finalize)")
     return spans, intervals, summary
 
 

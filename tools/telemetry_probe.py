@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Scrape and validate a live graphite telemetry endpoint.
+
+Two modes:
+
+  --cli PATH   launch graphite_cli with an ephemeral telemetry port,
+               scrape /metrics, /status, and /healthz while the CLI
+               lingers, and cross-check the scraped values against the
+               numbers the CLI itself printed (the ctest `telemetry`
+               entry runs this)
+  --url URL    scrape an already-running endpoint (e.g.
+               http://127.0.0.1:9090) and validate the exposition
+               format only
+
+Validation:
+  * every /metrics line is well-formed Prometheus text exposition
+    (``# TYPE`` comments, ``name{labels} value`` samples);
+  * histogram families are internally consistent: cumulative buckets
+    are monotone and the +Inf bucket equals the _count series;
+  * /status and /healthz parse as JSON;
+  * in --cli mode the scraped graphite_sim_cycles_max and
+    graphite_sim_instructions_total equal the "simulated cycles" /
+    "instructions" lines of the CLI report, and /status agrees.
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import time
+import urllib.request
+
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"      # metric name
+    r"(\{[^{}]*\})?"                     # optional labels
+    r" (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]?Inf|NaN)$")
+TYPE_RE = re.compile(
+    r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (gauge|counter|histogram|"
+    r"summary|untyped)$")
+
+
+def fail(msg):
+    print(f"telemetry_probe: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def fetch(url, timeout=10):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.status, resp.read().decode("utf-8", "replace")
+
+
+def parse_metrics(text):
+    """Validate exposition format; return {series_name: float} using
+    the raw name (labels folded into the key for bucket series)."""
+    values = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            if not TYPE_RE.match(line) and not line.startswith("# HELP"):
+                fail(f"/metrics line {lineno}: bad comment {line!r}")
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"/metrics line {lineno}: not a valid sample {line!r}")
+        name, labels = m.group(1), m.group(2) or ""
+        values[name + labels] = float(m.group(3))
+    if not values:
+        fail("/metrics: no samples at all")
+    return values
+
+
+def check_histograms(values):
+    """Cumulative buckets monotone; +Inf bucket == _count."""
+    families = {}
+    bucket_re = re.compile(r'^(.*)_bucket\{le="([^"]+)"\}$')
+    for key, val in values.items():
+        m = bucket_re.match(key)
+        if m:
+            families.setdefault(m.group(1), []).append(
+                (m.group(2), val))
+    for fam, buckets in families.items():
+        inf = [v for le, v in buckets if le == "+Inf"]
+        if not inf:
+            fail(f"histogram {fam}: no +Inf bucket")
+        count = values.get(f"{fam}_count")
+        if count is None:
+            fail(f"histogram {fam}: no _count series")
+        if inf[0] != count:
+            fail(f"histogram {fam}: +Inf bucket {inf[0]} != _count "
+                 f"{count}")
+        finite = sorted(((float(le), v) for le, v in buckets
+                         if le != "+Inf"))
+        cum = [v for _, v in finite]
+        if cum != sorted(cum):
+            fail(f"histogram {fam}: buckets not cumulative: {cum}")
+        if cum and cum[-1] > count:
+            fail(f"histogram {fam}: largest bucket {cum[-1]} exceeds "
+                 f"_count {count}")
+    return len(families)
+
+
+def scrape(base):
+    status, metrics_text = fetch(base + "/metrics")
+    if status != 200:
+        fail(f"/metrics returned HTTP {status}")
+    values = parse_metrics(metrics_text)
+    n_hist = check_histograms(values)
+
+    status, status_text = fetch(base + "/status")
+    if status != 200:
+        fail(f"/status returned HTTP {status}")
+    try:
+        status_doc = json.loads(status_text)
+    except json.JSONDecodeError as err:
+        fail(f"/status is not JSON: {err}")
+
+    status, health_text = fetch(base + "/healthz")
+    if status != 200:
+        fail(f"/healthz returned HTTP {status}")
+    try:
+        health_doc = json.loads(health_text)
+    except json.JSONDecodeError as err:
+        fail(f"/healthz is not JSON: {err}")
+
+    print(f"telemetry_probe: {base}: {len(values)} series "
+          f"({n_hist} histogram families), /status and /healthz OK")
+    return values, status_doc, health_doc
+
+
+def run_cli_mode(cli):
+    cmd = [cli, "--workload", "fft", "--tiles", "8", "--threads", "8",
+           "--telemetry-port", "0", "--telemetry-linger", "30"]
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True)
+    report = {}
+    base = None
+    deadline = time.monotonic() + 240
+    try:
+        # The CLI prints its report, then the telemetry URL, then
+        # lingers; read up to the URL line.
+        for line in proc.stdout:
+            sys.stdout.write(line)
+            if time.monotonic() > deadline:
+                fail("cli produced no telemetry line in time")
+            m = re.match(r"^simulated cycles\s*:\s*(\d+)", line)
+            if m:
+                report["cycles"] = int(m.group(1))
+            m = re.match(r"^instructions\s*:\s*(\d+)", line)
+            if m:
+                report["instructions"] = int(m.group(1))
+            m = re.search(r"telemetry\s*:\s*(http://[0-9.:]+)", line)
+            if m:
+                base = m.group(1).rstrip("/")
+                break
+        if base is None:
+            fail(f"cli exited (rc {proc.poll()}) without a telemetry "
+                 "URL line")
+        if "cycles" not in report or "instructions" not in report:
+            fail("cli report lines not found before the telemetry URL")
+
+        values, status_doc, health_doc = scrape(base)
+
+        # The scrape must agree with the final report on shared
+        # counters: the run is over, so both sides are quiescent.
+        scraped_cycles = values.get("graphite_sim_cycles_max")
+        if scraped_cycles != report["cycles"]:
+            fail(f"/metrics graphite_sim_cycles_max {scraped_cycles} "
+                 f"!= report simulated cycles {report['cycles']}")
+        scraped_instr = values.get("graphite_sim_instructions_total")
+        if scraped_instr != report["instructions"]:
+            fail(f"/metrics graphite_sim_instructions_total "
+                 f"{scraped_instr} != report instructions "
+                 f"{report['instructions']}")
+        if status_doc.get("simulated_cycles") != report["cycles"]:
+            fail(f"/status simulated_cycles "
+                 f"{status_doc.get('simulated_cycles')} != report "
+                 f"{report['cycles']}")
+        if len(status_doc.get("tiles", [])) != 8:
+            fail(f"/status has {len(status_doc.get('tiles', []))} "
+                 "tiles, expected 8")
+        if health_doc.get("status") != "ok":
+            fail(f"/healthz says {health_doc.get('status')!r} after a "
+                 "clean run")
+
+        # A second scrape must show the request counter advancing.
+        before = values.get("graphite_telemetry_http_requests", 0)
+        values2, _, _ = scrape(base)
+        after = values2.get("graphite_telemetry_http_requests", 0)
+        if after <= before:
+            fail(f"graphite_telemetry_http_requests did not advance "
+                 f"({before} -> {after})")
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+    print("telemetry_probe: cli cross-check OK")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--cli", help="graphite_cli binary to launch")
+    ap.add_argument("--url", help="existing endpoint to scrape")
+    args = ap.parse_args()
+    if bool(args.cli) == bool(args.url):
+        fail("pass exactly one of --cli or --url")
+    if args.cli:
+        run_cli_mode(args.cli)
+    else:
+        scrape(args.url.rstrip("/"))
+
+
+if __name__ == "__main__":
+    main()
