@@ -68,6 +68,7 @@ struct RunResult
     double cpuSumSeconds = 0.0;
     double cpuMaxSeconds = 0.0;
     stat_t shardContended = 0;
+    stat_t tileContended = 0;
 
     double wallThroughput() const { return totalOps / wallSeconds; }
     /** Lower bound on elapsed time imposed by the lock structure. */
@@ -142,6 +143,7 @@ runConfig(const std::string& mode, int threads, std::uint64_t ops)
         r.cpuMaxSeconds = std::max(r.cpuMaxSeconds, c);
     }
     r.shardContended = mem.shardLockContendedCounter()->load();
+    r.tileContended = mem.tileLockContendedCounter()->load();
     return r;
 }
 
@@ -177,7 +179,7 @@ main()
 
     TextTable table;
     table.header({"mode", "threads", "ops", "wall Mops/s",
-                  "serialized Mops/s", "contended"});
+                  "serialized Mops/s", "shard cont", "tile cont"});
     for (const RunResult& r : results) {
         char wall[32], ser[32];
         std::snprintf(wall, sizeof wall, "%.2f",
@@ -186,7 +188,8 @@ main()
                       r.serializedThroughput() / 1e6);
         table.row({r.mode, std::to_string(r.threads),
                    std::to_string(r.totalOps), wall, ser,
-                   std::to_string(r.shardContended)});
+                   std::to_string(r.shardContended),
+                   std::to_string(r.tileContended)});
     }
     std::printf("%s\n", table.render().c_str());
 
@@ -230,12 +233,14 @@ main()
             "    {\"mode\": \"%s\", \"threads\": %d, \"ops\": %llu, "
             "\"wall_s\": %.6f, \"cpu_sum_s\": %.6f, \"cpu_max_s\": "
             "%.6f, \"wall_mops\": %.3f, \"serialized_mops\": %.3f, "
-            "\"shard_lock_contended\": %llu}%s\n",
+            "\"shard_lock_contended\": %llu, "
+            "\"tile_lock_contended\": %llu}%s\n",
             r.mode.c_str(), r.threads,
             static_cast<unsigned long long>(r.totalOps), r.wallSeconds,
             r.cpuSumSeconds, r.cpuMaxSeconds,
             r.wallThroughput() / 1e6, r.serializedThroughput() / 1e6,
             static_cast<unsigned long long>(r.shardContended),
+            static_cast<unsigned long long>(r.tileContended),
             i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");

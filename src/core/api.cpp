@@ -25,6 +25,7 @@ struct Context
     tile_id_t tile = INVALID_TILE_ID;
     CoreModel* core = nullptr;
     Network* net = nullptr;
+    host::HostScheduler* sched = nullptr; ///< null = scheduler off
     std::uint64_t sinceCheck = 0;
 };
 
@@ -51,6 +52,11 @@ tick(std::uint64_t instructions)
         return;
     c.sinceCheck = 0;
     c.sim->syncModel().periodicSync(*c.core);
+    // Cooperative quantum boundary: hand the execution slot to the
+    // next runnable thread (and enforce the skew gate) after at most
+    // host/quantum_cycles of simulated progress.
+    if (c.sched != nullptr)
+        c.sched->quantumCheck(c.tile);
     if (SkewTracker* skew = c.sim->skewTracker())
         skew->maybeSnapshot();
     if (obs::MetricsSampler::globalEnabled())
@@ -77,6 +83,10 @@ sendSysRequest(std::vector<std::uint8_t> payload)
     c.sim->transport().send(c.sim->topology().tileEndpoint(c.tile),
                             c.sim->topology().mcpEndpoint(),
                             pkt.serialize());
+    // Deterministic mode: hold the slot until the MCP dispatched the
+    // request, so its side effects land at a fixed schedule point.
+    if (c.sched != nullptr)
+        c.sched->requestFence(c.tile);
 }
 
 /**
@@ -89,11 +99,25 @@ NetPacket
 recvSysReply()
 {
     Context& c = ctx();
-    c.sim->syncModel().threadBlocked(*c.core);
-    c.sim->tile(c.tile).setRunning(false);
-    NetPacket pkt = c.net->recv(PacketType::System);
-    c.sim->tile(c.tile).setRunning(true);
-    c.sim->syncModel().threadUnblocked(*c.core);
+    NetPacket pkt;
+    bool have = false;
+    // Under the scheduler, an already-delivered reply (spawn, wake,
+    // file op, failed wait) is consumed without ever giving up the
+    // execution slot or perturbing the sync model.
+    if (c.sched != nullptr)
+        have = c.net->tryRecv(PacketType::System, pkt);
+    if (!have) {
+        c.sim->syncModel().threadBlocked(*c.core);
+        c.sim->tile(c.tile).setRunning(false);
+        if (c.sched != nullptr)
+            c.sched->beginBlock(c.tile,
+                                host::HostScheduler::BlockKind::Sys);
+        pkt = c.net->recv(PacketType::System);
+        if (c.sched != nullptr)
+            c.sched->endBlock(c.tile);
+        c.sim->tile(c.tile).setRunning(true);
+        c.sim->syncModel().threadUnblocked(*c.core);
+    }
     GRAPHITE_ASSERT(pkt.sender == MCP_SENDER);
     cycle_t now = c.core->cycle();
     if (pkt.time > now) {
@@ -137,6 +161,7 @@ bindContext(Simulator& sim, tile_id_t tile)
     t_ctx.tile = tile;
     t_ctx.core = &sim.tile(tile).core();
     t_ctx.net = &sim.tile(tile).network();
+    t_ctx.sched = sim.hostScheduler();
     t_ctx.sinceCheck = 0;
 }
 
@@ -414,6 +439,11 @@ msgSend(tile_id_t dst, const void* data, size_t len)
         static_cast<std::uint64_t>(dst), len);
     c.net->send(PacketType::App, dst, std::move(payload),
                 c.core->cycle());
+    // Deterministic wake of a receiver blocked in msgRecv (no-op in
+    // free_running mode and when the receiver is not App-blocked).
+    if (c.sched != nullptr)
+        c.sched->notifyUnblocked(dst,
+                                 host::HostScheduler::BlockKind::App);
     // The send itself occupies the core briefly.
     c.core->executeInstructions(InstrClass::IntAlu, 1);
     tick(1);
@@ -423,11 +453,22 @@ Message
 msgRecv()
 {
     Context& c = ctx();
-    c.sim->syncModel().threadBlocked(*c.core);
-    c.sim->tile(c.tile).setRunning(false);
-    NetPacket pkt = c.net->recv(PacketType::App);
-    c.sim->tile(c.tile).setRunning(true);
-    c.sim->syncModel().threadUnblocked(*c.core);
+    NetPacket pkt;
+    bool have = false;
+    if (c.sched != nullptr)
+        have = c.net->tryRecv(PacketType::App, pkt);
+    if (!have) {
+        c.sim->syncModel().threadBlocked(*c.core);
+        c.sim->tile(c.tile).setRunning(false);
+        if (c.sched != nullptr)
+            c.sched->beginBlock(c.tile,
+                                host::HostScheduler::BlockKind::App);
+        pkt = c.net->recv(PacketType::App);
+        if (c.sched != nullptr)
+            c.sched->endBlock(c.tile);
+        c.sim->tile(c.tile).setRunning(true);
+        c.sim->syncModel().threadUnblocked(*c.core);
+    }
     if (race::Detector::armed())
         race::Detector::instance().msgRecvEdge(pkt.sender, c.tile);
     obs::telemetry::FlightRecorder::record(

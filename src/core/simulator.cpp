@@ -50,6 +50,14 @@ Simulator::Simulator(Config cfg)
     memory_ = std::make_unique<MemorySystem>(topo_, *fabric_, cfg_);
     sync_ = SyncModel::create(cfg_, topo_.totalTiles());
 
+    host::SchedulerConfig sched_cfg =
+        host::SchedulerConfig::fromConfig(cfg_);
+    if (sched_cfg.mode != host::SchedMode::Off)
+        sched_ = std::make_unique<host::HostScheduler>(
+            sched_cfg, topo_.totalTiles());
+    // Sync models that block integrate slot release; null is fine.
+    sync_->attachScheduler(sched_.get());
+
     tiles_.reserve(topo_.totalTiles());
     for (tile_id_t t = 0; t < topo_.totalTiles(); ++t)
         tiles_.push_back(
@@ -147,6 +155,12 @@ Simulator::registerStats()
                            mem->shardLockContendedCounter());
     stats_.registerCounter("mem.shard_lock.wait_ns",
                            mem->shardLockWaitNsCounter());
+    stats_.registerCounter("mem.tile_lock.acquisitions",
+                           mem->tileLockAcquisitionsCounter());
+    stats_.registerCounter("mem.tile_lock.contended",
+                           mem->tileLockContendedCounter());
+    stats_.registerCounter("mem.tile_lock.wait_ns",
+                           mem->tileLockWaitNsCounter());
     stats_.registerHistogram("mem.access_latency",
                              &memory_->accessLatencyHistogram());
 
@@ -180,6 +194,33 @@ Simulator::registerStats()
     stats_.registerGauge("sync.wait_us", [sync] {
         return sync->syncWaitMicroseconds();
     });
+
+    if (sched_ != nullptr) {
+        host::HostScheduler* sched = sched_.get();
+        stats_.registerGauge("host.pool.slots", [sched] {
+            return static_cast<stat_t>(sched->slots());
+        });
+        stats_.registerGauge("host.pool.executing", [sched] {
+            return static_cast<stat_t>(sched->gauges().executing);
+        });
+        stats_.registerGauge("host.pool.runnable", [sched] {
+            return static_cast<stat_t>(sched->gauges().runnable);
+        });
+        stats_.registerGauge("host.pool.blocked", [sched] {
+            return static_cast<stat_t>(sched->gauges().blocked);
+        });
+        stats_.registerGauge("host.pool.skew_parked", [sched] {
+            return static_cast<stat_t>(sched->gauges().skewParked);
+        });
+        stats_.registerCounter("host.pool.quanta",
+                               sched->quantaCounter());
+        stats_.registerCounter("host.pool.yields",
+                               sched->yieldsCounter());
+        stats_.registerCounter("host.pool.skew_parks",
+                               sched->skewParksCounter());
+        stats_.registerCounter("host.pool.skew_park_ns",
+                               sched->skewParkNsCounter());
+    }
 
     if (race::Detector::armed()) {
         race::Detector* det = &race::Detector::instance();
@@ -267,6 +308,25 @@ Simulator::makeStatusSource()
     };
     src.syncEvents = [this] { return sync_->syncEvents(); };
     src.syncWaitUs = [this] { return sync_->syncWaitMicroseconds(); };
+    if (sched_ != nullptr) {
+        host::HostScheduler* sched = sched_.get();
+        src.hostPool = [sched] {
+            obs::telemetry::HostPoolStatus hp;
+            hp.enabled = true;
+            hp.mode = sched->modeName();
+            host::PoolGauges g = sched->gauges();
+            hp.slots = g.slots;
+            hp.executing = g.executing;
+            hp.runnable = g.runnable;
+            hp.blocked = g.blocked;
+            hp.skewParked = g.skewParked;
+            hp.quanta = sched->quantaCounter()->load();
+            hp.yields = sched->yieldsCounter()->load();
+            hp.skewParks = sched->skewParksCounter()->load();
+            hp.skewParkNs = sched->skewParkNsCounter()->load();
+            return hp;
+        };
+    }
     src.syncModelName = sync_->name();
     return src;
 }

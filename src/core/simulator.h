@@ -29,6 +29,7 @@
 #include "common/fixed_types.h"
 #include "common/stats.h"
 #include "core/thread_manager.h"
+#include "host/scheduler.h"
 #include "core/tile.h"
 #include "mem/memory_system.h"
 #include "network/network.h"
@@ -76,6 +77,8 @@ class Simulator
     MemorySystem& memory() { return *memory_; }
     SyncModel& syncModel() { return *sync_; }
     ThreadManager& threadManager() { return *threads_; }
+    /** Host execution scheduler; null when host/scheduler = off. */
+    host::HostScheduler* hostScheduler() { return sched_.get(); }
     Tile& tile(tile_id_t id);
     tile_id_t totalTiles() const { return topo_.totalTiles(); }
     /** @} */
@@ -149,6 +152,8 @@ class Simulator
     std::unique_ptr<MemorySystem> memory_;
     std::unique_ptr<SyncModel> sync_;
     std::vector<std::unique_ptr<Tile>> tiles_;
+    // Destroyed after threads_, whose app/MCP threads use it.
+    std::unique_ptr<host::HostScheduler> sched_;
     std::unique_ptr<ThreadManager> threads_;
     StatsRegistry stats_;
     SkewTracker* skew_ = nullptr;

@@ -56,6 +56,10 @@ ThreadManager::start()
 void
 ThreadManager::launchMain(thread_func_t func, void* arg)
 {
+    // The main thread enters the scheduling rotation before its host
+    // thread exists, like any spawned thread (see handleSpawn).
+    if (host::HostScheduler* sched = sim_.hostScheduler())
+        sched->expectThread(0);
     std::scoped_lock lock(appThreadsMutex_);
     appThreads_.emplace_back([this, func, arg] {
         appTrampoline(0, func, arg, 0, /*is_main=*/true);
@@ -95,6 +99,13 @@ void
 ThreadManager::appTrampoline(tile_id_t tile, thread_func_t func,
                              void* arg, cycle_t start_clock, bool is_main)
 {
+    // Join the host execution pool: announce our clock, then block
+    // until the scheduler grants the first slot.
+    host::HostScheduler* sched = sim_.hostScheduler();
+    if (sched != nullptr) {
+        sched->registerThread(tile, &sim_.tile(tile).core());
+        sched->start(tile);
+    }
     api::detail::bindContext(sim_, tile);
     // New occupant of the tile slot: bump the epoch. The slot's vector
     // clock is inherited — reuse of a freed tile is genuinely ordered
@@ -138,6 +149,13 @@ ThreadManager::appTrampoline(tile_id_t tile, thread_func_t func,
     sim_.transport().send(sim_.topology().tileEndpoint(tile),
                           sim_.topology().mcpEndpoint(),
                           pkt.serialize());
+    if (sched != nullptr) {
+        // Deterministic mode: hold the slot until the MCP has freed
+        // the tile, so exit effects land at a fixed point in the
+        // serialized schedule; then leave the rotation.
+        sched->requestFence(tile);
+        sched->finishThread(tile);
+    }
     api::detail::unbindContext();
 }
 
@@ -255,6 +273,14 @@ ThreadManager::mcpLoop()
             panic("MCP: unexpected message type {}",
                   static_cast<int>(hdr.type));
         }
+        // Deterministic-mode request fence: the sender holds its
+        // execution slot until its message is fully dispatched, which
+        // serializes MCP side effects into the schedule. Shutdown has
+        // no requesting tile.
+        if (hdr.srcTile >= 0) {
+            if (host::HostScheduler* sched = sim_.hostScheduler())
+                sched->requestDispatched(hdr.srcTile);
+        }
     }
 }
 
@@ -289,6 +315,10 @@ ThreadManager::handleSpawn(const SysMsgHeader& hdr, const SpawnBody& body)
             race::Detector::instance().edge(hdr.srcTile, chosen);
         reply.error = 0;
         reply.tile = chosen;
+        // Commit the tile to the rotation now: scheduling order must
+        // not depend on how fast the LCP creates the host thread.
+        if (host::HostScheduler* sched = sim_.hostScheduler())
+            sched->expectThread(chosen);
         obs::telemetry::FlightRecorder::record(
             obs::telemetry::FrEvent::Spawn, hdr.srcTile, hdr.timestamp,
             static_cast<std::uint64_t>(chosen),
@@ -347,6 +377,11 @@ ThreadManager::handleThreadExit(const SysMsgHeader& hdr)
             // Exited thread -> each queued joiner.
             if (race::Detector::armed())
                 race::Detector::instance().edge(tile, waiter);
+            // Deterministic wake: the joiner re-enters the rotation at
+            // this dispatch, not when its host thread gets CPU time.
+            if (host::HostScheduler* sched = sim_.hostScheduler())
+                sched->notifyUnblocked(
+                    waiter, host::HostScheduler::BlockKind::Sys);
             JoinBody reply{tile, hdr.timestamp};
             SysMsgHeader rh{SysMsgType::JoinReply, waiter,
                             hdr.timestamp};
@@ -401,6 +436,9 @@ ThreadManager::handleFutexWake(const SysMsgHeader& hdr,
                 race::Detector::instance().edge(hdr.srcTile, w.tile);
                 ++race_edges;
             }
+            if (host::HostScheduler* sched = sim_.hostScheduler())
+                sched->notifyUnblocked(
+                    w.tile, host::HostScheduler::BlockKind::Sys);
             // The wakeup "occurs" at the waker's simulated time; the
             // waiter forwards its clock to this timestamp (§3.6.1).
             FutexBody reply{};

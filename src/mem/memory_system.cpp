@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "check/fault.h"
 #include "common/config.h"
@@ -199,6 +200,46 @@ MemorySystem::lockShard(Shard& shard)
     }
     shardLockAcquisitions_.fetch_add(1, std::memory_order_relaxed);
     return lock;
+}
+
+std::unique_lock<std::mutex>
+MemorySystem::lockTile(TileMemory& tm)
+{
+    std::unique_lock<std::mutex> lock(tm.mutex, std::try_to_lock);
+    if (!lock.owns_lock()) {
+        tileLockContended_.fetch_add(1, std::memory_order_relaxed);
+        auto t0 = std::chrono::steady_clock::now();
+        lock.lock();
+        auto waited = std::chrono::steady_clock::now() - t0;
+        tileLockWaitNs_.fetch_add(
+            static_cast<stat_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    waited)
+                    .count()),
+            std::memory_order_relaxed);
+    }
+    tileLockAcquisitions_.fetch_add(1, std::memory_order_relaxed);
+    return lock;
+}
+
+void
+MemorySystem::holdTileLockForTest(tile_id_t tile, std::uint64_t ns,
+                                  std::atomic<bool>* held)
+{
+    std::scoped_lock lock(tiles_[tile].mutex);
+    if (held != nullptr)
+        held->store(true, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
+void
+MemorySystem::holdShardLockForTest(tile_id_t tile, std::uint64_t ns,
+                                   std::atomic<bool>* held)
+{
+    std::scoped_lock lock(shards_[tile].mutex);
+    if (held != nullptr)
+        held->store(true, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
 }
 
 // --------------------------------------------------------------- accounting
@@ -740,7 +781,7 @@ MemorySystem::accessLine(tile_id_t tile, MemAccessType type, addr_t addr,
         bool planned_upgrade = false;
         std::optional<addr_t> planned_victim;
         {
-            std::scoped_lock tile_lock(tm.mutex);
+            auto tile_lock = lockTile(tm);
             AccessResult res;
             if (tryCompleteLocal(tile, tm, l1, is_write, addr, buf, size,
                                  res))
@@ -781,7 +822,7 @@ MemorySystem::accessLine(tile_id_t tile, MemAccessType type, addr_t addr,
         std::vector<std::unique_lock<std::mutex>> tile_locks;
         tile_locks.reserve(tile_ids.size());
         for (tile_id_t id : tile_ids)
-            tile_locks.emplace_back(tiles_[id].mutex);
+            tile_locks.push_back(lockTile(tiles_[id]));
 
         // Phase C — revalidate the plan now that the world is frozen.
         // A concurrent access by another thread on the same tile may
@@ -939,7 +980,7 @@ MemorySystem::atomicRmw(tile_id_t tile, addr_t addr, size_t size,
         bool planned_upgrade = false;
         std::optional<addr_t> planned_victim;
         {
-            std::scoped_lock tile_lock(tm.mutex);
+            auto tile_lock = lockTile(tm);
             CacheProbe p = tm.l2->probe(addr, /*is_write=*/true);
             if (p == CacheProbe::Hit) {
                 AtomicResult res;
@@ -980,7 +1021,7 @@ MemorySystem::atomicRmw(tile_id_t tile, addr_t addr, size_t size,
         std::vector<std::unique_lock<std::mutex>> tile_locks;
         tile_locks.reserve(tile_ids.size());
         for (tile_id_t id : tile_ids)
-            tile_locks.emplace_back(tiles_[id].mutex);
+            tile_locks.push_back(lockTile(tiles_[id]));
 
         // Phase C — revalidate and commit.
         AtomicResult res;
@@ -1045,7 +1086,7 @@ MemorySystem::readCoherent(addr_t addr, void* buf, size_t size)
         if (entry != nullptr &&
             entry->state() == DirectoryState::Modified) {
             tile_id_t owner = entry->owner();
-            std::scoped_lock tile_lock(tiles_[owner].mutex);
+            auto tile_lock = lockTile(tiles_[owner]);
             CacheLine* line = tiles_[owner].l2->find(line_addr);
             GRAPHITE_ASSERT(line != nullptr);
             std::memcpy(out, line->data.data() + (addr - line_addr),
@@ -1086,7 +1127,7 @@ MemorySystem::writeCoherent(addr_t addr, const void* buf, size_t size)
             std::vector<std::unique_lock<std::mutex>> tile_locks;
             tile_locks.reserve(holder_ids.size());
             for (tile_id_t id : holder_ids)
-                tile_locks.emplace_back(tiles_[id].mutex);
+                tile_locks.push_back(lockTile(tiles_[id]));
 
             if (entry->state() == DirectoryState::Modified) {
                 std::vector<std::uint8_t> data;
@@ -1163,7 +1204,7 @@ MemorySystem::validateCoherence()
     std::vector<std::unique_lock<std::mutex>> tile_locks;
     tile_locks.reserve(tiles_.size());
     for (TileMemory& tm : tiles_)
-        tile_locks.emplace_back(tm.mutex);
+        tile_locks.push_back(lockTile(tm));
 
     // Gather, for every line cached anywhere, which L2s hold it and how.
     struct Holders

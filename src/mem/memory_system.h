@@ -31,6 +31,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -179,7 +180,10 @@ class MemorySystem
      * Maintained on the hot path so reporting never walks every tile:
      * totalAccesses/l2Misses/writebacks equal the per-tile sums at any
      * quiescent point. The shard-lock trio measures contention on the
-     * per-home shard mutexes (fast-path hits never touch them).
+     * per-home shard mutexes (fast-path hits never touch them); the
+     * tile-lock trio does the same for the level-1 tile mutexes, which
+     * every access takes. Both count with try-lock-then-block, so
+     * "contended" means a real lost race, not just an acquisition.
      * @{
      */
     const atomic_stat_t* totalAccessesCounter() const
@@ -203,7 +207,33 @@ class MemorySystem
     {
         return &shardLockWaitNs_;
     }
+    const atomic_stat_t* tileLockAcquisitionsCounter() const
+    {
+        return &tileLockAcquisitions_;
+    }
+    const atomic_stat_t* tileLockContendedCounter() const
+    {
+        return &tileLockContended_;
+    }
+    const atomic_stat_t* tileLockWaitNsCounter() const
+    {
+        return &tileLockWaitNs_;
+    }
     /** @} */
+
+    /**
+     * Hold @p tile's level-1 lock for @p ns nanoseconds from another
+     * host thread, so tests can plant tile-lock contention
+     * deterministically regardless of host CPU count. Sets @p held
+     * (when non-null) once the lock is acquired, so the test can issue
+     * the colliding access strictly inside the hold window.
+     */
+    void holdTileLockForTest(tile_id_t tile, std::uint64_t ns,
+                             std::atomic<bool>* held = nullptr);
+
+    /** Same, for the shard lock homed at @p tile. */
+    void holdShardLockForTest(tile_id_t tile, std::uint64_t ns,
+                              std::atomic<bool>* held = nullptr);
 
     /** False when `mem/host_concurrency = global` pinned the old mutex. */
     bool shardedLocking() const { return sharded_; }
@@ -275,6 +305,12 @@ class MemorySystem
 
     /** Acquire a shard lock, recording contention statistics. */
     std::unique_lock<std::mutex> lockShard(Shard& shard);
+
+    /**
+     * Acquire a tile's level-1 lock, recording contention statistics
+     * (try-lock first; only a lost race counts as contended).
+     */
+    std::unique_lock<std::mutex> lockTile(TileMemory& tm);
 
     /**
      * Model one coherence message; returns its network latency. When
@@ -365,6 +401,9 @@ class MemorySystem
     atomic_stat_t shardLockAcquisitions_{0};
     atomic_stat_t shardLockContended_{0};
     atomic_stat_t shardLockWaitNs_{0};
+    atomic_stat_t tileLockAcquisitions_{0};
+    atomic_stat_t tileLockContended_{0};
+    atomic_stat_t tileLockWaitNs_{0};
 };
 
 } // namespace graphite

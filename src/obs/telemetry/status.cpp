@@ -154,6 +154,23 @@ renderStatusJson(const StatusSource& src, const WatchdogView* wd)
     os << "\"inflight_packets\":"
        << (src.inflightPackets ? src.inflightPackets() : 0) << ",";
 
+    // Host execution pool health (scheduler off => enabled:false).
+    HostPoolStatus hp;
+    if (src.hostPool)
+        hp = src.hostPool();
+    os << "\"host_pool\":{";
+    os << "\"enabled\":" << (hp.enabled ? "true" : "false") << ",";
+    os << "\"mode\":\"" << jsonEscape(hp.mode) << "\",";
+    os << "\"slots\":" << hp.slots << ",";
+    os << "\"executing\":" << hp.executing << ",";
+    os << "\"runnable\":" << hp.runnable << ",";
+    os << "\"blocked\":" << hp.blocked << ",";
+    os << "\"skew_parked\":" << hp.skewParked << ",";
+    os << "\"quanta\":" << hp.quanta << ",";
+    os << "\"yields\":" << hp.yields << ",";
+    os << "\"skew_parks\":" << hp.skewParks << ",";
+    os << "\"skew_park_ns\":" << hp.skewParkNs << "},";
+
     // Per-tile heartbeats with derived IPC.
     os << "\"tiles\":[";
     if (src.tiles) {

@@ -61,6 +61,22 @@ struct WaitSetSnapshot
     bool shutdownRequested = false;
 };
 
+/** Host-scheduler pool health for /status (host.pool.* in /metrics). */
+struct HostPoolStatus
+{
+    bool enabled = false;
+    std::string mode;   ///< "deterministic" | "free_running"
+    int slots = 0;
+    int executing = 0;
+    int runnable = 0;
+    int blocked = 0;
+    int skewParked = 0;
+    stat_t quanta = 0;
+    stat_t yields = 0;
+    stat_t skewParks = 0;
+    stat_t skewParkNs = 0;
+};
+
 /** Simulator-owned data sources for the telemetry plane. */
 struct StatusSource
 {
@@ -72,6 +88,8 @@ struct StatusSource
     std::function<stat_t()> inflightPackets;
     std::function<stat_t()> syncEvents;
     std::function<stat_t()> syncWaitUs;
+    /** Null/empty when the host scheduler is off. */
+    std::function<HostPoolStatus()> hostPool;
     std::string syncModelName;
     std::chrono::steady_clock::time_point start =
         std::chrono::steady_clock::now();

@@ -5,6 +5,7 @@
 
 #include "common/config.h"
 #include "common/log.h"
+#include "host/scheduler.h"
 #include "obs/profiler.h"
 #include "obs/telemetry/flight_recorder.h"
 #include "obs/trace_event.h"
@@ -50,6 +51,20 @@ LaxBarrierSync::threadStart(CoreModel& core)
 }
 
 void
+LaxBarrierSync::releaseWaitersLocked()
+{
+    // Caller holds mutex_ and completed the epoch: re-queue every
+    // blocked waiter with the scheduler at this (deterministic) point
+    // rather than when their host threads win the condition variable.
+    if (sched_ != nullptr) {
+        for (tile_id_t t : waitingTiles_)
+            sched_->notifyUnblocked(
+                t, host::HostScheduler::BlockKind::Sync);
+    }
+    waitingTiles_.clear();
+}
+
+void
 LaxBarrierSync::leave()
 {
     // Caller holds mutex_. A departing thread may complete the epoch for
@@ -59,6 +74,7 @@ LaxBarrierSync::leave()
     if (active_ > 0 && waiting_ == active_) {
         waiting_ = 0;
         ++epoch_;
+        releaseWaitersLocked();
         cv_.notify_all();
     }
 }
@@ -95,17 +111,32 @@ LaxBarrierSync::arrive(tile_id_t tile, cycle_t now)
     auto t0 = std::chrono::steady_clock::now();
     std::unique_lock lock(mutex_);
     ++waiting_;
+    bool blocked = false;
     if (waiting_ == active_) {
         waiting_ = 0;
         ++epoch_;
         barriers_.fetch_add(1, std::memory_order_relaxed);
+        releaseWaitersLocked();
         cv_.notify_all();
     } else {
         std::uint64_t my_epoch = epoch_;
+        // Give up the execution slot for the duration of the epoch
+        // wait — the barrier must never hold a slot hostage, or the
+        // laggards it waits for could not run.
+        if (sched_ != nullptr) {
+            waitingTiles_.push_back(tile);
+            sched_->beginBlock(tile,
+                               host::HostScheduler::BlockKind::Sync);
+            blocked = true;
+        }
         cv_.wait(lock, [&] { return epoch_ != my_epoch; });
     }
     std::uint64_t released_epoch = epoch_;
     lock.unlock();
+    // Re-acquire a slot outside mutex_: a grant can take arbitrarily
+    // long and other threads need the barrier lock to release us.
+    if (blocked)
+        sched_->endBlock(tile);
     auto dt = std::chrono::duration_cast<std::chrono::microseconds>(
                   std::chrono::steady_clock::now() - t0)
                   .count();
@@ -209,6 +240,31 @@ LaxP2PSync::periodicSync(CoreModel& core)
         return;
 
     if (my_clock > partner_clock && my_clock - partner_clock > slack_) {
+        if (sched_ != nullptr) {
+            // Under the host scheduler, parking on the skew gate
+            // replaces the wall-clock sleep: the slot goes to a
+            // laggard and we resume once the minimum schedulable
+            // clock is within the slack again. Simulated time is
+            // unaffected either way; only host scheduling changes.
+            std::uint64_t ns =
+                sched_->skewPark(tile, my_clock - slack_);
+            if (ns > 0) {
+                auto micros =
+                    static_cast<std::int64_t>(std::max<std::uint64_t>(
+                        ns / 1000, 1));
+                sleeps_.fetch_add(1, std::memory_order_relaxed);
+                sleepMicros_.fetch_add(micros,
+                                       std::memory_order_relaxed);
+                obs::telemetry::FlightRecorder::record(
+                    obs::telemetry::FrEvent::SyncSleep, tile, my_clock,
+                    static_cast<std::uint64_t>(micros),
+                    my_clock - partner_clock);
+                obs::TraceSink::instant(
+                    static_cast<std::uint32_t>(tile), "sync.p2p_park",
+                    my_clock, "park_us", micros);
+            }
+            return;
+        }
         // We are ahead: sleep s = c / r, where r is the observed
         // simulation rate in cycles per wall-clock second (§3.6.3).
         cycle_t c = my_clock - partner_clock;

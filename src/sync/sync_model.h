@@ -41,11 +41,24 @@ namespace graphite
 class Config;
 class CoreModel;
 
+namespace host
+{
+class HostScheduler;
+}
+
 /** Abstract synchronization model. All methods are thread-safe. */
 class SyncModel
 {
   public:
     virtual ~SyncModel() = default;
+
+    /**
+     * Attach the host execution scheduler (null when off). A model
+     * whose skew mechanism blocks integrates with it: barrier waits
+     * release the execution slot, and LaxP2P parks on the scheduler's
+     * skew gate instead of wall-clock sleeping.
+     */
+    void attachScheduler(host::HostScheduler* sched) { sched_ = sched; }
 
     /** A thread began running on @p core's tile. */
     virtual void threadStart(CoreModel& core) = 0;
@@ -76,6 +89,9 @@ class SyncModel
     /** Factory from config key sync/model. */
     static std::unique_ptr<SyncModel> create(const Config& cfg,
                                              tile_id_t total_tiles);
+
+  protected:
+    host::HostScheduler* sched_ = nullptr;
 };
 
 /** §3.6.1 — application events only; periodicSync is a no-op. */
@@ -113,6 +129,7 @@ class LaxBarrierSync : public SyncModel
   private:
     void arrive(tile_id_t tile, cycle_t now);
     void leave();
+    void releaseWaitersLocked();
 
     cycle_t quantum_;
     std::mutex mutex_;
@@ -122,6 +139,8 @@ class LaxBarrierSync : public SyncModel
     std::uint64_t epoch_ = 0;
     /** Next barrier quantum boundary per tile. */
     std::vector<cycle_t> nextTarget_;
+    /** Tiles blocked in arrive(), for deterministic unparking. */
+    std::vector<tile_id_t> waitingTiles_;
     std::atomic<stat_t> barriers_{0};
     std::atomic<stat_t> waitMicros_{0};
 };

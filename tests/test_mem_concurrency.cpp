@@ -339,5 +339,50 @@ TEST(MemConcurrency, ContentionStatsSane)
     EXPECT_EQ(f.mem->validateCoherence(), "");
 }
 
+// Plant contention deterministically (works even on a 1-CPU host): a
+// holder thread pins a lock and signals once it owns it; an access
+// issued strictly inside the hold window must lose the try-lock, so
+// the contended counter and wait-time must both move. Guards against
+// the counters silently reading zero forever.
+TEST(MemConcurrency, PlantedContentionMovesCounters)
+{
+    MemFixture f(4);
+    constexpr std::uint64_t kHoldNs = 50'000'000; // 50 ms
+
+    // Tile lock: every access to tile 0 takes it.
+    stat_t tile_before = f.mem->tileLockContendedCounter()->load();
+    {
+        std::atomic<bool> held{false};
+        std::thread holder(
+            [&] { f.mem->holdTileLockForTest(0, kHoldNs, &held); });
+        while (!held.load(std::memory_order_acquire))
+            std::this_thread::yield();
+        std::uint64_t v = 1;
+        f.mem->access(0, MemAccessType::Write, PRIVATE_BASE, &v, 8, 0);
+        holder.join();
+    }
+    EXPECT_GT(f.mem->tileLockContendedCounter()->load(), tile_before);
+    EXPECT_GT(f.mem->tileLockWaitNsCounter()->load(), 0u);
+    EXPECT_GT(f.mem->tileLockAcquisitionsCounter()->load(), 0u);
+
+    // Shard lock: a miss on a fresh line takes its home shard.
+    addr_t fresh = SHARED_BASE + 64 * f.mem->lineSize();
+    tile_id_t home = f.mem->homeTile(fresh);
+    stat_t shard_before = f.mem->shardLockContendedCounter()->load();
+    {
+        std::atomic<bool> held{false};
+        std::thread holder(
+            [&] { f.mem->holdShardLockForTest(home, kHoldNs, &held); });
+        while (!held.load(std::memory_order_acquire))
+            std::this_thread::yield();
+        std::uint64_t v = 2;
+        f.mem->access(0, MemAccessType::Write, fresh, &v, 8, 0);
+        holder.join();
+    }
+    EXPECT_GT(f.mem->shardLockContendedCounter()->load(), shard_before);
+    EXPECT_GT(f.mem->shardLockWaitNsCounter()->load(), 0u);
+    EXPECT_EQ(f.mem->validateCoherence(), "");
+}
+
 } // namespace
 } // namespace graphite

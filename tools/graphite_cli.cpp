@@ -20,6 +20,10 @@
  *   --iters N         iterations               (workload default)
  *   --config PATH     load an INI config file first
  *   --set K=V         override one config key (repeatable)
+ *   --scheduler MODE  host execution scheduler: off | deterministic |
+ *                     free_running (= host/scheduler)
+ *   --host-threads N  host pool width, 0 = hardware concurrency
+ *                     (= host/threads)
  *   --stats           print the full statistics report
  *   --native          also run the native build and cross-check
  *   --list            list available workloads
@@ -75,6 +79,7 @@ usage(const char* argv0)
                  " [--threads N]\n"
                  "          [--size N] [--iters N] [--config PATH]"
                  " [--set K=V]... [--stats]\n"
+                 "          [--scheduler MODE] [--host-threads N]\n"
                  "          [--trace-out PATH] [--metrics-out PATH]"
                  " [--metrics-interval N]\n"
                  "          [--spans-out PATH] [--self-profile]"
@@ -137,6 +142,12 @@ main(int argc, char** argv)
             config_path = next();
         } else if (arg == "--set") {
             overrides.emplace_back(next());
+        } else if (arg == "--scheduler") {
+            overrides.emplace_back(std::string("host/scheduler=") +
+                                   next());
+        } else if (arg == "--host-threads") {
+            overrides.emplace_back(std::string("host/threads=") +
+                                   next());
         } else if (arg == "--stats") {
             stats = true;
         } else if (arg == "--native") {
