@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Checkpoint/restore + fast-forward microbenchmark (src/snapshot):
+ * the cost side of the "checkpoint-then-sweep" workflow described in
+ * EXPERIMENTS.md.
+ *
+ * Three things are measured on a 16-tile mesh running a warmup-heavy
+ * shared-memory workload:
+ *
+ *  - save cost: wall time of snapshot::saveCheckpoint on the warmed
+ *    simulator, plus the blob size (the whole target memory image,
+ *    caches with resident lines, directories, queues, clocks);
+ *  - restore cost: wall time of snapshot::restoreCheckpoint into a
+ *    fresh Simulator;
+ *  - fast-forward speedup: wall time of the full-detail run vs the
+ *    same run with snapshot/fast_forward on, where warmup is
+ *    functional-only and detailed timing begins at api::roiBegin().
+ *
+ * The headline criterion is ff_speedup >= 5x: functional-only warmup
+ * skips the cache hierarchy, directory protocol, network hops and
+ * queue models, so it must be dramatically cheaper than detailed
+ * simulation or the fast-forward mode is not earning its complexity.
+ * Save/restore times are recorded in the JSON for trend tracking but
+ * have no hard threshold — they scale with target memory size.
+ *
+ * Emits BENCH_checkpoint.json.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/table.h"
+#include "core/api.h"
+#include "core/simulator.h"
+#include "snapshot/checkpoint.h"
+
+namespace graphite
+{
+namespace
+{
+
+constexpr int TILES = 16; // 4x4 mesh
+constexpr int WORKERS = 4;
+
+bool
+fastMode()
+{
+    const char* v = std::getenv("GRAPHITE_BENCH_FAST");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+int
+warmupIters()
+{
+    // Fast mode still needs enough warmup that the spawn/barrier/ROI
+    // fixed costs don't drown the phase being measured.
+    return fastMode() ? 2000 : 4000;
+}
+
+/** ROI is deliberately tiny so warmup dominates both runs. */
+constexpr int ROI_ITERS = 50;
+
+/**
+ * Shared streaming buffer sized to overflow the private caches, so
+ * detailed-mode warmup pays misses, directory lookups and mesh hops
+ * on most accesses — the traffic fast-forward elides.
+ */
+constexpr addr_t BUF_BYTES = 1 << 18; // 256 KiB
+constexpr addr_t STRIDE = 64;
+
+struct Workload
+{
+    addr_t base = 0;
+    addr_t barrier = 0;
+    bool useRoi = false;
+};
+
+void
+phase(const Workload* w, int iters)
+{
+    tile_id_t self = api::tileId();
+    const addr_t slots = BUF_BYTES / STRIDE;
+    for (int i = 0; i < iters; ++i) {
+        // Walk the shared buffer with a per-tile offset: every thread
+        // touches every line eventually, so lines migrate between
+        // sharers and the directory stays busy in detailed mode.
+        addr_t slot = (static_cast<addr_t>(i) * 7 + self * 13) % slots;
+        addr_t a = w->base + slot * STRIDE;
+        std::uint32_t v = api::read<std::uint32_t>(a);
+        api::write<std::uint32_t>(a, v + 1);
+        api::exec(InstrClass::IntAlu, 4);
+    }
+}
+
+void
+worker(void* p)
+{
+    auto* w = static_cast<const Workload*>(p);
+    phase(w, warmupIters());
+    // Everyone must finish warming before the mode flips: roiBegin()
+    // ends fast-forward globally, so without the barrier the first
+    // finisher would push the stragglers' remaining warmup through
+    // the detailed model.
+    api::barrierWait(w->barrier);
+    if (w->useRoi)
+        api::roiBegin();
+    phase(w, ROI_ITERS);
+}
+
+void
+appMain(void* p)
+{
+    auto* w = static_cast<Workload*>(p);
+    w->base = api::malloc(BUF_BYTES);
+    w->barrier = api::malloc(16);
+    api::barrierInit(w->barrier, WORKERS);
+    std::vector<tile_id_t> tids;
+    for (int i = 0; i < WORKERS - 1; ++i)
+        tids.push_back(api::threadSpawn(&worker, p));
+    worker(p);
+    for (tile_id_t t : tids)
+        api::threadJoin(t);
+    api::free(w->barrier);
+    api::free(w->base);
+}
+
+Config
+benchConfig(bool fast_forward)
+{
+    Config cfg = defaultTargetConfig();
+    cfg.setInt("general/total_tiles", TILES);
+    if (fast_forward)
+        cfg.setBool("snapshot/fast_forward", true);
+    return cfg;
+}
+
+double
+runOnce(bool fast_forward, cycle_t* sim_cycles)
+{
+    Config cfg = benchConfig(fast_forward);
+    Simulator sim(cfg);
+    Workload w;
+    w.useRoi = fast_forward;
+    auto t0 = std::chrono::steady_clock::now();
+    sim.run(&appMain, &w);
+    auto t1 = std::chrono::steady_clock::now();
+    if (sim_cycles != nullptr)
+        *sim_cycles = sim.simulatedTime();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+} // namespace graphite
+
+int
+main()
+{
+    using namespace graphite;
+
+    const int reps = fastMode() ? 2 : 3;
+    std::printf("=== micro_checkpoint ===\n");
+    std::printf("%d-tile mesh, %d threads, %d warmup + %d ROI iters "
+                "over a %llu KiB shared buffer (min wall of %d "
+                "reps).\n\n",
+                TILES, WORKERS, warmupIters(), ROI_ITERS,
+                static_cast<unsigned long long>(BUF_BYTES / 1024),
+                reps);
+
+    // --- fast-forward speedup: detailed vs functional-only warmup ---
+    double wall_detailed = 0.0, wall_ff = 0.0;
+    cycle_t cycles_detailed = 0, cycles_ff = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+        double d = runOnce(false, &cycles_detailed);
+        if (rep == 0 || d < wall_detailed)
+            wall_detailed = d;
+        double f = runOnce(true, &cycles_ff);
+        if (rep == 0 || f < wall_ff)
+            wall_ff = f;
+    }
+    double ff_speedup = wall_detailed / wall_ff;
+
+    // --- save / restore cost on the warmed detailed simulator ---
+    double save_s = 0.0, restore_s = 0.0;
+    std::size_t blob_bytes = 0;
+    std::vector<std::uint8_t> blob;
+    for (int rep = 0; rep < reps; ++rep) {
+        Config cfg = benchConfig(false);
+        Simulator sim(cfg);
+        Workload w;
+        sim.run(&appMain, &w);
+
+        auto t0 = std::chrono::steady_clock::now();
+        std::vector<std::uint8_t> b = snapshot::saveCheckpoint(sim);
+        auto t1 = std::chrono::steady_clock::now();
+        double s = std::chrono::duration<double>(t1 - t0).count();
+        if (rep == 0 || s < save_s) {
+            save_s = s;
+            blob_bytes = b.size();
+            blob = std::move(b);
+        }
+    }
+    for (int rep = 0; rep < reps; ++rep) {
+        Config cfg = benchConfig(false);
+        Simulator sim(cfg);
+        auto t0 = std::chrono::steady_clock::now();
+        snapshot::restoreCheckpoint(sim, blob);
+        auto t1 = std::chrono::steady_clock::now();
+        double r = std::chrono::duration<double>(t1 - t0).count();
+        if (rep == 0 || r < restore_s)
+            restore_s = r;
+    }
+
+    TextTable table;
+    table.header({"measurement", "wall s", "notes"});
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.3f", wall_detailed);
+    table.row({"detailed run", buf,
+               std::to_string(cycles_detailed) + " sim cycles"});
+    std::snprintf(buf, sizeof buf, "%.3f", wall_ff);
+    table.row({"fast-forward run", buf,
+               std::to_string(cycles_ff) + " sim cycles"});
+    std::snprintf(buf, sizeof buf, "%.4f", save_s);
+    table.row({"checkpoint save", buf,
+               std::to_string(blob_bytes) + " bytes"});
+    std::snprintf(buf, sizeof buf, "%.4f", restore_s);
+    table.row({"checkpoint restore", buf, "fresh Simulator"});
+    std::printf("%s\n", table.render().c_str());
+
+    const char* criterion =
+        "ff_speedup >= 5.0 (functional-only warmup must beat detailed "
+        "simulation by 5x)";
+    bool met = ff_speedup >= 5.0;
+    std::printf("fast-forward speedup: %.2fx\n", ff_speedup);
+    std::printf("save throughput: %.1f MB/s\n",
+                blob_bytes / (save_s * 1e6));
+    std::printf("criterion: %s -> %s\n", criterion,
+                met ? "MET" : "NOT MET");
+
+    FILE* f = std::fopen("BENCH_checkpoint.json", "w");
+    if (f == nullptr) {
+        std::perror("BENCH_checkpoint.json");
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"benchmark\": \"micro_checkpoint\",\n");
+    std::fprintf(f,
+                 "  \"workload\": \"%d tiles, %d threads, %d warmup + "
+                 "%d roi iters, %llu KiB shared buffer\",\n",
+                 TILES, WORKERS, warmupIters(), ROI_ITERS,
+                 static_cast<unsigned long long>(BUF_BYTES / 1024));
+    std::fprintf(f, "  \"reps\": %d,\n", reps);
+    std::fprintf(f, "  \"wall_detailed_s\": %.6f,\n", wall_detailed);
+    std::fprintf(f, "  \"wall_fast_forward_s\": %.6f,\n", wall_ff);
+    std::fprintf(f, "  \"sim_cycles_detailed\": %llu,\n",
+                 static_cast<unsigned long long>(cycles_detailed));
+    std::fprintf(f, "  \"sim_cycles_fast_forward\": %llu,\n",
+                 static_cast<unsigned long long>(cycles_ff));
+    std::fprintf(f, "  \"ff_speedup\": %.3f,\n", ff_speedup);
+    std::fprintf(f, "  \"save_s\": %.6f,\n", save_s);
+    std::fprintf(f, "  \"restore_s\": %.6f,\n", restore_s);
+    std::fprintf(f, "  \"snapshot_bytes\": %zu,\n", blob_bytes);
+    std::fprintf(f, "  \"criterion\": \"%s\",\n", criterion);
+    std::fprintf(f, "  \"criterion_met\": %s\n", met ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_checkpoint.json\n");
+    return met ? 0 : 1;
+}

@@ -1,6 +1,8 @@
 #include "check/fuzz_runner.h"
 
+#include <algorithm>
 #include <cstring>
+#include <iterator>
 
 #include "check/invariants.h"
 #include "common/log.h"
@@ -10,6 +12,8 @@
 #include "core/simulator.h"
 #include "mem/address_space.h"
 #include "race/detector.h"
+#include "snapshot/checkpoint.h"
+#include "snapshot/snapshot.h"
 
 namespace graphite
 {
@@ -57,9 +61,58 @@ struct HostShared
     addr_t barrier = 0;
     std::vector<tile_id_t> tiles;    ///< tile of thread idx
     std::vector<int> enabledIdx;     ///< enabled thread idxs, ascending
-    std::vector<std::uint64_t> folds;
+    std::vector<std::uint64_t> folds; ///< carried FNV state per thread
     std::uint64_t finalFingerprint = 0;
+
+    /** @name Segmented execution (checkpoint/resume differential)
+     * fuzzMain runs rounds [firstRound, min(lastRound, rounds.size())).
+     * layoutReady marks that target memory is already allocated and
+     * initialized — set after the first segment, or by unpacking a
+     * checkpoint's application blob (the restored target memory image
+     * makes re-initialization both unnecessary and wrong). @{ */
+    std::uint64_t firstRound = 0;
+    std::uint64_t lastRound = ~0ull;
+    bool layoutReady = false;
+    /** @} */
 };
+
+/** Persist the workload bookkeeping across a checkpoint boundary. */
+std::vector<std::uint8_t>
+packAppBlob(const HostShared& sh)
+{
+    snapshot::SnapshotWriter w;
+    w.u64(sh.privBase);
+    w.u64(sh.lockBase);
+    w.u64(sh.ctrBase);
+    w.u64(sh.casBase);
+    w.u64(sh.mutexBase);
+    w.u64(sh.barrier);
+    w.u64(sh.folds.size());
+    for (std::uint64_t f : sh.folds)
+        w.u64(f);
+    return w.finish();
+}
+
+void
+unpackAppBlob(const std::vector<std::uint8_t>& blob, HostShared& sh)
+{
+    snapshot::SnapshotReader r(blob);
+    sh.privBase = r.u64();
+    sh.lockBase = r.u64();
+    sh.ctrBase = r.u64();
+    sh.casBase = r.u64();
+    sh.mutexBase = r.u64();
+    sh.barrier = r.u64();
+    std::uint64_t n_folds = r.u64();
+    if (n_folds > 1024)
+        throw snapshot::SnapshotError(
+            strfmt("snapshot: implausible fold count {}", n_folds));
+    sh.folds.resize(n_folds);
+    for (std::uint64_t& f : sh.folds)
+        f = r.u64();
+    r.expectEnd();
+    sh.layoutReady = true;
+}
 
 struct ThreadArg
 {
@@ -197,6 +250,7 @@ runThreadBody(HostShared& sh, int idx)
 {
     const FuzzProgram& p = *sh.prog;
     Fold fold;
+    fold.h = sh.folds[idx]; // continue the FNV chain across segments
     int nact = static_cast<int>(sh.enabledIdx.size());
     int rank = 0;
     for (int i = 0; i < nact; ++i)
@@ -207,7 +261,10 @@ runThreadBody(HostShared& sh, int idx)
     // ring round reads it.
     api::barrierWait(sh.barrier);
 
-    for (std::size_t r = 0; r < p.rounds.size(); ++r) {
+    const auto first = static_cast<std::size_t>(sh.firstRound);
+    const std::size_t last = std::min<std::size_t>(
+        p.rounds.size(), static_cast<std::size_t>(sh.lastRound));
+    for (std::size_t r = first; r < last; ++r) {
         const FuzzRound& round = p.rounds[r];
         if (!round.enabled)
             continue;
@@ -262,32 +319,39 @@ fuzzMain(void* p)
     HostShared& sh = *static_cast<HostShared*>(p);
     const FuzzProgram& prog = *sh.prog;
     std::uint32_t w_bytes = prog.regionWords * 4;
-
-    sh.privBase = api::malloc(prog.privateRegions * w_bytes);
-    sh.lockBase = api::malloc(prog.lockedRegions * w_bytes);
-    sh.ctrBase = api::malloc(prog.counters * 8);
-    sh.casBase = api::malloc(prog.casCounters * 4);
-    zeroTarget(sh.privBase, prog.privateRegions * w_bytes);
-    zeroTarget(sh.lockBase, prog.lockedRegions * w_bytes);
-    zeroTarget(sh.ctrBase, prog.counters * 8);
-    zeroTarget(sh.casBase, prog.casCounters * 4);
-
     std::uint64_t sync_bytes =
         prog.mutexes * api::MUTEX_BYTES + api::BARRIER_BYTES;
-    sh.mutexBase = api::mmap(sync_bytes);
-    sh.barrier = sh.mutexBase + prog.mutexes * api::MUTEX_BYTES;
-    for (std::uint32_t m = 0; m < prog.mutexes; ++m)
-        api::mutexInit(sh.mutexBase + m * api::MUTEX_BYTES);
 
     sh.enabledIdx.clear();
     for (int t = 0; t < prog.threads; ++t)
         if (prog.threadEnabled[t])
             sh.enabledIdx.push_back(t);
-    api::barrierInit(sh.barrier,
-                     static_cast<std::uint32_t>(sh.enabledIdx.size()));
+
+    if (!sh.layoutReady) {
+        sh.privBase = api::malloc(prog.privateRegions * w_bytes);
+        sh.lockBase = api::malloc(prog.lockedRegions * w_bytes);
+        sh.ctrBase = api::malloc(prog.counters * 8);
+        sh.casBase = api::malloc(prog.casCounters * 4);
+        zeroTarget(sh.privBase, prog.privateRegions * w_bytes);
+        zeroTarget(sh.lockBase, prog.lockedRegions * w_bytes);
+        zeroTarget(sh.ctrBase, prog.counters * 8);
+        zeroTarget(sh.casBase, prog.casCounters * 4);
+
+        sh.mutexBase = api::mmap(sync_bytes);
+        sh.barrier = sh.mutexBase + prog.mutexes * api::MUTEX_BYTES;
+        for (std::uint32_t m = 0; m < prog.mutexes; ++m)
+            api::mutexInit(sh.mutexBase + m * api::MUTEX_BYTES);
+        api::barrierInit(
+            sh.barrier, static_cast<std::uint32_t>(sh.enabledIdx.size()));
+        sh.folds.assign(prog.threads, FNV_OFFSET);
+        sh.layoutReady = true;
+    }
+    // else: a later segment. Target memory (regions, mutexes, the
+    // barrier) either persisted on the live Simulator or was restored
+    // from the checkpoint; re-initializing it would diverge from the
+    // uninterrupted run.
 
     sh.tiles.assign(prog.threads, INVALID_TILE_ID);
-    sh.folds.assign(prog.threads, 0);
     sh.tiles[0] = api::tileId();
 
     std::vector<ThreadArg> args(prog.threads);
@@ -303,6 +367,11 @@ fuzzMain(void* p)
     for (int t = 1; t < prog.threads; ++t)
         if (prog.threadEnabled[t])
             api::threadJoin(sh.tiles[t]);
+
+    // Mid-program segment: leave every allocation and the carried folds
+    // in place for the next segment (possibly on a restored Simulator).
+    if (sh.lastRound < prog.rounds.size())
+        return;
 
     // Final deterministic fold: per-thread results in index order, then
     // the settled shared state.
@@ -372,6 +441,130 @@ runFuzzProgram(const FuzzProgram& prog, const Config& cfg,
     res.maxSkew = watcher.maxSkew();
     if (opt.collectStats)
         res.statsReport = sim.statsReport();
+    return res;
+}
+
+namespace
+{
+
+/** Run rounds [first, last) as one run() segment; append watcher
+ *  verdicts to @p res. */
+SimulationSummary
+runSegment(Simulator& sim, HostShared& sh, std::uint64_t first,
+           std::uint64_t last, const RunOptions& opt, FuzzResult& res)
+{
+    sh.firstRound = first;
+    sh.lastRound = last;
+    ClockWatcher watcher(sim, opt.watcherPeriodUs,
+                         opt.periodicValidate ? opt.validateEvery : 0);
+    watcher.start();
+    SimulationSummary summary;
+    try {
+        summary = sim.run(&fuzzMain, &sh);
+    } catch (...) {
+        watcher.stop();
+        throw;
+    }
+    watcher.stop();
+    for (std::string& v : watcher.violations())
+        res.violations.push_back(std::move(v));
+    res.maxSkew = std::max(res.maxSkew, watcher.maxSkew());
+    return summary;
+}
+
+/** Post-quiescence verdicts after the program's final segment. */
+void
+finishResult(Simulator& sim, const HostShared& sh, const RunOptions& opt,
+             const SimulationSummary& summary, FuzzResult& res)
+{
+    res.fingerprint = sh.finalFingerprint;
+    for (std::string& v : checkConservation(sim))
+        res.violations.push_back(std::move(v));
+    if (race::Detector::armed()) {
+        race::Detector& det = race::Detector::instance();
+        for (const race::RaceRecord& r : det.records())
+            res.violations.push_back("race: " + det.describe(r));
+    }
+    res.simulatedCycles = summary.simulatedCycles;
+    if (opt.collectStats)
+        res.statsReport = sim.statsReport();
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+checkpointFuzzProgram(const FuzzProgram& prog, const Config& cfg,
+                      std::size_t split_round, const RunOptions& opt,
+                      std::vector<std::string>* violations)
+{
+    HostShared sh;
+    sh.prog = &prog;
+    FuzzResult scratch;
+    Simulator sim(cfg);
+    GRAPHITE_ASSERT(prog.activeThreads() < sim.totalTiles());
+    runSegment(sim, sh, 0, split_round, opt, scratch);
+    if (violations != nullptr)
+        for (std::string& v : scratch.violations)
+            violations->push_back(std::move(v));
+    return snapshot::saveCheckpoint(sim, packAppBlob(sh));
+}
+
+FuzzResult
+resumeFuzzProgram(const FuzzProgram& prog, const Config& cfg,
+                  std::size_t split_round,
+                  const std::vector<std::uint8_t>& ckpt,
+                  const RunOptions& opt)
+{
+    HostShared sh;
+    sh.prog = &prog;
+    FuzzResult res;
+    Simulator sim(cfg);
+    std::vector<std::uint8_t> blob = snapshot::restoreCheckpoint(sim, ckpt);
+    // Save→restore→save identity: re-serializing the freshly restored
+    // state must reproduce the checkpoint bit for bit.
+    if (snapshot::saveCheckpoint(sim, blob) != ckpt)
+        res.violations.push_back(
+            "snapshot: save->restore->save is not byte-identical");
+    unpackAppBlob(blob, sh);
+    finishResult(
+        sim, sh, opt,
+        runSegment(sim, sh, split_round, prog.rounds.size(), opt, res),
+        res);
+    return res;
+}
+
+FuzzResult
+runFuzzProgramSegmented(const FuzzProgram& prog, const Config& cfg,
+                        std::size_t split_round, bool through_snapshot,
+                        const RunOptions& opt)
+{
+    GRAPHITE_ASSERT(split_round <= prog.rounds.size());
+
+    if (through_snapshot) {
+        // The first Simulator is destroyed with the checkpoint taken;
+        // everything segment B needs must come out of the blob.
+        std::vector<std::string> violations;
+        std::vector<std::uint8_t> ckpt =
+            checkpointFuzzProgram(prog, cfg, split_round, opt, &violations);
+        FuzzResult res = resumeFuzzProgram(prog, cfg, split_round, ckpt, opt);
+        res.violations.insert(res.violations.begin(),
+                              std::make_move_iterator(violations.begin()),
+                              std::make_move_iterator(violations.end()));
+        return res;
+    }
+
+    // Paired-schedule reference: the same quiescent pause between the
+    // segments, but the Simulator lives on.
+    HostShared sh;
+    sh.prog = &prog;
+    FuzzResult res;
+    Simulator sim(cfg);
+    GRAPHITE_ASSERT(prog.activeThreads() < sim.totalTiles());
+    runSegment(sim, sh, 0, split_round, opt, res);
+    finishResult(
+        sim, sh, opt,
+        runSegment(sim, sh, split_round, prog.rounds.size(), opt, res),
+        res);
     return res;
 }
 

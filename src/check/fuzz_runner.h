@@ -50,6 +50,49 @@ struct FuzzResult
 FuzzResult runFuzzProgram(const FuzzProgram& prog, const Config& cfg,
                           const RunOptions& opt = {});
 
+/**
+ * Run @p prog in two segments split at round @p split_round (rounds
+ * [0, split) then [split, end)). With @p through_snapshot false both
+ * segments are run() calls on ONE Simulator — the paired-schedule
+ * reference. With it true, the first segment's quiescent state is
+ * checkpointed (snapshot/checkpoint.h), the Simulator is destroyed,
+ * and a fresh Simulator restored from the blob runs the second
+ * segment; the restored state is also immediately re-saved and any
+ * byte difference from the original checkpoint is reported as a
+ * violation. Both paths must reproduce runFuzzProgram's fingerprint,
+ * and under `host/scheduler = deterministic` the through-snapshot run
+ * must match the paired reference cycle for cycle — this is the fuzz
+ * matrix's checkpoint/resume verdict source.
+ */
+FuzzResult runFuzzProgramSegmented(const FuzzProgram& prog,
+                                   const Config& cfg,
+                                   std::size_t split_round,
+                                   bool through_snapshot,
+                                   const RunOptions& opt = {});
+
+/**
+ * Run rounds [0, @p split_round) of @p prog on a fresh Simulator and
+ * return the sealed checkpoint of its quiescent state (workload
+ * bookkeeping rides in the application blob). Segment-A watcher
+ * violations are appended to @p violations when given.
+ */
+std::vector<std::uint8_t>
+checkpointFuzzProgram(const FuzzProgram& prog, const Config& cfg,
+                      std::size_t split_round, const RunOptions& opt = {},
+                      std::vector<std::string>* violations = nullptr);
+
+/**
+ * Restore @p ckpt into a fresh Simulator and run rounds
+ * [@p split_round, end) of @p prog. Every resume also re-saves the
+ * restored state and reports any byte difference from @p ckpt as a
+ * violation (save→restore→save identity). The golden-snapshot fixture
+ * test replays a committed checkpoint through this entry point.
+ */
+FuzzResult resumeFuzzProgram(const FuzzProgram& prog, const Config& cfg,
+                             std::size_t split_round,
+                             const std::vector<std::uint8_t>& ckpt,
+                             const RunOptions& opt = {});
+
 /** One point of the configuration matrix (8-tile target). */
 struct ConfigPoint
 {

@@ -54,6 +54,12 @@ class Rng
         return static_cast<double>(next() >> 11) * 0x1.0p-53;
     }
 
+    /** Raw generator state, for checkpoint serialization. */
+    std::uint64_t state() const { return state_; }
+
+    /** Restore a previously captured state verbatim. */
+    void setState(std::uint64_t state) { state_ = state; }
+
     /** Derive an independent stream for entity @p index. */
     Rng
     fork(std::uint64_t index) const

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/log.h"
+#include "snapshot/snapshot.h"
 
 namespace graphite
 {
@@ -89,6 +90,30 @@ HistogramStat::reset()
     sum_.store(0, std::memory_order_relaxed);
     min_.store(~stat_t{0}, std::memory_order_relaxed);
     max_.store(0, std::memory_order_relaxed);
+}
+
+void
+HistogramStat::saveState(snapshot::SnapshotWriter& w) const
+{
+    for (const auto& b : buckets_)
+        w.u64(b.load(std::memory_order_relaxed));
+    w.u64(count_.load(std::memory_order_relaxed));
+    w.u64(sum_.load(std::memory_order_relaxed));
+    // Raw min_ (all-ones when empty), not the cooked min() accessor, so
+    // a restored histogram keeps accepting smaller samples correctly.
+    w.u64(min_.load(std::memory_order_relaxed));
+    w.u64(max_.load(std::memory_order_relaxed));
+}
+
+void
+HistogramStat::loadState(snapshot::SnapshotReader& r)
+{
+    for (auto& b : buckets_)
+        b.store(r.u64(), std::memory_order_relaxed);
+    count_.store(r.u64(), std::memory_order_relaxed);
+    sum_.store(r.u64(), std::memory_order_relaxed);
+    min_.store(r.u64(), std::memory_order_relaxed);
+    max_.store(r.u64(), std::memory_order_relaxed);
 }
 
 // ------------------------------------------------------------ StatsRegistry

@@ -34,6 +34,12 @@
 namespace graphite
 {
 
+namespace snapshot
+{
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace snapshot
+
 /** One statistic: a 64-bit counter with atomic-free single-writer usage. */
 using stat_t = std::uint64_t;
 
@@ -91,6 +97,11 @@ class HistogramStat
 
     /** Zero everything. Not safe concurrently with record(). */
     void reset();
+
+    /** @name Checkpoint serialization (not concurrent with record) @{ */
+    void saveState(snapshot::SnapshotWriter& w) const;
+    void loadState(snapshot::SnapshotReader& r);
+    /** @} */
 
   private:
     std::array<atomic_stat_t, NUM_BUCKETS> buckets_{};

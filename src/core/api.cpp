@@ -51,6 +51,12 @@ tick(std::uint64_t instructions)
     if (c.sinceCheck < interval)
         return;
     c.sinceCheck = 0;
+    // Cycle-threshold ROI switch: leave warmup once this tile's clock
+    // passes snapshot/ff_detail_at (checked here so no workload
+    // cooperation is needed).
+    if (c.sim->fastForwarding() && c.sim->fastForwardDetailAt() > 0 &&
+        c.core->cycle() >= c.sim->fastForwardDetailAt())
+        c.sim->endFastForward();
     c.sim->syncModel().periodicSync(*c.core);
     // Cooperative quantum boundary: hand the execution slot to the
     // next runnable thread (and enforce the skew gate) after at most
@@ -197,6 +203,20 @@ cycle_t
 cycle()
 {
     return ctx().core->cycle();
+}
+
+// -------------------------------------------------------------------- ROI
+
+void
+roiBegin()
+{
+    ctx().sim->endFastForward();
+}
+
+void
+roiEnd()
+{
+    ctx().sim->beginFastForward();
 }
 
 // ----------------------------------------------------------- dynamic memory

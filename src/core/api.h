@@ -57,6 +57,18 @@ tile_id_t numTiles();
 cycle_t cycle();
 /** @} */
 
+/**
+ * @name Region of interest (fast-forward sampling)
+ * With `snapshot/fast_forward = true` the simulation starts in
+ * functional-only warmup mode; roiBegin() switches to detailed timing
+ * and roiEnd() resumes warmup. No-ops when fast-forward is off, so
+ * workloads may mark their ROI unconditionally.
+ * @{
+ */
+void roiBegin();
+void roiEnd();
+/** @} */
+
 /** @name Dynamic memory (target address space) @{ */
 addr_t malloc(std::uint64_t size);
 void free(addr_t addr);

@@ -68,6 +68,8 @@ Simulator::Simulator(Config cfg)
     syncCheckInterval_ = cfg_.getInt("sync/check_interval", 200);
     syscallCost_ = cfg_.getInt("system/syscall_cost", 100);
     spawnCost_ = cfg_.getInt("system/spawn_cost", 1000);
+    ffEnabled_ = cfg_.getBool("snapshot/fast_forward", false);
+    ffDetailAt_ = cfg_.getInt("snapshot/ff_detail_at", 0);
 
     telemetryPort_ =
         static_cast<int>(cfg_.getInt("telemetry/http_port", -1));
@@ -366,6 +368,12 @@ Simulator::run(thread_func_t app_main, void* arg)
     if (watchdogEnabled_)
         watchdog_.start(watchdogConfig_, makeStatusSource());
 
+    // Re-runnable: a second run() (or one resumed from a checkpoint)
+    // must grant host execution slots from the same cursor position.
+    if (sched_)
+        sched_->resetForRun();
+    beginFastForward();
+
     auto t0 = std::chrono::steady_clock::now();
     {
         GRAPHITE_PROFILE_SCOPE("sim.run");
@@ -374,6 +382,10 @@ Simulator::run(thread_func_t app_main, void* arg)
         threads_->waitForShutdown();
     }
     auto t1 = std::chrono::steady_clock::now();
+
+    // Leave detailed mode armed for the next segment: a checkpoint
+    // written now is a warmed state that sweeps resume in full detail.
+    endFastForward();
 
     // The watchdog only judges an in-flight run; the HTTP server keeps
     // serving final values until the Simulator dies so external probes

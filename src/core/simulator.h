@@ -124,6 +124,27 @@ class Simulator
     obs::telemetry::StatusSource makeStatusSource();
     /** @} */
 
+    /**
+     * @name Fast-forward ROI control
+     * With config `snapshot/fast_forward = true`, run() starts in
+     * functional-only warmup mode (see MemorySystem::setFastForward)
+     * and switches to detailed timing at api::roiBegin() or when a
+     * tile clock reaches `snapshot/ff_detail_at` (0 = marker only).
+     * @{
+     */
+    bool fastForwardConfigured() const { return ffEnabled_; }
+    cycle_t fastForwardDetailAt() const { return ffDetailAt_; }
+    bool fastForwarding() const { return memory_->fastForward(); }
+    /** Resume warmup mode after an ROI (no-op unless configured). */
+    void beginFastForward()
+    {
+        if (ffEnabled_)
+            memory_->setFastForward(true);
+    }
+    /** Enter detailed timing (ROI begin / threshold reached). */
+    void endFastForward() { memory_->setFastForward(false); }
+    /** @} */
+
     /** Cycles between periodic sync-model checks. */
     cycle_t syncCheckInterval() const { return syncCheckInterval_; }
 
@@ -160,6 +181,8 @@ class Simulator
     cycle_t syncCheckInterval_;
     cycle_t syscallCost_;
     cycle_t spawnCost_;
+    bool ffEnabled_ = false;
+    cycle_t ffDetailAt_ = 0;
 
     // Telemetry plane. Declared last so both host threads die before
     // the components their status callbacks read.

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
 
 #include "common/log.h"
+#include "common/strfmt.h"
+#include "snapshot/snapshot.h"
 #include "core/api.h"
 #include "core/simulator.h"
 #include "obs/profiler.h"
@@ -42,6 +45,25 @@ ThreadManager::start()
     const ClusterTopology& topo = sim_.topology();
     tileState_.assign(topo.totalTiles(), TileState::Free);
     syscalls_.assign(topo.totalTiles(), 0);
+
+    // Re-entrancy: a second run() on the same Simulator (and a run
+    // after checkpoint restore) must not inherit the previous run's
+    // shutdown latches or joined host-thread handles.
+    shutdownRequested_ = false;
+    shutdownDone_ = false;
+    lcpThreads_.clear();
+    {
+        std::scoped_lock lock(appThreadsMutex_);
+        appThreads_.clear();
+    }
+
+    if (pendingRestore_ != nullptr) {
+        exitClock_ = std::move(pendingRestore_->exitClock);
+        threadsSpawned_ = pendingRestore_->threadsSpawned;
+        syscalls_ = std::move(pendingRestore_->syscalls);
+        nextFd_ = pendingRestore_->nextFd;
+        pendingRestore_.reset();
+    }
 
     // Reserve tile 0 for the application's main thread before any MCP
     // processing can begin.
@@ -577,6 +599,61 @@ ThreadManager::totalSyscalls() const
     for (stat_t s : syscalls_)
         total += s;
     return total;
+}
+
+void
+ThreadManager::saveState(snapshot::SnapshotWriter& w) const
+{
+    std::scoped_lock lock(mcpStateMutex_);
+    if (!futexQueues_.empty() || !joinWaiters_.empty())
+        throw snapshot::SnapshotError(
+            "snapshot: cannot checkpoint with blocked threads "
+            "(futex/join wait queues are not empty)");
+    // A restore staged by loadState() is the authoritative state until
+    // the next start() applies it — re-saving right after a restore
+    // must reproduce the restored snapshot byte for byte.
+    const PendingRestore* staged = pendingRestore_.get();
+    w.u64(staged != nullptr ? staged->threadsSpawned : threadsSpawned_);
+    w.i64(staged != nullptr ? staged->nextFd : nextFd_);
+    const std::vector<stat_t>& sys =
+        staged != nullptr ? staged->syscalls : syscalls_;
+    w.u64(static_cast<std::uint64_t>(sys.size()));
+    for (stat_t s : sys)
+        w.u64(s);
+    const std::unordered_map<tile_id_t, cycle_t>& exit_src =
+        staged != nullptr ? staged->exitClock : exitClock_;
+    std::map<tile_id_t, cycle_t> exits(exit_src.begin(),
+                                       exit_src.end());
+    w.u64(static_cast<std::uint64_t>(exits.size()));
+    for (const auto& [tile, clock] : exits) {
+        w.i64(tile);
+        w.u64(clock);
+    }
+}
+
+void
+ThreadManager::loadState(snapshot::SnapshotReader& r)
+{
+    auto pending = std::make_unique<PendingRestore>();
+    pending->threadsSpawned = r.u64();
+    pending->nextFd = static_cast<std::int32_t>(r.i64());
+    std::uint64_t tiles = r.u64();
+    if (tiles !=
+        static_cast<std::uint64_t>(sim_.topology().totalTiles()))
+        throw snapshot::SnapshotError(
+            strfmt("snapshot: syscall table tile count mismatch "
+                   "(snapshot {}, configured {})",
+                   tiles, sim_.topology().totalTiles()));
+    pending->syscalls.resize(tiles);
+    for (stat_t& s : pending->syscalls)
+        s = r.u64();
+    std::uint64_t exits = r.u64();
+    for (std::uint64_t i = 0; i < exits; ++i) {
+        auto tile = static_cast<tile_id_t>(r.i64());
+        cycle_t clock = r.u64();
+        pending->exitClock[tile] = clock;
+    }
+    pendingRestore_ = std::move(pending);
 }
 
 obs::telemetry::WaitSetSnapshot

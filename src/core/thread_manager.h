@@ -41,6 +41,12 @@ namespace graphite
 
 class Simulator;
 
+namespace snapshot
+{
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace snapshot
+
 /** Application thread entry point (pthread-style). */
 using thread_func_t = void (*)(void*);
 
@@ -86,6 +92,19 @@ class ThreadManager
      * takes once per dispatched message.
      */
     obs::telemetry::WaitSetSnapshot waitSets() const;
+
+    /**
+     * @name Checkpoint serialization (between runs, MCP stopped)
+     * Checkpoints are taken at quiescence, so the futex and join wait
+     * queues must be empty (throws SnapshotError otherwise). Restore
+     * is staged: loadState() parks the state and the next start()
+     * applies it after its own re-initialization, so the restored
+     * syscall counters and exit clocks are not clobbered.
+     * @{
+     */
+    void saveState(snapshot::SnapshotWriter& w) const;
+    void loadState(snapshot::SnapshotReader& r);
+    /** @} */
 
   private:
     friend class Api; // the API layer sends requests directly
@@ -146,6 +165,16 @@ class ThreadManager
 
     stat_t threadsSpawned_ = 0;
     std::vector<stat_t> syscalls_; ///< per-tile, incremented by MCP only
+
+    /** Restored state parked by loadState() until the next start(). */
+    struct PendingRestore
+    {
+        std::unordered_map<tile_id_t, cycle_t> exitClock;
+        stat_t threadsSpawned = 0;
+        std::vector<stat_t> syscalls;
+        std::int32_t nextFd = 3;
+    };
+    std::unique_ptr<PendingRestore> pendingRestore_;
 };
 
 } // namespace graphite

@@ -142,6 +142,14 @@ HostScheduler::finishThread(tile_id_t tile)
     grantLocked();
 }
 
+void
+HostScheduler::resetForRun()
+{
+    std::scoped_lock lock(mutex_);
+    GRAPHITE_ASSERT(used_ == 0);
+    cursor_ = 0;
+}
+
 // ----------------------------------------------------------- quantum loop
 
 void

@@ -137,6 +137,14 @@ class HostScheduler
 
     /** The thread finished: release the slot and leave the rotation. */
     void finishThread(tile_id_t tile);
+
+    /**
+     * Reset cross-run cursor state so a second run() on the same
+     * Simulator (or a run resumed from a checkpoint) grants slots in
+     * the same order as a fresh simulation. Per-thread records are
+     * already reset by finishThread() at quiescence.
+     */
+    void resetForRun();
     /** @} */
 
     /**

@@ -1,6 +1,7 @@
 #include "mem/address_space.h"
 
 #include "common/log.h"
+#include "snapshot/snapshot.h"
 
 namespace graphite
 {
@@ -184,6 +185,61 @@ MemoryManager::liveBlockCount() const
     std::scoped_lock lock(mutex_);
     return static_cast<stat_t>(liveBlocks_.size() +
                                mmapRegions_.size());
+}
+
+namespace
+{
+
+void
+saveAddrMap(snapshot::SnapshotWriter& w,
+            const std::map<addr_t, std::uint64_t>& m)
+{
+    w.u64(static_cast<std::uint64_t>(m.size()));
+    for (const auto& [addr, size] : m) {
+        w.u64(addr);
+        w.u64(size);
+    }
+}
+
+void
+loadAddrMap(snapshot::SnapshotReader& r,
+            std::map<addr_t, std::uint64_t>& m)
+{
+    m.clear();
+    std::uint64_t count = r.u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        addr_t addr = r.u64();
+        std::uint64_t size = r.u64();
+        m.emplace(addr, size);
+    }
+}
+
+} // namespace
+
+void
+MemoryManager::saveState(snapshot::SnapshotWriter& w) const
+{
+    std::scoped_lock lock(mutex_);
+    w.u64(heapBrk_);
+    w.u64(mmapNext_);
+    w.u64(bytesAllocated_);
+    w.u64(allocCount_);
+    saveAddrMap(w, freeList_);
+    saveAddrMap(w, liveBlocks_);
+    saveAddrMap(w, mmapRegions_);
+}
+
+void
+MemoryManager::loadState(snapshot::SnapshotReader& r)
+{
+    std::scoped_lock lock(mutex_);
+    heapBrk_ = r.u64();
+    mmapNext_ = r.u64();
+    bytesAllocated_ = r.u64();
+    allocCount_ = r.u64();
+    loadAddrMap(r, freeList_);
+    loadAddrMap(r, liveBlocks_);
+    loadAddrMap(r, mmapRegions_);
 }
 
 } // namespace graphite

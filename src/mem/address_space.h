@@ -27,6 +27,12 @@
 namespace graphite
 {
 
+namespace snapshot
+{
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace snapshot
+
 /** Fixed segment boundaries of the target address space. */
 struct AddressSpaceLayout
 {
@@ -103,6 +109,11 @@ class MemoryManager
     stat_t liveBytes() const;
     /** Blocks + regions currently live. */
     stat_t liveBlockCount() const;
+    /** @} */
+
+    /** @name Checkpoint serialization @{ */
+    void saveState(snapshot::SnapshotWriter& w) const;
+    void loadState(snapshot::SnapshotReader& r);
     /** @} */
 
   private:

@@ -33,6 +33,12 @@
 namespace graphite
 {
 
+namespace snapshot
+{
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace snapshot
+
 /** Coherence line states (MSI, plus Exclusive when MESI is enabled). */
 enum class CacheState : std::uint8_t
 {
@@ -184,6 +190,12 @@ class Cache
 
     /** Enumerate valid lines (for invariant checks in tests). */
     std::vector<const CacheLine*> validLines() const;
+
+    /** @name Checkpoint serialization (caller holds the tile lock) @{ */
+    void saveState(snapshot::SnapshotWriter& w) const;
+    /** @throws snapshot::SnapshotError on geometry mismatch. */
+    void loadState(snapshot::SnapshotReader& r);
+    /** @} */
 
   private:
     std::uint64_t setIndex(addr_t line_addr) const;

@@ -1,8 +1,11 @@
 #include "mem/directory.h"
 
 #include <algorithm>
+#include <map>
 
 #include "common/log.h"
+#include "common/strfmt.h"
+#include "snapshot/snapshot.h"
 
 namespace graphite
 {
@@ -246,6 +249,55 @@ Directory::peek(addr_t line_addr)
 {
     auto it = entries_.find(line_addr);
     return it == entries_.end() ? nullptr : it->second.get();
+}
+
+void
+Directory::saveState(snapshot::SnapshotWriter& w) const
+{
+    w.u8(static_cast<std::uint8_t>(type_));
+    w.u64(pointerEvictions_);
+    w.u64(softwareTraps_);
+    std::map<addr_t, const DirectoryEntry*> sorted;
+    for (const auto& [addr, e] : entries_)
+        sorted.emplace(addr, e.get());
+    w.u64(static_cast<std::uint64_t>(sorted.size()));
+    for (const auto& [addr, e] : sorted) {
+        w.u64(addr);
+        w.u8(static_cast<std::uint8_t>(e->state()));
+        w.i64(e->owner());
+        std::vector<tile_id_t> sh = e->sharers();
+        w.u64(static_cast<std::uint64_t>(sh.size()));
+        for (tile_id_t t : sh)
+            w.i64(t);
+    }
+}
+
+void
+Directory::loadState(snapshot::SnapshotReader& r)
+{
+    auto type = static_cast<DirectoryType>(r.u8());
+    if (type != type_)
+        throw snapshot::SnapshotError(
+            strfmt("snapshot: directory scheme mismatch (snapshot {}, "
+                   "configured {})",
+                   static_cast<int>(type), static_cast<int>(type_)));
+    stat_t pointer_evictions = r.u64();
+    stat_t software_traps = r.u64();
+    entries_.clear();
+    std::uint64_t count = r.u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        addr_t addr = r.u64();
+        DirectoryEntry& e = entry(addr);
+        e.setState(static_cast<DirectoryState>(r.u8()));
+        e.setOwner(static_cast<tile_id_t>(r.i64()));
+        std::uint64_t sharers = r.u64();
+        for (std::uint64_t s = 0; s < sharers; ++s)
+            e.addSharer(static_cast<tile_id_t>(r.i64()));
+    }
+    // Re-adding sharers bumps the overflow counters; the snapshot's
+    // values are authoritative.
+    pointerEvictions_ = pointer_evictions;
+    softwareTraps_ = software_traps;
 }
 
 } // namespace graphite

@@ -31,6 +31,12 @@
 namespace graphite
 {
 
+namespace snapshot
+{
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace snapshot
+
 /** Global state of a memory line at its home directory. */
 enum class DirectoryState : std::uint8_t
 {
@@ -124,6 +130,21 @@ class Directory
     /** @name Statistics @{ */
     stat_t pointerEvictions() const { return pointerEvictions_; }
     stat_t softwareTraps() const { return softwareTraps_; }
+    /** @} */
+
+    /**
+     * @name Checkpoint serialization
+     * Entries are saved sorted by line address; restore rebuilds each
+     * sharer set by re-adding sharers in sharers() order, which
+     * reproduces every scheme's internal representation exactly
+     * (full-map bits, Dir_iNB FIFO pointer order, LimitLESS hw-then-sw
+     * split), then overwrites the two stat counters to undo the re-add
+     * side effects.
+     * @{
+     */
+    void saveState(snapshot::SnapshotWriter& w) const;
+    /** @throws snapshot::SnapshotError on scheme mismatch. */
+    void loadState(snapshot::SnapshotReader& r);
     /** @} */
 
   private:

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/log.h"
+#include "snapshot/snapshot.h"
 
 namespace graphite
 {
@@ -42,6 +43,22 @@ DramController::accessEx(cycle_t arrival_time, size_t bytes)
     bd.service = latency_ + service;
     bd.total = bd.queue + bd.service;
     return bd;
+}
+
+void
+DramController::saveState(snapshot::SnapshotWriter& w) const
+{
+    w.u64(accesses_);
+    w.u64(serviceTime_);
+    queue_.saveState(w);
+}
+
+void
+DramController::loadState(snapshot::SnapshotReader& r)
+{
+    accesses_ = r.u64();
+    serviceTime_ = r.u64();
+    queue_.loadState(r);
 }
 
 } // namespace graphite

@@ -28,6 +28,12 @@ namespace graphite
 
 class GlobalProgress;
 
+namespace snapshot
+{
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace snapshot
+
 /** Timing model of a single tile's memory controller. */
 class DramController
 {
@@ -69,6 +75,11 @@ class DramController
     stat_t totalServiceTime() const { return serviceTime_; }
     stat_t clampedArrivals() const { return queue_.clampedArrivals(); }
     stat_t saturations() const { return queue_.saturations(); }
+    /** @} */
+
+    /** @name Checkpoint serialization @{ */
+    void saveState(snapshot::SnapshotWriter& w) const;
+    void loadState(snapshot::SnapshotReader& r);
     /** @} */
 
   private:

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
+
+#include "snapshot/snapshot.h"
 
 namespace graphite
 {
@@ -80,6 +83,38 @@ MainMemory::pagesAllocated() const
         total += b.pages.size();
     }
     return total;
+}
+
+void
+MainMemory::saveState(snapshot::SnapshotWriter& w) const
+{
+    // Sorted order: re-serializing restored memory is byte-identical.
+    std::map<addr_t, const Page*> sorted;
+    for (const Bucket& b : buckets_) {
+        std::scoped_lock lock(b.mutex);
+        for (const auto& [addr, page] : b.pages)
+            sorted.emplace(addr, page.get());
+    }
+    w.u64(static_cast<std::uint64_t>(sorted.size()));
+    for (const auto& [addr, page] : sorted) {
+        w.u64(addr);
+        w.bytes(page->bytes, PAGE_SIZE);
+    }
+}
+
+void
+MainMemory::loadState(snapshot::SnapshotReader& r)
+{
+    for (Bucket& b : buckets_) {
+        std::scoped_lock lock(b.mutex);
+        b.pages.clear();
+    }
+    std::uint64_t count = r.u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        addr_t addr = r.u64();
+        Page& page = ensurePage(addr);
+        r.bytesInto(page.bytes, PAGE_SIZE);
+    }
 }
 
 } // namespace graphite

@@ -30,6 +30,12 @@
 namespace graphite
 {
 
+namespace snapshot
+{
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace snapshot
+
 /** Sparse byte-addressable target memory. */
 class MainMemory
 {
@@ -46,6 +52,11 @@ class MainMemory
 
     /** Number of materialized pages (for tests / footprint stats). */
     size_t pagesAllocated() const;
+
+    /** @name Checkpoint serialization (pages in sorted order) @{ */
+    void saveState(snapshot::SnapshotWriter& w) const;
+    void loadState(snapshot::SnapshotReader& r);
+    /** @} */
 
   private:
     struct Page

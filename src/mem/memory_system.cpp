@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <map>
 #include <thread>
 
 #include "check/fault.h"
 #include "common/config.h"
 #include "common/log.h"
+#include "common/strfmt.h"
+#include "snapshot/snapshot.h"
 #include "obs/span/span.h"
 #include "obs/span/span_sink.h"
 #include "obs/telemetry/flight_recorder.h"
@@ -162,6 +165,14 @@ cycle_t
 MemorySystem::msg(tile_id_t src, tile_id_t dst, size_t payload_bytes,
                   cycle_t send_time, NetBreakdown* bd)
 {
+    // Fast-forward skips the whole modelEx call: the network model's
+    // routed totals and the fabric's locality counters move together
+    // inside it, so skipping both keeps the conservation invariants.
+    if (fastForward()) {
+        if (bd != nullptr)
+            *bd = NetBreakdown{};
+        return 0;
+    }
     NetBreakdown b =
         fabric_.modelEx(PacketType::Memory, src, dst,
                         payload_bytes + NetPacket::HEADER_BYTES,
@@ -247,7 +258,7 @@ MemorySystem::holdShardLockForTest(tile_id_t tile, std::uint64_t ns,
 void
 MemorySystem::bumpVersions(addr_t addr, size_t size)
 {
-    if (!classify_)
+    if (!classify_ || fastForward())
         return;
     addr_t line = lineAlign(addr);
     Shard& sh = shards_[homeTile(line)];
@@ -265,7 +276,7 @@ void
 MemorySystem::snapshotLoss(tile_id_t tile, addr_t line_addr,
                            EvictReason reason)
 {
-    if (!classify_)
+    if (!classify_ || fastForward())
         return;
     // Caller holds tile's lock (lostLines) and the line's home shard.
     LostLine& lost = tiles_[tile].lostLines[line_addr];
@@ -391,8 +402,10 @@ MemorySystem::handleL2Eviction(tile_id_t tile, const Eviction& ev,
         NetBreakdown nbd;
         cycle_t m = msg(tile, home, lineSize_ + CTRL_BYTES, now,
                         span ? &nbd : nullptr);
-        auto dbd =
-            shards_[home].dram->accessEx(now, lineSize_ + CTRL_BYTES);
+        DramController::Breakdown dbd{};
+        if (!fastForward())
+            dbd = shards_[home].dram->accessEx(now,
+                                               lineSize_ + CTRL_BYTES);
         if (span) {
             markNet(&*span, nbd, now, /*reply=*/false);
             markDram(&*span, dbd, now + m);
@@ -471,8 +484,13 @@ MemorySystem::fetchLineLocked(tile_id_t tile, addr_t line_addr,
             d[0] ^= 0x01;
     };
 
-    miss_class = upgrade ? MissClass::Upgrade
-                         : classifyMiss(tile, line_addr, addr, size);
+    // Functional-only warmup: the coherence transaction below still
+    // moves data and permissions, but DRAM timing and miss
+    // classification are paused.
+    const bool ff = fastForward();
+    miss_class = ff        ? MissClass::None
+                 : upgrade ? MissClass::Upgrade
+                           : classifyMiss(tile, line_addr, addr, size);
     obs::telemetry::FlightRecorder::record(
         obs::telemetry::FrEvent::MissPath, tile, now, line_addr,
         for_write ? 1 : 0);
@@ -503,10 +521,12 @@ MemorySystem::fetchLineLocked(tile_id_t tile, addr_t line_addr,
       case DirectoryState::Uncached: {
         GRAPHITE_ASSERT(!upgrade);
         // Memory fetch at the home controller.
-        auto dbd = shards_[home].dram->accessEx(now + lat,
-                                                lineSize_ + CTRL_BYTES);
-        markDram(sb, dbd, now + lat);
-        lat += dbd.total;
+        if (!ff) {
+            auto dbd = shards_[home].dram->accessEx(
+                now + lat, lineSize_ + CTRL_BYTES);
+            markDram(sb, dbd, now + lat);
+            lat += dbd.total;
+        }
         fill_from_memory(data);
         if (mesi_ && !for_write)
             grant_exclusive = true;
@@ -541,17 +561,21 @@ MemorySystem::fetchLineLocked(tile_id_t tile, addr_t line_addr,
             entry.clearSharers();
             if (!upgrade) {
                 // Sharers hold clean copies; memory is current.
+                if (!ff) {
+                    auto dbd = shards_[home].dram->accessEx(
+                        now + lat, lineSize_ + CTRL_BYTES);
+                    markDram(sb, dbd, now + lat);
+                    lat += dbd.total;
+                }
+                fill_from_memory(data);
+            }
+        } else {
+            if (!ff) {
                 auto dbd = shards_[home].dram->accessEx(
                     now + lat, lineSize_ + CTRL_BYTES);
                 markDram(sb, dbd, now + lat);
                 lat += dbd.total;
-                fill_from_memory(data);
             }
-        } else {
-            auto dbd = shards_[home].dram->accessEx(
-                now + lat, lineSize_ + CTRL_BYTES);
-            markDram(sb, dbd, now + lat);
-            lat += dbd.total;
             fill_from_memory(data);
         }
         break;
@@ -602,10 +626,12 @@ MemorySystem::fetchLineLocked(tile_id_t tile, addr_t line_addr,
             // queueing feedback loop: demand on a saturated controller
             // throttles the threads generating it).
             backing_.write(line_addr, data.data(), data.size());
-            auto dbd = shards_[home].dram->accessEx(
-                now + lat, lineSize_ + CTRL_BYTES);
-            markDram(sb, dbd, now + lat);
-            lat += dbd.total;
+            if (!ff) {
+                auto dbd = shards_[home].dram->accessEx(
+                    now + lat, lineSize_ + CTRL_BYTES);
+                markDram(sb, dbd, now + lat);
+                lat += dbd.total;
+            }
         }
         // M -> M: dirty ownership migrates cache-to-cache; memory stays
         // stale (the functional copy lives in the new owner's L2).
@@ -678,8 +704,13 @@ MemorySystem::fetchLineLocked(tile_id_t tile, addr_t line_addr,
                              : grant_exclusive ? CacheState::Exclusive
                                                : CacheState::Shared;
         auto ev = tm.l2->insert(line_addr, install, std::move(data));
-        tm.everCached.insert(line_addr);
-        tm.lostLines.erase(line_addr);
+        if (!ff) {
+            // Classification tracking pauses during fast-forward (the
+            // documented warmup caveat: post-ROI cold/coherence split
+            // is approximate for lines first touched while warming).
+            tm.everCached.insert(line_addr);
+            tm.lostLines.erase(line_addr);
+        }
         if (ev)
             handleL2Eviction(tile, *ev, now + lat);
     }
@@ -766,6 +797,9 @@ MemorySystem::accessLine(tile_id_t tile, MemAccessType type, addr_t addr,
 {
     GRAPHITE_ASSERT(tile >= 0 && tile < topo_.totalTiles());
     GRAPHITE_ASSERT(lineAlign(addr) == lineAlign(addr + size - 1));
+
+    if (fastForward())
+        return accessLineFastForward(tile, type, addr, buf, size);
 
     auto global = globalGuard();
     TileMemory& tm = tiles_[tile];
@@ -943,6 +977,32 @@ MemorySystem::atomicRmw(tile_id_t tile, addr_t addr, size_t size,
     GRAPHITE_ASSERT(size == 4 || size == 8);
     GRAPHITE_ASSERT(lineAlign(addr) == lineAlign(addr + size - 1));
 
+    if (fastForward()) {
+        // Functional-only RMW against the backing store; the home
+        // shard lock makes it atomic (every fast-forward access to
+        // this line serializes on the same lock).
+        auto global = globalGuard();
+        addr_t line_addr = lineAlign(addr);
+        tile_id_t home = homeTile(line_addr);
+        auto shard_lock = lockShard(shards_[home]);
+        if (DirectoryEntry* entry =
+                shards_[home].directory->peek(line_addr);
+            entry != nullptr &&
+            entry->state() != DirectoryState::Uncached)
+            demoteLineLocked(*entry, line_addr);
+        AtomicResult res;
+        std::uint64_t old_val = 0;
+        backing_.read(addr, &old_val, size);
+        std::uint64_t new_val = op(old_val);
+        backing_.write(addr, &new_val, size);
+        res.oldValue = old_val;
+        TileMemory& tmf = tiles_[tile];
+        auto tile_lock = lockTile(tmf);
+        ++tmf.stats.totalAccesses;
+        aggAccesses_.fetch_add(1, std::memory_order_relaxed);
+        return res;
+    }
+
     auto global = globalGuard();
     TileMemory& tm = tiles_[tile];
     addr_t line_addr = lineAlign(addr);
@@ -1068,6 +1128,69 @@ MemorySystem::atomicRmw(tile_id_t tile, addr_t addr, size_t size,
 // ------------------------------------------------- untimed coherent access
 
 void
+MemorySystem::demoteLineLocked(DirectoryEntry& entry, addr_t line_addr)
+{
+    // Caller holds the line's home shard. Invalidate every cached copy
+    // (merging a Modified owner's data) so the backing store becomes
+    // the sole authority for the line.
+    std::vector<tile_id_t> holder_ids;
+    if (entry.state() == DirectoryState::Modified)
+        holder_ids.push_back(entry.owner());
+    else
+        for (tile_id_t s : entry.sharers())
+            holder_ids.push_back(s);
+    sortUnique(holder_ids);
+    std::vector<std::unique_lock<std::mutex>> tile_locks;
+    tile_locks.reserve(holder_ids.size());
+    for (tile_id_t id : holder_ids)
+        tile_locks.push_back(lockTile(tiles_[id]));
+
+    if (entry.state() == DirectoryState::Modified) {
+        std::vector<std::uint8_t> data;
+        invalidateTile(entry.owner(), line_addr, /*coherence=*/false,
+                       &data);
+        backing_.write(line_addr, data.data(), data.size());
+    } else {
+        for (tile_id_t s : holder_ids)
+            invalidateTile(s, line_addr, /*coherence=*/false, nullptr);
+    }
+    entry.setState(DirectoryState::Uncached);
+    entry.setOwner(INVALID_TILE_ID);
+    entry.clearSharers();
+}
+
+AccessResult
+MemorySystem::accessLineFastForward(tile_id_t tile, MemAccessType type,
+                                    addr_t addr, void* buf, size_t size)
+{
+    auto global = globalGuard();
+    addr_t line_addr = lineAlign(addr);
+    const bool is_write = type == MemAccessType::Write;
+
+    // The backing store is the single memory image during warmup. The
+    // first fast-forward touch of a line demotes any cached copies
+    // (mixed-mode safety: a detailed-path access that straddled the
+    // mode flip may have installed one); after that the steady state
+    // is a directory peek plus a plain memory copy under the home
+    // shard lock — no cache, network or DRAM modeling at all.
+    tile_id_t home = homeTile(line_addr);
+    auto shard_lock = lockShard(shards_[home]);
+    if (DirectoryEntry* entry = shards_[home].directory->peek(line_addr);
+        entry != nullptr && entry->state() != DirectoryState::Uncached)
+        demoteLineLocked(*entry, line_addr);
+    if (is_write)
+        backing_.write(addr, buf, size);
+    else
+        backing_.read(addr, buf, size);
+
+    AccessResult res; // zero latency, counts as a (cold) miss
+    TileMemory& tm = tiles_[tile];
+    auto tile_lock = lockTile(tm);
+    finishAccess(tm, res);
+    return res;
+}
+
+void
 MemorySystem::readCoherent(addr_t addr, void* buf, size_t size)
 {
     auto global = globalGuard();
@@ -1116,34 +1239,8 @@ MemorySystem::writeCoherent(addr_t addr, const void* buf, size_t size)
         DirectoryEntry* entry =
             shards_[home].directory->peek(line_addr);
         if (entry != nullptr &&
-            entry->state() != DirectoryState::Uncached) {
-            std::vector<tile_id_t> holder_ids;
-            if (entry->state() == DirectoryState::Modified)
-                holder_ids.push_back(entry->owner());
-            else
-                for (tile_id_t s : entry->sharers())
-                    holder_ids.push_back(s);
-            sortUnique(holder_ids);
-            std::vector<std::unique_lock<std::mutex>> tile_locks;
-            tile_locks.reserve(holder_ids.size());
-            for (tile_id_t id : holder_ids)
-                tile_locks.push_back(lockTile(tiles_[id]));
-
-            if (entry->state() == DirectoryState::Modified) {
-                std::vector<std::uint8_t> data;
-                invalidateTile(entry->owner(), line_addr,
-                               /*coherence=*/false, &data);
-                // Merge the owner's newest data first.
-                backing_.write(line_addr, data.data(), data.size());
-            } else {
-                for (tile_id_t s : holder_ids)
-                    invalidateTile(s, line_addr, /*coherence=*/false,
-                                   nullptr);
-            }
-            entry->setState(DirectoryState::Uncached);
-            entry->setOwner(INVALID_TILE_ID);
-            entry->clearSharers();
-        }
+            entry->state() != DirectoryState::Uncached)
+            demoteLineLocked(*entry, line_addr);
         backing_.write(addr, in, chunk);
         bumpVersions(addr, chunk);
         in += chunk;
@@ -1296,6 +1393,163 @@ MemorySystem::validateCoherence()
         }
     }
     return "";
+}
+
+// ----------------------------------------------------------- serialization
+
+void
+MemorySystem::saveState(snapshot::SnapshotWriter& w)
+{
+    w.u64(static_cast<std::uint64_t>(tiles_.size()));
+    for (TileMemory& tm : tiles_) {
+        std::scoped_lock lock(tm.mutex);
+        w.b(tm.l1i != nullptr);
+        if (tm.l1i)
+            tm.l1i->saveState(w);
+        w.b(tm.l1d != nullptr);
+        if (tm.l1d)
+            tm.l1d->saveState(w);
+        tm.l2->saveState(w);
+
+        const TileMemoryStats& s = tm.stats;
+        w.u64(s.totalAccesses);
+        w.u64(s.totalLatency);
+        w.u64(s.l2ColdMisses);
+        w.u64(s.l2CapacityMisses);
+        w.u64(s.l2TrueSharingMisses);
+        w.u64(s.l2FalseSharingMisses);
+        w.u64(s.l2UpgradeMisses);
+        w.u64(s.invalidationsSent);
+        w.u64(s.recalls);
+        w.u64(s.writebacks);
+
+        std::vector<addr_t> ever(tm.everCached.begin(),
+                                 tm.everCached.end());
+        std::sort(ever.begin(), ever.end());
+        w.u64(static_cast<std::uint64_t>(ever.size()));
+        for (addr_t a : ever)
+            w.u64(a);
+
+        std::map<addr_t, const LostLine*> lost;
+        for (const auto& [a, ll] : tm.lostLines)
+            lost.emplace(a, &ll);
+        w.u64(static_cast<std::uint64_t>(lost.size()));
+        for (const auto& [a, ll] : lost) {
+            w.u64(a);
+            w.u8(static_cast<std::uint8_t>(ll->reason));
+            w.u64(static_cast<std::uint64_t>(ll->versions.size()));
+            for (std::uint32_t v : ll->versions)
+                w.u32(v);
+        }
+    }
+
+    for (Shard& sh : shards_) {
+        std::scoped_lock lock(sh.mutex);
+        sh.directory->saveState(w);
+        sh.dram->saveState(w);
+        std::scoped_lock vl(sh.versionMutex);
+        std::map<addr_t, const std::vector<std::uint32_t>*> vers;
+        for (const auto& [a, vv] : sh.wordVersions)
+            vers.emplace(a, &vv);
+        w.u64(static_cast<std::uint64_t>(vers.size()));
+        for (const auto& [a, vv] : vers) {
+            w.u64(a);
+            w.u64(static_cast<std::uint64_t>(vv->size()));
+            for (std::uint32_t v : *vv)
+                w.u32(v);
+        }
+    }
+
+    accessLatency_.saveState(w);
+    backing_.saveState(w);
+    manager_->saveState(w);
+
+    w.u64(aggAccesses_.load(std::memory_order_relaxed));
+    w.u64(aggL2Misses_.load(std::memory_order_relaxed));
+    w.u64(aggWritebacks_.load(std::memory_order_relaxed));
+}
+
+void
+MemorySystem::loadState(snapshot::SnapshotReader& r)
+{
+    std::uint64_t tiles = r.u64();
+    if (tiles != tiles_.size())
+        throw snapshot::SnapshotError(
+            strfmt("snapshot: tile count mismatch (snapshot {}, "
+                   "configured {})",
+                   tiles, tiles_.size()));
+    for (TileMemory& tm : tiles_) {
+        std::scoped_lock lock(tm.mutex);
+        auto load_l1 = [&](std::unique_ptr<Cache>& l1,
+                           const char* which) {
+            bool present = r.b();
+            if (present != (l1 != nullptr))
+                throw snapshot::SnapshotError(
+                    strfmt("snapshot: {} cache presence mismatch "
+                           "(snapshot {}, configured {})",
+                           which, present ? "enabled" : "disabled",
+                           l1 ? "enabled" : "disabled"));
+            if (l1)
+                l1->loadState(r);
+        };
+        load_l1(tm.l1i, "L1I");
+        load_l1(tm.l1d, "L1D");
+        tm.l2->loadState(r);
+
+        TileMemoryStats& s = tm.stats;
+        s.totalAccesses = r.u64();
+        s.totalLatency = r.u64();
+        s.l2ColdMisses = r.u64();
+        s.l2CapacityMisses = r.u64();
+        s.l2TrueSharingMisses = r.u64();
+        s.l2FalseSharingMisses = r.u64();
+        s.l2UpgradeMisses = r.u64();
+        s.invalidationsSent = r.u64();
+        s.recalls = r.u64();
+        s.writebacks = r.u64();
+
+        tm.everCached.clear();
+        std::uint64_t ever = r.u64();
+        for (std::uint64_t i = 0; i < ever; ++i)
+            tm.everCached.insert(r.u64());
+
+        tm.lostLines.clear();
+        std::uint64_t lost = r.u64();
+        for (std::uint64_t i = 0; i < lost; ++i) {
+            addr_t a = r.u64();
+            LostLine& ll = tm.lostLines[a];
+            ll.reason = static_cast<EvictReason>(r.u8());
+            std::uint64_t n = r.u64();
+            ll.versions.resize(n);
+            for (std::uint32_t& v : ll.versions)
+                v = r.u32();
+        }
+    }
+
+    for (Shard& sh : shards_) {
+        std::scoped_lock lock(sh.mutex);
+        sh.directory->loadState(r);
+        sh.dram->loadState(r);
+        std::scoped_lock vl(sh.versionMutex);
+        sh.wordVersions.clear();
+        std::uint64_t entries = r.u64();
+        for (std::uint64_t i = 0; i < entries; ++i) {
+            addr_t a = r.u64();
+            std::uint64_t n = r.u64();
+            auto& vv = sh.wordVersions[a];
+            vv.resize(n);
+            for (std::uint32_t& v : vv)
+                v = r.u32();
+        }
+    }
+
+    accessLatency_.loadState(r);
+    backing_.loadState(r);
+    manager_->loadState(r);
+
+    aggAccesses_.store(r.u64(), std::memory_order_relaxed);
+    aggL2Misses_.store(r.u64(), std::memory_order_relaxed);
+    aggWritebacks_.store(r.u64(), std::memory_order_relaxed);
 }
 
 } // namespace graphite

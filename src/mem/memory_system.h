@@ -56,6 +56,12 @@ namespace graphite
 
 class Config;
 
+namespace snapshot
+{
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace snapshot
+
 /** Kind of memory reference. */
 enum class MemAccessType : std::uint8_t
 {
@@ -253,6 +259,43 @@ class MemorySystem
      */
     std::string validateCoherence();
 
+    /**
+     * @name Checkpoint serialization (all application threads stopped)
+     * Saves the full functional+timing state: caches with target data,
+     * directory slices, DRAM controllers and queue clocks, word
+     * versions, miss-classification tracking, the backing store, the
+     * target memory manager, and all architectural counters. Host-side
+     * lock-contention counters are wall-clock artifacts and restart at
+     * zero.
+     * @{
+     */
+    void saveState(snapshot::SnapshotWriter& w);
+    void loadState(snapshot::SnapshotReader& r);
+    /** @} */
+
+    /**
+     * @name Fast-forward (functional-only warmup)
+     * While enabled, accesses stay functionally exact but bypass the
+     * timing model entirely: a line's cached copies are demoted to
+     * the backing store on its first warmup touch, and from then on
+     * reads/writes are plain memory copies under the home shard lock
+     * — no cache, directory-protocol, network or DRAM modeling, so
+     * warmup runs at near-native memory speed. Detailed simulation
+     * resumes with cold caches (the documented warmup caveat: use a
+     * checkpoint of a detailed run for warm-cache studies). Toggled
+     * at ROI markers or a cycle threshold.
+     * @{
+     */
+    void setFastForward(bool on)
+    {
+        fastForward_.store(on, std::memory_order_relaxed);
+    }
+    bool fastForward() const
+    {
+        return fastForward_.load(std::memory_order_relaxed);
+    }
+    /** @} */
+
   private:
     /** State one tile lost a line with, for miss classification. */
     struct LostLine
@@ -326,6 +369,23 @@ class MemorySystem
                             cycle_t start_time);
 
     /**
+     * Fast-forward line access: demote the line to the backing store
+     * on first touch, then serve the bytes straight from backing with
+     * zero modeled latency (no cache, directory-protocol, network or
+     * DRAM work).
+     */
+    AccessResult accessLineFastForward(tile_id_t tile,
+                                       MemAccessType type, addr_t addr,
+                                       void* buf, size_t size);
+
+    /**
+     * Invalidate every cached copy of @p line_addr (merging a Modified
+     * owner's data into backing) and reset its directory entry to
+     * Uncached. Caller holds the line's home shard.
+     */
+    void demoteLineLocked(DirectoryEntry& entry, addr_t line_addr);
+
+    /**
      * Complete the access if @p tile's caches already hold the line with
      * sufficient permission (the fast path). Caller holds the tile lock.
      * @return true when the access completed and @p res is filled.
@@ -388,6 +448,7 @@ class MemorySystem
     bool classify_;
     bool mesi_ = false;
     bool sharded_ = true;
+    std::atomic<bool> fastForward_{false};
     std::mutex globalMutex_; ///< only used when !sharded_
     std::vector<TileMemory> tiles_;
     std::vector<Shard> shards_;

@@ -1,6 +1,8 @@
 #include "network/global_progress.h"
 
 #include "common/log.h"
+#include "common/strfmt.h"
+#include "snapshot/snapshot.h"
 
 namespace graphite
 {
@@ -40,6 +42,39 @@ GlobalProgress::samples() const
 {
     std::scoped_lock lock(mutex_);
     return count_;
+}
+
+void
+GlobalProgress::saveState(snapshot::SnapshotWriter& w) const
+{
+    std::scoped_lock lock(mutex_);
+    w.u64(static_cast<std::uint64_t>(window_.size()));
+    for (cycle_t c : window_)
+        w.u64(c);
+    w.u64(static_cast<std::uint64_t>(next_));
+    w.u64(static_cast<std::uint64_t>(count_));
+    // 128-bit running sum, low word first.
+    w.u64(static_cast<std::uint64_t>(sum_));
+    w.u64(static_cast<std::uint64_t>(sum_ >> 64));
+}
+
+void
+GlobalProgress::loadState(snapshot::SnapshotReader& r)
+{
+    std::scoped_lock lock(mutex_);
+    std::uint64_t size = r.u64();
+    if (size != window_.size())
+        throw snapshot::SnapshotError(
+            strfmt("snapshot: global-progress window mismatch "
+                   "(snapshot {}, configured {})",
+                   size, window_.size()));
+    for (cycle_t& c : window_)
+        c = r.u64();
+    next_ = static_cast<size_t>(r.u64());
+    count_ = static_cast<size_t>(r.u64());
+    std::uint64_t lo = r.u64();
+    std::uint64_t hi = r.u64();
+    sum_ = (static_cast<unsigned __int128>(hi) << 64) | lo;
 }
 
 } // namespace graphite

@@ -23,6 +23,12 @@
 namespace graphite
 {
 
+namespace snapshot
+{
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace snapshot
+
 /**
  * Sliding-window average of recently observed message timestamps.
  * Thread-safe; observe() is called on every modeled message.
@@ -41,6 +47,11 @@ class GlobalProgress
 
     /** Number of samples observed so far (saturates at window size). */
     size_t samples() const;
+
+    /** @name Checkpoint serialization @{ */
+    void saveState(snapshot::SnapshotWriter& w) const;
+    void loadState(snapshot::SnapshotReader& r);
+    /** @} */
 
   private:
     mutable std::mutex mutex_;

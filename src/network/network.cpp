@@ -2,7 +2,9 @@
 
 #include "common/config.h"
 #include "common/log.h"
+#include "common/strfmt.h"
 #include "obs/span/span.h"
+#include "snapshot/snapshot.h"
 #include "obs/span/span_sink.h"
 #include "obs/trace_event.h"
 
@@ -120,6 +122,58 @@ NetworkFabric::pairBytes(tile_id_t src, tile_id_t dst) const
     return byteMatrix_[static_cast<size_t>(src) * topo_.totalTiles() +
                        dst]
         .load();
+}
+
+void
+NetworkFabric::saveState(snapshot::SnapshotWriter& w) const
+{
+    progress_.saveState(w);
+    for (const auto& model : models_) {
+        w.str(model->name());
+        model->saveState(w);
+    }
+    for (const LocalityCounters& c : counters_) {
+        w.u64(c.intraMsgs.load(std::memory_order_relaxed));
+        w.u64(c.interMsgs.load(std::memory_order_relaxed));
+        w.u64(c.intraBytes.load(std::memory_order_relaxed));
+        w.u64(c.interBytes.load(std::memory_order_relaxed));
+    }
+    w.u64(static_cast<std::uint64_t>(msgMatrix_.size()));
+    for (const auto& v : msgMatrix_)
+        w.u64(v.load(std::memory_order_relaxed));
+    for (const auto& v : byteMatrix_)
+        w.u64(v.load(std::memory_order_relaxed));
+}
+
+void
+NetworkFabric::loadState(snapshot::SnapshotReader& r)
+{
+    progress_.loadState(r);
+    for (const auto& model : models_) {
+        std::string name = r.str();
+        if (name != model->name())
+            throw snapshot::SnapshotError(
+                strfmt("snapshot: network model mismatch (snapshot "
+                       "'{}', configured '{}')",
+                       name, model->name()));
+        model->loadState(r);
+    }
+    for (LocalityCounters& c : counters_) {
+        c.intraMsgs.store(r.u64(), std::memory_order_relaxed);
+        c.interMsgs.store(r.u64(), std::memory_order_relaxed);
+        c.intraBytes.store(r.u64(), std::memory_order_relaxed);
+        c.interBytes.store(r.u64(), std::memory_order_relaxed);
+    }
+    std::uint64_t matrix = r.u64();
+    if (matrix != msgMatrix_.size())
+        throw snapshot::SnapshotError(
+            strfmt("snapshot: traffic-matrix size mismatch "
+                   "(snapshot {}, configured {})",
+                   matrix, msgMatrix_.size()));
+    for (auto& v : msgMatrix_)
+        v.store(r.u64(), std::memory_order_relaxed);
+    for (auto& v : byteMatrix_)
+        v.store(r.u64(), std::memory_order_relaxed);
 }
 
 // ------------------------------------------------------------------ Network

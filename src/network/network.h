@@ -38,6 +38,12 @@ namespace graphite
 
 class Config;
 
+namespace snapshot
+{
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace snapshot
+
 /**
  * Simulation-wide network state: the swappable models and the traffic
  * accounting consumed by the host cluster model.
@@ -108,6 +114,11 @@ class NetworkFabric
     bool trafficMatrixEnabled() const { return !msgMatrix_.empty(); }
     stat_t pairMessages(tile_id_t src, tile_id_t dst) const;
     stat_t pairBytes(tile_id_t src, tile_id_t dst) const;
+    /** @} */
+
+    /** @name Checkpoint serialization (at quiescence only) @{ */
+    void saveState(snapshot::SnapshotWriter& w) const;
+    void loadState(snapshot::SnapshotReader& r);
     /** @} */
 
   private:

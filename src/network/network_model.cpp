@@ -4,7 +4,9 @@
 
 #include "common/config.h"
 #include "common/log.h"
+#include "common/strfmt.h"
 #include "network/global_progress.h"
+#include "snapshot/snapshot.h"
 
 namespace graphite
 {
@@ -152,6 +154,50 @@ EMeshContentionNetworkModel::totalContentionDelay() const
     for (const auto& link : links_)
         total += link->totalQueueDelay();
     return total;
+}
+
+// ----------------------------------------------------------- serialization
+
+void
+NetworkModel::saveState(snapshot::SnapshotWriter& w) const
+{
+    w.u64(packets_.load(std::memory_order_relaxed));
+    w.u64(bytes_.load(std::memory_order_relaxed));
+    w.u64(latency_.load(std::memory_order_relaxed));
+    w.u64(hops_.load(std::memory_order_relaxed));
+}
+
+void
+NetworkModel::loadState(snapshot::SnapshotReader& r)
+{
+    packets_.store(r.u64(), std::memory_order_relaxed);
+    bytes_.store(r.u64(), std::memory_order_relaxed);
+    latency_.store(r.u64(), std::memory_order_relaxed);
+    hops_.store(r.u64(), std::memory_order_relaxed);
+}
+
+void
+EMeshContentionNetworkModel::saveState(
+    snapshot::SnapshotWriter& w) const
+{
+    NetworkModel::saveState(w);
+    w.u64(static_cast<std::uint64_t>(links_.size()));
+    for (const auto& link : links_)
+        link->saveState(w);
+}
+
+void
+EMeshContentionNetworkModel::loadState(snapshot::SnapshotReader& r)
+{
+    NetworkModel::loadState(r);
+    std::uint64_t count = r.u64();
+    if (count != links_.size())
+        throw snapshot::SnapshotError(
+            strfmt("snapshot: mesh link count mismatch (snapshot {}, "
+                   "configured {})",
+                   count, links_.size()));
+    for (auto& link : links_)
+        link->loadState(r);
 }
 
 // ------------------------------------------------------------------ factory

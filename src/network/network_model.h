@@ -34,6 +34,12 @@ namespace graphite
 class Config;
 class GlobalProgress;
 
+namespace snapshot
+{
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace snapshot
+
 /** 2D mesh geometry shared by the mesh models. */
 class MeshShape
 {
@@ -128,6 +134,16 @@ class NetworkModel
     /** @} */
 
     /**
+     * @name Checkpoint serialization
+     * The base implementation covers the aggregate counters;
+     * stateful models (emesh_contention link queues) extend it.
+     * @{
+     */
+    virtual void saveState(snapshot::SnapshotWriter& w) const;
+    virtual void loadState(snapshot::SnapshotReader& r);
+    /** @} */
+
+    /**
      * Factory. @p type is one of "magic", "emesh_hop",
      * "emesh_contention". Fatal on unknown type (user error).
      * @p progress may be nullptr for non-contention models.
@@ -210,6 +226,9 @@ class EMeshContentionNetworkModel : public EMeshHopNetworkModel
 
     /** Total queueing delay accumulated over all links (for ablations). */
     stat_t totalContentionDelay() const;
+
+    void saveState(snapshot::SnapshotWriter& w) const override;
+    void loadState(snapshot::SnapshotReader& r) override;
 
   private:
     GlobalProgress* progress_;

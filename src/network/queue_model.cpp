@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "network/global_progress.h"
+#include "snapshot/snapshot.h"
 
 namespace graphite
 {
@@ -99,6 +100,28 @@ QueueModel::saturations() const
 {
     std::scoped_lock lock(mutex_);
     return saturations_;
+}
+
+void
+QueueModel::saveState(snapshot::SnapshotWriter& w) const
+{
+    std::scoped_lock lock(mutex_);
+    w.u64(queueClock_);
+    w.u64(requests_);
+    w.u64(totalDelay_);
+    w.u64(clamped_);
+    w.u64(saturations_);
+}
+
+void
+QueueModel::loadState(snapshot::SnapshotReader& r)
+{
+    std::scoped_lock lock(mutex_);
+    queueClock_ = r.u64();
+    requests_ = r.u64();
+    totalDelay_ = r.u64();
+    clamped_ = r.u64();
+    saturations_ = r.u64();
 }
 
 } // namespace graphite

@@ -29,6 +29,12 @@ namespace graphite
 
 class GlobalProgress;
 
+namespace snapshot
+{
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace snapshot
+
 /** One shared queue (a mesh link, a DRAM controller port, ...). */
 class QueueModel
 {
@@ -68,6 +74,11 @@ class QueueModel
     stat_t totalQueueDelay() const;
     stat_t clampedArrivals() const;
     stat_t saturations() const;
+    /** @} */
+
+    /** @name Checkpoint serialization @{ */
+    void saveState(snapshot::SnapshotWriter& w) const;
+    void loadState(snapshot::SnapshotReader& r);
     /** @} */
 
   private:

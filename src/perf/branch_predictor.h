@@ -20,6 +20,12 @@
 namespace graphite
 {
 
+namespace snapshot
+{
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace snapshot
+
 /** Abstract branch direction predictor. */
 class BranchPredictor
 {
@@ -46,7 +52,25 @@ class BranchPredictor
     static std::unique_ptr<BranchPredictor>
     create(const std::string& type, size_t table_size);
 
+    /**
+     * @name Checkpoint serialization
+     * Base covers the counters; table predictors add their tables via
+     * the saveTable/loadTable hooks.
+     * @{
+     */
+    void saveState(snapshot::SnapshotWriter& w) const;
+    void loadState(snapshot::SnapshotReader& r);
+    /** @} */
+
   protected:
+    virtual void saveTable(snapshot::SnapshotWriter& w) const;
+    virtual void loadTable(snapshot::SnapshotReader& r);
+
+    static void saveByteTable(snapshot::SnapshotWriter& w,
+                              const std::vector<std::uint8_t>& table);
+    static void loadByteTable(snapshot::SnapshotReader& r,
+                              std::vector<std::uint8_t>& table);
+
     void
     record(bool correct)
     {
@@ -81,6 +105,10 @@ class OneBitBranchPredictor : public BranchPredictor
     explicit OneBitBranchPredictor(size_t table_size);
     bool predictAndTrain(addr_t site, bool taken) override;
 
+  protected:
+    void saveTable(snapshot::SnapshotWriter& w) const override;
+    void loadTable(snapshot::SnapshotReader& r) override;
+
   private:
     std::vector<std::uint8_t> table_;
 };
@@ -91,6 +119,10 @@ class TwoBitBranchPredictor : public BranchPredictor
   public:
     explicit TwoBitBranchPredictor(size_t table_size);
     bool predictAndTrain(addr_t site, bool taken) override;
+
+  protected:
+    void saveTable(snapshot::SnapshotWriter& w) const override;
+    void loadTable(snapshot::SnapshotReader& r) override;
 
   private:
     std::vector<std::uint8_t> table_; ///< states 0..3; >=2 predicts taken

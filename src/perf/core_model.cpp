@@ -4,9 +4,63 @@
 
 #include "common/config.h"
 #include "common/log.h"
+#include "snapshot/snapshot.h"
 
 namespace graphite
 {
+
+namespace
+{
+
+void
+saveSlotRing(snapshot::SnapshotWriter& w,
+             const std::vector<cycle_t>& slots, size_t next)
+{
+    w.u64(static_cast<std::uint64_t>(slots.size()));
+    for (cycle_t c : slots)
+        w.u64(c);
+    w.u64(static_cast<std::uint64_t>(next));
+}
+
+/**
+ * Restore a slot ring, tolerating a different configured size: a
+ * checkpoint taken under one load-queue/store-buffer depth may be
+ * forked into sweeps with different timing knobs, so copy what fits
+ * (oldest-first from the cursor) instead of rejecting the snapshot.
+ */
+void
+loadSlotRing(snapshot::SnapshotReader& r, std::vector<cycle_t>& slots,
+             size_t& next)
+{
+    std::uint64_t saved_size = r.u64();
+    // Sanity bound so a corrupted-but-checksummed count surfaces as a
+    // clean SnapshotError instead of a giant allocation.
+    if (saved_size > (1u << 20))
+        throw snapshot::SnapshotError(
+            strfmt("snapshot: implausible slot ring size {}", saved_size));
+    std::vector<cycle_t> saved(saved_size);
+    for (cycle_t& c : saved)
+        c = r.u64();
+    std::uint64_t saved_next = r.u64();
+
+    if (saved_size == slots.size()) {
+        slots = std::move(saved);
+        next = static_cast<size_t>(saved_next);
+        return;
+    }
+    std::fill(slots.begin(), slots.end(), 0);
+    size_t n = std::min<size_t>(saved.size(), slots.size());
+    // Keep the youngest n completion times; the cursor points at the
+    // oldest slot, so walk backwards from it.
+    for (size_t i = 0; i < n; ++i) {
+        size_t src = (saved_next + saved.size() - 1 - i) % saved.size();
+        size_t dst = (slots.size() - 1 - i) % slots.size();
+        slots[dst] = saved[src];
+    }
+    next = 0;
+}
+
+} // namespace
 
 std::string_view
 instrClassName(InstrClass c)
@@ -186,6 +240,36 @@ stat_t
 CoreModel::instructionsOfClass(InstrClass c) const
 {
     return perClass_[static_cast<int>(c)];
+}
+
+void
+CoreModel::saveState(snapshot::SnapshotWriter& w) const
+{
+    w.u64(clock_.load(std::memory_order_relaxed));
+    bp_->saveState(w);
+    saveSlotRing(w, loadSlots_, nextLoadSlot_);
+    saveSlotRing(w, storeSlots_, nextStoreSlot_);
+    w.u64(instructions_);
+    for (stat_t s : perClass_)
+        w.u64(s);
+    w.u64(loadStalls_);
+    w.u64(storeStalls_);
+    w.u64(syncWaitCycles_);
+}
+
+void
+CoreModel::loadState(snapshot::SnapshotReader& r)
+{
+    clock_.store(r.u64(), std::memory_order_relaxed);
+    bp_->loadState(r);
+    loadSlotRing(r, loadSlots_, nextLoadSlot_);
+    loadSlotRing(r, storeSlots_, nextStoreSlot_);
+    instructions_ = r.u64();
+    for (stat_t& s : perClass_)
+        s = r.u64();
+    loadStalls_ = r.u64();
+    storeStalls_ = r.u64();
+    syncWaitCycles_ = r.u64();
 }
 
 } // namespace graphite

@@ -33,6 +33,12 @@ namespace graphite
 
 class Config;
 
+namespace snapshot
+{
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace snapshot
+
 /** Per-class instruction costs in cycles, configurable. */
 struct InstructionCosts
 {
@@ -107,6 +113,11 @@ class CoreModel
     /** @} */
 
     tile_id_t tileId() const { return tile_; }
+
+    /** @name Checkpoint serialization (owner thread quiescent) @{ */
+    void saveState(snapshot::SnapshotWriter& w) const;
+    void loadState(snapshot::SnapshotReader& r);
+    /** @} */
 
   private:
     void advance(cycle_t cycles);

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Whole-simulator checkpoint/restore (ROADMAP item 3).
+ *
+ * A checkpoint captures the complete architectural state of a
+ * Simulator at quiescence — between run() segments, when no
+ * application, MCP, or LCP host thread is live (host stacks cannot be
+ * serialized; the quiescent cut is exact by construction). Saved
+ * state: per-tile core models (clocks, slot rings, branch predictor
+ * tables, instruction counters), the full memory system (caches with
+ * target data, directory slices, DRAM controllers and queue clocks,
+ * backing store, target heap), network-model clocks and counters, the
+ * sync model's skew state, and the thread manager's exit clocks and
+ * syscall counters.
+ *
+ * A run checkpointed at cycle C and resumed in a fresh Simulator (same
+ * target config) produces the same FNV fingerprint and simulated-cycle
+ * totals as an uninterrupted run — validated continuously by the
+ * src/check fuzz matrix (snapshot differential) and
+ * tests/test_snapshot.cpp.
+ *
+ * The optional application blob rides inside the checkpoint so the
+ * workload can persist its own bookkeeping (heap addresses, round
+ * cursors, running fingerprints) across the save/restore boundary.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace graphite
+{
+
+class Simulator;
+
+namespace snapshot
+{
+
+/**
+ * Serialize @p sim's full architectural state into a sealed snapshot
+ * blob. Call only at quiescence (before run(), or after a run()
+ * segment returned). @throws SnapshotError when the simulator is not
+ * quiescent (blocked threads).
+ */
+std::vector<std::uint8_t>
+saveCheckpoint(Simulator& sim,
+               const std::vector<std::uint8_t>& app_blob = {});
+
+/**
+ * Restore a checkpoint into @p sim, which must be built from a
+ * matching target configuration and must not be running. The next
+ * run() continues from the restored state.
+ * @return the application blob stored by saveCheckpoint
+ * @throws SnapshotError on corruption, truncation, version mismatch,
+ *         or configuration drift (every error names what diverged)
+ */
+std::vector<std::uint8_t>
+restoreCheckpoint(Simulator& sim,
+                  const std::vector<std::uint8_t>& data);
+
+/** saveCheckpoint straight to @p path. @throws SnapshotError */
+void saveCheckpointFile(Simulator& sim, const std::string& path,
+                        const std::vector<std::uint8_t>& app_blob = {});
+
+/** restoreCheckpoint straight from @p path. @throws SnapshotError */
+std::vector<std::uint8_t>
+restoreCheckpointFile(Simulator& sim, const std::string& path);
+
+} // namespace snapshot
+} // namespace graphite

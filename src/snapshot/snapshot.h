@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Versioned binary snapshot stream: the serialization substrate for
+ * checkpoint/restore (ROADMAP item 3, DESIGN.md "Snapshot format &
+ * versioning").
+ *
+ * Layout of a snapshot blob:
+ *
+ *   u32 magic    "GRSN" (0x4E535247 little-endian)
+ *   u32 version  FORMAT_VERSION at write time
+ *   ...          sequential tagged sections (see beginSection)
+ *   u64 checksum FNV-1a over every preceding byte (header included)
+ *
+ * The stream is strictly sequential — readers must consume sections in
+ * the exact order writers emitted them; a section tag acts as a
+ * checkpoint that converts "reader and writer disagree about layout"
+ * into a named SnapshotError instead of silently misaligned integers.
+ * All integers are little-endian fixed width. Containers are written
+ * as a u64 count followed by the elements; unordered containers must
+ * be emitted in sorted key order so that re-serializing restored state
+ * is byte-identical to the original snapshot.
+ *
+ * Every failure mode (truncation, corruption, bad magic, version
+ * mismatch, tag mismatch, trailing garbage) throws SnapshotError with
+ * a message naming what was expected — restore never crashes on bad
+ * input.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace graphite
+{
+namespace snapshot
+{
+
+/** Thrown on any malformed, truncated or incompatible snapshot. */
+class SnapshotError : public std::runtime_error
+{
+  public:
+    explicit SnapshotError(const std::string& what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** "GRSN" little-endian. */
+inline constexpr std::uint32_t SNAPSHOT_MAGIC = 0x4E535247u;
+
+/**
+ * On-disk format version. Bump on ANY layout change — the golden
+ * fixture test (tests/test_snapshot.cpp) fails when the layout drifts
+ * without a bump.
+ */
+inline constexpr std::uint32_t FORMAT_VERSION = 1;
+
+/** Build a four-character section tag, e.g. sectionTag("MEM "). */
+constexpr std::uint32_t
+sectionTag(const char (&s)[5])
+{
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(s[0])) |
+           static_cast<std::uint32_t>(static_cast<unsigned char>(s[1]))
+               << 8 |
+           static_cast<std::uint32_t>(static_cast<unsigned char>(s[2]))
+               << 16 |
+           static_cast<std::uint32_t>(static_cast<unsigned char>(s[3]))
+               << 24;
+}
+
+/** FNV-1a 64-bit over a byte range (the checksum trailer). */
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t len);
+
+/**
+ * Append-only snapshot serializer. Construct, write sections, then
+ * finish() exactly once to seal the checksum trailer.
+ */
+class SnapshotWriter
+{
+  public:
+    SnapshotWriter();
+
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+    void u16(std::uint16_t v) { raw(&v, sizeof v); }
+    void u32(std::uint32_t v) { raw(&v, sizeof v); }
+    void u64(std::uint64_t v) { raw(&v, sizeof v); }
+    void i64(std::int64_t v) { raw(&v, sizeof v); }
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    /** Length-prefixed raw byte run. */
+    void bytes(const void* data, std::size_t len);
+
+    /** Length-prefixed UTF-8 string. */
+    void str(const std::string& s) { bytes(s.data(), s.size()); }
+
+    /** Mark the start of a named section. */
+    void beginSection(std::uint32_t tag) { u32(tag); }
+
+    /** Seal the stream with the checksum trailer and return it. */
+    std::vector<std::uint8_t> finish();
+
+  private:
+    void raw(const void* data, std::size_t len)
+    {
+        const auto* p = static_cast<const std::uint8_t*>(data);
+        buf_.insert(buf_.end(), p, p + len);
+    }
+
+    std::vector<std::uint8_t> buf_;
+    bool finished_ = false;
+};
+
+/**
+ * Sequential snapshot deserializer. The constructor validates magic,
+ * version and checksum up front, so a reader that gets past
+ * construction is working on an intact stream of the right version.
+ */
+class SnapshotReader
+{
+  public:
+    /**
+     * @throws SnapshotError on short input, bad magic, version
+     *         mismatch, or checksum failure.
+     */
+    explicit SnapshotReader(std::vector<std::uint8_t> data);
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int64_t i64();
+    bool b() { return u8() != 0; }
+
+    /** Read a length-prefixed byte run written by bytes(). */
+    std::vector<std::uint8_t> bytes();
+
+    /** Read a length-prefixed byte run into @p out (size must match). */
+    void bytesInto(void* out, std::size_t expected_len);
+
+    std::string str();
+
+    /**
+     * Consume a section tag; @p name labels the SnapshotError when the
+     * stream holds a different tag (layout drift or corruption).
+     */
+    void expectSection(std::uint32_t tag, const char* name);
+
+    /** Assert the payload is fully consumed (no trailing garbage). */
+    void expectEnd() const;
+
+    /** Stream format version (always FORMAT_VERSION today). */
+    std::uint32_t version() const { return version_; }
+
+  private:
+    void need(std::size_t n, const char* what) const;
+    void raw(void* out, std::size_t len, const char* what);
+
+    std::vector<std::uint8_t> data_;
+    std::size_t pos_ = 0;
+    std::size_t payloadEnd_ = 0; ///< offset of the checksum trailer
+    std::uint32_t version_ = 0;
+};
+
+/** Write a sealed snapshot blob to @p path. @throws SnapshotError */
+void writeFile(const std::string& path,
+               const std::vector<std::uint8_t>& data);
+
+/** Read a whole file into memory. @throws SnapshotError */
+std::vector<std::uint8_t> readFile(const std::string& path);
+
+} // namespace snapshot
+} // namespace graphite

@@ -10,6 +10,8 @@
 #include "obs/telemetry/flight_recorder.h"
 #include "obs/trace_event.h"
 #include "perf/core_model.h"
+#include "common/strfmt.h"
+#include "snapshot/snapshot.h"
 
 namespace graphite
 {
@@ -295,6 +297,61 @@ LaxP2PSync::periodicSync(CoreModel& core)
         GRAPHITE_PROFILE_SCOPE("sync.p2p_sleep");
         std::this_thread::sleep_for(std::chrono::microseconds(micros));
     }
+}
+
+// ----------------------------------------------------------- serialization
+
+void
+LaxBarrierSync::saveState(snapshot::SnapshotWriter& w) const
+{
+    // Quiescence: no thread is parked in arrive(), so active_,
+    // waiting_ and waitingTiles_ are all at rest; only the epoch, the
+    // per-tile quantum targets and the barrier count carry forward.
+    w.u64(barriers_.load(std::memory_order_relaxed));
+    w.u64(epoch_);
+    w.u64(static_cast<std::uint64_t>(nextTarget_.size()));
+    for (cycle_t c : nextTarget_)
+        w.u64(c);
+}
+
+void
+LaxBarrierSync::loadState(snapshot::SnapshotReader& r)
+{
+    barriers_.store(r.u64(), std::memory_order_relaxed);
+    epoch_ = r.u64();
+    std::uint64_t n = r.u64();
+    if (n != nextTarget_.size())
+        throw snapshot::SnapshotError(
+            strfmt("snapshot: barrier tile count mismatch (snapshot "
+                   "{}, configured {})",
+                   n, nextTarget_.size()));
+    for (cycle_t& c : nextTarget_)
+        c = r.u64();
+}
+
+void
+LaxP2PSync::saveState(snapshot::SnapshotWriter& w) const
+{
+    std::scoped_lock lock(mutex_);
+    w.u64(rng_.state());
+    w.u64(static_cast<std::uint64_t>(nextCheck_.size()));
+    for (cycle_t c : nextCheck_)
+        w.u64(c);
+}
+
+void
+LaxP2PSync::loadState(snapshot::SnapshotReader& r)
+{
+    std::scoped_lock lock(mutex_);
+    rng_.setState(r.u64());
+    std::uint64_t n = r.u64();
+    if (n != nextCheck_.size())
+        throw snapshot::SnapshotError(
+            strfmt("snapshot: p2p tile count mismatch (snapshot {}, "
+                   "configured {})",
+                   n, nextCheck_.size()));
+    for (cycle_t& c : nextCheck_)
+        c = r.u64();
 }
 
 } // namespace graphite

@@ -46,6 +46,12 @@ namespace host
 class HostScheduler;
 }
 
+namespace snapshot
+{
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace snapshot
+
 /** Abstract synchronization model. All methods are thread-safe. */
 class SyncModel
 {
@@ -90,6 +96,16 @@ class SyncModel
     static std::unique_ptr<SyncModel> create(const Config& cfg,
                                              tile_id_t total_tiles);
 
+    /**
+     * @name Checkpoint serialization (all threads quiescent)
+     * Architectural skew state only — wall-clock wait stats are host
+     * artifacts and restart at zero. Stateless models save nothing.
+     * @{
+     */
+    virtual void saveState(snapshot::SnapshotWriter&) const {}
+    virtual void loadState(snapshot::SnapshotReader&) {}
+    /** @} */
+
   protected:
     host::HostScheduler* sched_ = nullptr;
 };
@@ -125,6 +141,9 @@ class LaxBarrierSync : public SyncModel
     {
         return waitMicros_.load();
     }
+
+    void saveState(snapshot::SnapshotWriter& w) const override;
+    void loadState(snapshot::SnapshotReader& r) override;
 
   private:
     void arrive(tile_id_t tile, cycle_t now);
@@ -172,12 +191,15 @@ class LaxP2PSync : public SyncModel
         return sleepMicros_.load();
     }
 
+    void saveState(snapshot::SnapshotWriter& w) const override;
+    void loadState(snapshot::SnapshotReader& r) override;
+
   private:
     cycle_t slack_;
     cycle_t interval_;
     std::chrono::steady_clock::time_point start_;
 
-    std::mutex mutex_; ///< guards cores_ and rng_
+    mutable std::mutex mutex_; ///< guards cores_ and rng_
     std::vector<CoreModel*> cores_; ///< active cores, nullptr when off
     Rng rng_;
     /** Next local check threshold per tile. */

@@ -30,6 +30,13 @@ step "telemetry plane"
 # Unit suite plus the end-to-end probe (CLI + HTTP scrape cross-check).
 ctest --test-dir "$BUILD" -L telemetry --output-on-failure
 
+step "checkpoint/restore differential"
+# Fingerprint-identical resume: segmented-through-snapshot runs vs
+# uninterrupted runs across config cells and host widths, plus the
+# golden on-disk format fixture.
+ctest --test-dir "$BUILD" -R 'snapshot_smoke|test_snapshot' \
+    --output-on-failure
+
 step "clang-tidy"
 # ctest maps run_tidy.py's exit 77 to SKIPPED on toolchains without
 # clang-tidy; anything else must pass.

@@ -125,10 +125,24 @@ verdictName(char status)
     }
 }
 
+/**
+ * Segmented-execution request for runChild: split the program at a
+ * round boundary and run it as two quiescent segments, optionally
+ * detouring through a checkpoint/restore of a fresh Simulator between
+ * them (the checkpoint differential's test article).
+ */
+struct SegSpec
+{
+    int split = -1; ///< < 0: plain uninterrupted run
+    bool throughSnapshot = false;
+    std::string schedMode; ///< host/scheduler override, empty = default
+    int hostThreads = 0;   ///< host/threads override when schedMode set
+};
+
 ChildResult
 runChild(const FuzzProgram& prog, const ConfigPoint& pt,
          std::uint64_t seed, const std::string& fault, int timeout_sec,
-         const std::string& trace_out = "")
+         const std::string& trace_out = "", const SegSpec& seg = {})
 {
     ChildResult out;
     int fds[2];
@@ -152,7 +166,16 @@ runChild(const FuzzProgram& prog, const ConfigPoint& pt,
             Config cfg = makeFuzzConfig(pt, seed, fault);
             if (!trace_out.empty())
                 cfg.set("obs/trace_out", trace_out);
-            res = runFuzzProgram(prog, cfg);
+            if (!seg.schedMode.empty()) {
+                cfg.set("host/scheduler", seg.schedMode);
+                cfg.setInt("host/threads", seg.hostThreads);
+            }
+            res = seg.split < 0
+                      ? runFuzzProgram(prog, cfg)
+                      : runFuzzProgramSegmented(
+                            prog, cfg,
+                            static_cast<std::size_t>(seg.split),
+                            seg.throughSnapshot);
             if (!res.violations.empty()) {
                 st = 'V';
                 for (const std::string& v : res.violations) {
@@ -431,6 +454,7 @@ struct Opts
     std::string artifacts = "fuzz-artifacts";
     std::string jsonPath;
     bool smoke = false;
+    bool snapshotOnly = false;
 };
 
 void
@@ -536,6 +560,118 @@ runDrill(const Opts& o, std::ofstream& js)
     return undetected;
 }
 
+/**
+ * Checkpoint/resume differential for one seed. The uninterrupted run
+ * of each config cell is the reference; the paired-pause run (two
+ * run() segments, one Simulator) and the through-snapshot run (save,
+ * destroy, restore into a fresh Simulator) must reproduce its
+ * fingerprint, and under the deterministic scheduler the two segmented
+ * runs must agree cycle for cycle. Race/span/fault oracles stay off so
+ * any divergence indicts the checkpoint alone.
+ */
+SeedEval
+evaluateSnapshotSeed(std::uint64_t seed, int variants, int timeout)
+{
+    SeedEval ev;
+    FuzzProgram prog = FuzzProgram::generate(seed);
+    if (prog.rounds.size() < 2)
+        return ev; // no interior round boundary to split at
+    const int split = static_cast<int>(prog.rounds.size() / 2);
+
+    std::vector<ConfigPoint> matrix = sampleMatrix(seed, variants);
+    struct HostCell
+    {
+        const char* mode;
+        int threads;
+    };
+    static const HostCell HOSTS[] = {
+        {"free_running", 2}, {"deterministic", 1}, {"deterministic", 4}};
+
+    for (ConfigPoint pt : matrix) {
+        pt.race = false;
+        pt.spans = false;
+
+        ChildResult plain =
+            runChild(prog, pt, seed, "none", timeout);
+        ++ev.runs;
+        if (plain.status != 'O') {
+            ev.pass = false;
+            ev.verdict = verdictName(plain.status);
+            ev.detail = plain.message;
+            ev.failPoint = pt;
+            return ev;
+        }
+        ev.baselineFp = plain.fingerprint;
+
+        for (const HostCell& host : HOSTS) {
+            SegSpec paired{split, false, host.mode, host.threads};
+            SegSpec snap{split, true, host.mode, host.threads};
+            ChildResult pr =
+                runChild(prog, pt, seed, "none", timeout, "", paired);
+            ChildResult sr =
+                runChild(prog, pt, seed, "none", timeout, "", snap);
+            ev.runs += 2;
+
+            auto fail = [&](const std::string& verdict,
+                            const std::string& detail) {
+                ev.pass = false;
+                ev.verdict = verdict;
+                ev.detail = strfmt("{}/{}t: {}", host.mode,
+                                   host.threads, detail);
+                ev.failPoint = pt;
+            };
+            if (pr.status != 'O') {
+                fail(verdictName(pr.status), pr.message);
+                return ev;
+            }
+            if (sr.status != 'O') {
+                fail(verdictName(sr.status), sr.message);
+                return ev;
+            }
+            if (pr.fingerprint != plain.fingerprint ||
+                sr.fingerprint != plain.fingerprint) {
+                fail("snapshot-mismatch",
+                     strfmt("paired fp {} / snapshot fp {} vs "
+                            "uninterrupted {}",
+                            hexU64(pr.fingerprint),
+                            hexU64(sr.fingerprint),
+                            hexU64(plain.fingerprint)));
+                return ev;
+            }
+            if (std::string(host.mode) == "deterministic" &&
+                sr.cycles != pr.cycles) {
+                fail("snapshot-cycle-drift",
+                     strfmt("snapshot resume ran {} cycles, paired "
+                            "reference {}",
+                            sr.cycles, pr.cycles));
+                return ev;
+            }
+        }
+    }
+    return ev;
+}
+
+/// Checkpoint/resume differential sweep. Returns failing seed count.
+int
+runSnapshotSweep(const Opts& o, std::ofstream& js)
+{
+    int failures = 0;
+    for (int i = 0; i < o.seedCount; ++i) {
+        std::uint64_t seed = o.seedStart + static_cast<std::uint64_t>(i);
+        SeedEval ev = evaluateSnapshotSeed(seed, o.variants, o.timeout);
+        appendJson(js, seed, "snapshot", ev);
+        if (ev.pass)
+            continue;
+        ++failures;
+        std::printf("FAIL snapshot seed %s on %s: %s (%s)\n",
+                    hexU64(seed).c_str(), ev.failPoint.name.c_str(),
+                    ev.verdict.c_str(), ev.detail.c_str());
+    }
+    std::printf("snapshot sweep: %d/%d seeds clean\n",
+                o.seedCount - failures, o.seedCount);
+    return failures;
+}
+
 int
 runSmoke(Opts o, std::ofstream& js)
 {
@@ -547,6 +683,12 @@ runSmoke(Opts o, std::ofstream& js)
 
     o.fault = "all";
     failures += runDrill(o, js);
+
+    // Checkpoint/resume differential over a smaller seed band: each
+    // seed costs 3 cells x (1 + 3x2) fork-isolated runs.
+    Opts snap_opts = o;
+    snap_opts.seedCount = 6;
+    failures += runSnapshotSweep(snap_opts, js);
     std::printf("smoke: %s\n", failures == 0 ? "PASS" : "FAIL");
     return failures;
 }
@@ -557,8 +699,9 @@ usage(const char* argv0)
     std::fprintf(
         stderr,
         "usage: %s [--seed-start N] [--seed-count N] [--variants N]\n"
-        "          [--fault MODE|all] [--smoke] [--artifacts DIR]\n"
-        "          [--json PATH] [--timeout SEC] [--shrink-budget N]\n",
+        "          [--fault MODE|all] [--smoke] [--snapshot]\n"
+        "          [--artifacts DIR] [--json PATH] [--timeout SEC]\n"
+        "          [--shrink-budget N]\n",
         argv0);
 }
 
@@ -595,6 +738,8 @@ main(int argc, char** argv)
             o.shrinkBudget = std::atoi(next());
         else if (a == "--smoke")
             o.smoke = true;
+        else if (a == "--snapshot")
+            o.snapshotOnly = true;
         else {
             usage(argv[0]);
             return 2;
@@ -615,6 +760,8 @@ main(int argc, char** argv)
         int failures;
         if (o.smoke)
             failures = runSmoke(o, js);
+        else if (o.snapshotOnly)
+            failures = runSnapshotSweep(o, js);
         else if (!o.fault.empty())
             failures = runDrill(o, js);
         else

@@ -46,6 +46,17 @@
  *   --telemetry-dump PATH  watchdog/crash diagnostic dump path; also
  *                          escalates the watchdog action to "dump"
  *
+ * Checkpoint / fast-forward (see DESIGN.md "Snapshot format"):
+ *   --checkpoint-in PATH   restore simulator state before the run; the
+ *                          workload continues on the warmed target
+ *   --checkpoint-out PATH  save full simulator state after the run —
+ *                          the seed of a checkpoint-then-sweep fan-out
+ *                          (EXPERIMENTS.md)
+ *   --fast-forward         start in functional-only warmup mode;
+ *                          timing detail begins at api::roiBegin() or
+ *                          --ff-detail-at
+ *   --ff-detail-at N       tile-clock threshold that ends warmup
+ *
  * The GRAPHITE_LOG environment variable sets per-component log levels,
  * e.g. GRAPHITE_LOG=net:debug,mem:warn.
  */
@@ -64,6 +75,8 @@
 #include "obs/observability.h"
 #include "obs/profiler.h"
 #include "race/detector.h"
+#include "snapshot/checkpoint.h"
+#include "snapshot/snapshot.h"
 #include "workloads/registry.h"
 
 using namespace graphite;
@@ -86,6 +99,9 @@ usage(const char* argv0)
                  " [--native]\n"
                  "          [--telemetry-port N] [--telemetry-linger S]"
                  " [--telemetry-dump PATH]\n"
+                 "          [--checkpoint-in PATH] [--checkpoint-out"
+                 " PATH]\n"
+                 "          [--fast-forward] [--ff-detail-at N]\n"
                  "          [--race [--race-out PATH]] | --list\n",
                  argv0);
     std::exit(2);
@@ -110,6 +126,9 @@ main(int argc, char** argv)
     int telemetry_port = -1;
     double telemetry_linger = 0.0;
     std::string telemetry_dump;
+    std::string checkpoint_in, checkpoint_out;
+    bool fast_forward = false;
+    long long ff_detail_at = -1;
 
     initLogFilterFromEnv();
 
@@ -173,6 +192,14 @@ main(int argc, char** argv)
             telemetry_linger = std::atof(next());
         } else if (arg == "--telemetry-dump") {
             telemetry_dump = next();
+        } else if (arg == "--checkpoint-in") {
+            checkpoint_in = next();
+        } else if (arg == "--checkpoint-out") {
+            checkpoint_out = next();
+        } else if (arg == "--fast-forward") {
+            fast_forward = true;
+        } else if (arg == "--ff-detail-at") {
+            ff_detail_at = std::atoll(next());
         } else {
             usage(argv[0]);
         }
@@ -209,6 +236,10 @@ main(int argc, char** argv)
             cfg.set("telemetry/watchdog_action", "dump");
             cfg.set("telemetry/crash_dump", telemetry_dump);
         }
+        if (fast_forward)
+            cfg.setBool("snapshot/fast_forward", true);
+        if (ff_detail_at >= 0)
+            cfg.setInt("snapshot/ff_detail_at", ff_detail_at);
 
         const workloads::WorkloadInfo& w =
             workloads::findWorkload(workload);
@@ -220,7 +251,17 @@ main(int argc, char** argv)
             p.iters = iters;
 
         Simulator sim(cfg);
+        if (!checkpoint_in.empty()) {
+            snapshot::restoreCheckpointFile(sim, checkpoint_in);
+            std::printf("checkpoint in     : %s\n",
+                        checkpoint_in.c_str());
+        }
         workloads::SimRunResult r = workloads::runSim(sim, w, p);
+        if (!checkpoint_out.empty()) {
+            snapshot::saveCheckpointFile(sim, checkpoint_out);
+            std::printf("checkpoint out    : %s\n",
+                        checkpoint_out.c_str());
+        }
 
         std::printf("workload          : %s (size %d, iters %d, "
                     "%d threads)\n",
@@ -264,6 +305,9 @@ main(int argc, char** argv)
                     std::chrono::duration<double>(telemetry_linger));
         }
         return violation.empty() ? 0 : 1;
+    } catch (const snapshot::SnapshotError& err) {
+        std::fprintf(stderr, "snapshot: %s\n", err.what());
+        return 1;
     } catch (const FatalError& err) {
         std::fprintf(stderr, "fatal: %s\n", err.what());
         return 1;
