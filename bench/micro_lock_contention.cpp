@@ -20,8 +20,17 @@
  *    imposes, and is host-CPU-count independent — essential here
  *    because CI containers may pin the build to a single CPU.
  *
+ * The matrix additionally runs each point with lockdep (the
+ * lock-order checker, src/common/lockdep.h) runtime-off and enforcing:
+ * the per-acquisition order check walks the thread's held-set on this
+ * benchmark's hottest path, so the armed/off throughput ratio IS the
+ * lockdep tax on the worst realistic case. A separate tight loop
+ * measures the raw per-lock/unlock wrapper cost against a plain
+ * std::mutex for reference.
+ *
  * Emits BENCH_mem_contention.json (first entry of the perf
- * trajectory); the headline criterion is serialized_speedup_8t >= 2.
+ * trajectory); the headline criteria are serialized_speedup_8t >= 2
+ * and lockdep_overhead_8t <= 1.25.
  */
 
 #include <pthread.h>
@@ -36,7 +45,10 @@
 #include <thread>
 #include <vector>
 
+#include <mutex>
+
 #include "common/config.h"
+#include "common/lockdep.h"
 #include "common/table.h"
 #include "mem/memory_system.h"
 
@@ -62,6 +74,7 @@ threadCpuSeconds()
 struct RunResult
 {
     std::string mode;
+    std::string lockdepMode; // "off" | "armed"
     int threads = 0;
     std::uint64_t totalOps = 0;
     double wallSeconds = 0.0;
@@ -83,8 +96,11 @@ struct RunResult
 };
 
 RunResult
-runConfig(const std::string& mode, int threads, std::uint64_t ops)
+runConfig(const std::string& mode, bool lockdep_armed, int threads,
+          std::uint64_t ops)
 {
+    lockdep::setMode(lockdep_armed ? lockdep::Mode::Enforce
+                                   : lockdep::Mode::Off);
     Config cfg = defaultTargetConfig();
     cfg.setInt("general/total_tiles", TILES);
     cfg.set("mem/host_concurrency", mode);
@@ -135,6 +151,7 @@ runConfig(const std::string& mode, int threads, std::uint64_t ops)
 
     RunResult r;
     r.mode = mode;
+    r.lockdepMode = lockdep_armed ? "armed" : "off";
     r.threads = threads;
     r.totalOps = ops * static_cast<std::uint64_t>(threads);
     r.wallSeconds = std::chrono::duration<double>(w1 - w0).count();
@@ -152,6 +169,21 @@ fastMode()
 {
     const char* v = std::getenv("GRAPHITE_BENCH_FAST");
     return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/** ns per uncontended lock/unlock pair for @p iters iterations. */
+template <class Lockable>
+double
+wrapperNsPerOp(Lockable& m, std::uint64_t iters)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        m.lock();
+        m.unlock();
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+           static_cast<double>(iters);
 }
 
 } // namespace
@@ -173,12 +205,14 @@ main()
         std::thread::hardware_concurrency());
 
     std::vector<RunResult> results;
-    for (const char* mode : {"global", "sharded"})
-        for (int t : thread_counts)
-            results.push_back(runConfig(mode, t, ops));
+    for (bool armed : {false, true})
+        for (const char* mode : {"global", "sharded"})
+            for (int t : thread_counts)
+                results.push_back(runConfig(mode, armed, t, ops));
+    lockdep::setMode(lockdep::Mode::Enforce);
 
     TextTable table;
-    table.header({"mode", "threads", "ops", "wall Mops/s",
+    table.header({"mode", "lockdep", "threads", "ops", "wall Mops/s",
                   "serialized Mops/s", "shard cont", "tile cont"});
     for (const RunResult& r : results) {
         char wall[32], ser[32];
@@ -186,21 +220,23 @@ main()
                       r.wallThroughput() / 1e6);
         std::snprintf(ser, sizeof ser, "%.2f",
                       r.serializedThroughput() / 1e6);
-        table.row({r.mode, std::to_string(r.threads),
+        table.row({r.mode, r.lockdepMode, std::to_string(r.threads),
                    std::to_string(r.totalOps), wall, ser,
                    std::to_string(r.shardContended),
                    std::to_string(r.tileContended)});
     }
     std::printf("%s\n", table.render().c_str());
 
-    auto find = [&](const std::string& mode, int t) -> const RunResult& {
+    auto find = [&](const std::string& mode, const std::string& ld,
+                    int t) -> const RunResult& {
         for (const RunResult& r : results)
-            if (r.mode == mode && r.threads == t)
+            if (r.mode == mode && r.lockdepMode == ld && r.threads == t)
                 return r;
         std::abort();
     };
-    const RunResult& g8 = find("global", 8);
-    const RunResult& s8 = find("sharded", 8);
+    // Production-default comparison (lockdep armed on both sides).
+    const RunResult& g8 = find("global", "armed", 8);
+    const RunResult& s8 = find("sharded", "armed", 8);
     double serialized_speedup =
         s8.serializedThroughput() / g8.serializedThroughput();
     double wall_speedup = s8.wallThroughput() / g8.wallThroughput();
@@ -208,6 +244,33 @@ main()
                 ">= 2x)\nwall speedup at 8 threads: %.2fx (only "
                 "meaningful with >= 8 host CPUs)\n",
                 serialized_speedup, wall_speedup);
+
+    // Lockdep tax: off vs enforcing on the same engine config, worst
+    // case across both lock structures at 8 threads.
+    double ld_overhead = 0.0;
+    for (const char* mode : {"global", "sharded"}) {
+        const RunResult& off = find(mode, "off", 8);
+        const RunResult& armed = find(mode, "armed", 8);
+        ld_overhead = std::max(ld_overhead,
+                               off.serializedThroughput() /
+                                   armed.serializedThroughput());
+    }
+    std::printf("lockdep-armed overhead at 8 threads: %.3fx "
+                "(criterion: <= 1.25x)\n",
+                ld_overhead);
+
+    // Raw wrapper reference: uncontended lock/unlock cost.
+    const std::uint64_t wrap_iters = fastMode() ? 200'000 : 2'000'000;
+    std::mutex plain;
+    lockdep::OrderedMutex wrapped(lockdep::LockClass::profiler);
+    double plain_ns = wrapperNsPerOp(plain, wrap_iters);
+    lockdep::setMode(lockdep::Mode::Off);
+    double off_ns = wrapperNsPerOp(wrapped, wrap_iters);
+    lockdep::setMode(lockdep::Mode::Enforce);
+    double armed_ns = wrapperNsPerOp(wrapped, wrap_iters);
+    std::printf("uncontended lock+unlock: std::mutex %.1f ns, "
+                "OrderedMutex off %.1f ns, enforcing %.1f ns\n",
+                plain_ns, off_ns, armed_ns);
 
     FILE* f = std::fopen("BENCH_mem_contention.json", "w");
     if (f == nullptr) {
@@ -230,12 +293,13 @@ main()
         const RunResult& r = results[i];
         std::fprintf(
             f,
-            "    {\"mode\": \"%s\", \"threads\": %d, \"ops\": %llu, "
+            "    {\"mode\": \"%s\", \"lockdep\": \"%s\", "
+            "\"threads\": %d, \"ops\": %llu, "
             "\"wall_s\": %.6f, \"cpu_sum_s\": %.6f, \"cpu_max_s\": "
             "%.6f, \"wall_mops\": %.3f, \"serialized_mops\": %.3f, "
             "\"shard_lock_contended\": %llu, "
             "\"tile_lock_contended\": %llu}%s\n",
-            r.mode.c_str(), r.threads,
+            r.mode.c_str(), r.lockdepMode.c_str(), r.threads,
             static_cast<unsigned long long>(r.totalOps), r.wallSeconds,
             r.cpuSumSeconds, r.cpuMaxSeconds,
             r.wallThroughput() / 1e6, r.serializedThroughput() / 1e6,
@@ -247,11 +311,25 @@ main()
     std::fprintf(f, "  \"serialized_speedup_8t\": %.3f,\n",
                  serialized_speedup);
     std::fprintf(f, "  \"wall_speedup_8t\": %.3f,\n", wall_speedup);
-    std::fprintf(f, "  \"criterion\": \"serialized_speedup_8t >= 2\",\n");
-    std::fprintf(f, "  \"criterion_met\": %s\n",
-                 serialized_speedup >= 2.0 ? "true" : "false");
+    std::fprintf(
+        f,
+        "  \"lockdep_overhead_note\": \"worst-case off/armed "
+        "serialized-throughput ratio at 8 threads across both lock "
+        "structures; runtime-off still pays held-set bookkeeping, the "
+        "compile-time GRAPHITE_LOCKDEP=OFF build removes even that "
+        "(sizeof parity pinned by tests/lockdep_force_off_probe)\",\n");
+    std::fprintf(f, "  \"lockdep_overhead_8t\": %.3f,\n", ld_overhead);
+    std::fprintf(f,
+                 "  \"uncontended_lock_unlock_ns\": {\"std_mutex\": "
+                 "%.2f, \"ordered_mutex_off\": %.2f, "
+                 "\"ordered_mutex_enforce\": %.2f},\n",
+                 plain_ns, off_ns, armed_ns);
+    bool met = serialized_speedup >= 2.0 && ld_overhead <= 1.25;
+    std::fprintf(f, "  \"criterion\": \"serialized_speedup_8t >= 2 && "
+                    "lockdep_overhead_8t <= 1.25\",\n");
+    std::fprintf(f, "  \"criterion_met\": %s\n", met ? "true" : "false");
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote BENCH_mem_contention.json\n");
-    return serialized_speedup >= 2.0 ? 0 : 1;
+    return met ? 0 : 1;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/lockdep.h"
 #include "common/strfmt.h"
 #include "core/simulator.h"
 
@@ -117,7 +118,7 @@ ClockWatcher::loop()
             Tile& tile = sim_.tile(t);
             cycle_t c = tile.core().cycle();
             if (c < lastSeen_[t]) {
-                std::scoped_lock lock(mutex_);
+                lockdep::Guard lock(mutex_);
                 if (violations_.size() < 8)
                     violations_.push_back(
                         strfmt("clock: tile {} moved backwards "
@@ -134,7 +135,7 @@ ClockWatcher::loop()
             }
         }
         if (any) {
-            std::scoped_lock lock(mutex_);
+            lockdep::Guard lock(mutex_);
             maxSkew_ = std::max(maxSkew_, hi - lo);
         }
 
@@ -142,7 +143,7 @@ ClockWatcher::loop()
         if (validateEvery_ > 0 && ticks % validateEvery_ == 0) {
             std::string err = sim_.memory().validateCoherence();
             if (!err.empty()) {
-                std::scoped_lock lock(mutex_);
+                lockdep::Guard lock(mutex_);
                 violations_.push_back("coherence (mid-run): " + err);
                 return; // one report is enough; stop probing
             }
@@ -154,14 +155,14 @@ ClockWatcher::loop()
 std::vector<std::string>
 ClockWatcher::violations() const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     return violations_;
 }
 
 cycle_t
 ClockWatcher::maxSkew() const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     return maxSkew_;
 }
 

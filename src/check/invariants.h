@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/fixed_types.h"
+#include "common/lockdep.h"
 
 namespace graphite
 {
@@ -68,7 +69,7 @@ class ClockWatcher
     int validateEvery_;
     std::thread thread_;
     std::atomic<bool> stopFlag_{false};
-    mutable std::mutex mutex_;
+    mutable lockdep::OrderedMutex mutex_{lockdep::LockClass::invariants};
     std::vector<std::string> violations_;
     cycle_t maxSkew_ = 0;
     std::vector<cycle_t> lastSeen_;

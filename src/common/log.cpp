@@ -1,3 +1,4 @@
+#include "common/lockdep.h"
 #include "common/log.h"
 
 #include <cstdio>
@@ -28,10 +29,10 @@ filters()
     return map;
 }
 
-std::mutex&
+lockdep::OrderedMutex&
 filterMutex()
 {
-    static std::mutex mtx;
+    static lockdep::OrderedMutex mtx{lockdep::LockClass::log_filter};
     return mtx;
 }
 
@@ -56,8 +57,8 @@ void
 emit(std::string_view tag, std::string_view msg)
 {
     // Serialize output lines across threads.
-    static std::mutex mtx;
-    std::scoped_lock lock(mtx);
+    static lockdep::OrderedMutex mtx{lockdep::LockClass::log_emit};
+    lockdep::Guard lock(mtx);
     std::fprintf(stderr, "[%.*s] %.*s\n", static_cast<int>(tag.size()),
                  tag.data(), static_cast<int>(msg.size()), msg.data());
     std::fflush(stderr);
@@ -81,7 +82,7 @@ void
 setLogFilter(std::string_view spec)
 {
     {
-        std::scoped_lock lock(log_detail::filterMutex());
+        lockdep::Guard lock(log_detail::filterMutex());
         log_detail::filters().clear();
     }
     size_t pos = 0;
@@ -109,7 +110,7 @@ setLogFilter(std::string_view spec)
         if (comp == "*") {
             setLogVerbosity(level);
         } else {
-            std::scoped_lock lock(log_detail::filterMutex());
+            lockdep::Guard lock(log_detail::filterMutex());
             log_detail::filters()[std::string(comp)] = level;
         }
     }
@@ -118,7 +119,7 @@ setLogFilter(std::string_view spec)
 int
 logComponentVerbosity(std::string_view component)
 {
-    std::scoped_lock lock(log_detail::filterMutex());
+    lockdep::Guard lock(log_detail::filterMutex());
     auto& map = log_detail::filters();
     auto it = map.find(component);
     return it == map.end() ? log_detail::verbosity() : it->second;

@@ -1,3 +1,4 @@
+#include "common/lockdep.h"
 #include "common/stats.h"
 
 #include <algorithm>
@@ -131,7 +132,7 @@ void
 StatsRegistry::registerCounter(const std::string& name,
                                const stat_t* counter)
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     checkNewName(name);
     counters_.emplace(name, counter);
 }
@@ -140,7 +141,7 @@ void
 StatsRegistry::registerCounter(const std::string& name,
                                const atomic_stat_t* counter)
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     checkNewName(name);
     atomicCounters_.emplace(name, counter);
 }
@@ -149,7 +150,7 @@ void
 StatsRegistry::registerGauge(const std::string& name, gauge_fn fn)
 {
     GRAPHITE_ASSERT(fn != nullptr);
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     checkNewName(name);
     gauges_.emplace(name, std::move(fn));
 }
@@ -158,7 +159,7 @@ void
 StatsRegistry::registerHistogram(const std::string& name,
                                  const HistogramStat* histogram)
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     checkNewName(name);
     histograms_.emplace(name, histogram);
 }
@@ -166,7 +167,7 @@ StatsRegistry::registerHistogram(const std::string& name,
 stat_t
 StatsRegistry::get(const std::string& name) const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     if (auto it = counters_.find(name); it != counters_.end())
         return *it->second;
     if (auto it = atomicCounters_.find(name);
@@ -180,7 +181,7 @@ StatsRegistry::get(const std::string& name) const
 bool
 StatsRegistry::has(const std::string& name) const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     return counters_.count(name) != 0 ||
            atomicCounters_.count(name) != 0 ||
            gauges_.count(name) != 0 || histograms_.count(name) != 0;
@@ -189,7 +190,7 @@ StatsRegistry::has(const std::string& name) const
 const HistogramStat*
 StatsRegistry::histogram(const std::string& name) const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     auto it = histograms_.find(name);
     return it == histograms_.end() ? nullptr : it->second;
 }
@@ -199,7 +200,7 @@ StatsRegistry::sumMatching(const std::string& prefix,
                            const std::string& suffix,
                            MatchMode mode) const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     stat_t total = 0;
     std::size_t matched = 0;
     auto scan = [&](const auto& map, const auto& value_of) {
@@ -229,7 +230,7 @@ StatsRegistry::sumMatching(const std::string& prefix,
 std::vector<std::string>
 StatsRegistry::names() const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     std::vector<std::string> out;
     out.reserve(counters_.size() + atomicCounters_.size() +
                 gauges_.size() + histograms_.size());
@@ -248,7 +249,7 @@ StatsRegistry::names() const
 std::vector<std::string>
 StatsRegistry::histogramNames() const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     std::vector<std::string> out;
     out.reserve(histograms_.size());
     for (const auto& [name, h] : histograms_)
@@ -259,7 +260,7 @@ StatsRegistry::histogramNames() const
 std::vector<std::pair<std::string, stat_t>>
 StatsRegistry::snapshot() const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     std::vector<std::pair<std::string, stat_t>> out;
     out.reserve(counters_.size() + atomicCounters_.size() +
                 gauges_.size() + 2 * histograms_.size());
@@ -280,7 +281,7 @@ StatsRegistry::snapshot() const
 std::string
 StatsRegistry::dump() const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     // Merge all kinds into one sorted listing.
     std::map<std::string, std::string> lines;
     for (const auto& [name, ptr] : counters_)
@@ -301,7 +302,7 @@ StatsRegistry::dump() const
 void
 StatsRegistry::clear()
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     counters_.clear();
     atomicCounters_.clear();
     gauges_.clear();

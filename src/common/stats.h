@@ -30,6 +30,7 @@
 #include <string>
 #include <utility>
 #include <vector>
+#include "common/lockdep.h"
 
 namespace graphite
 {
@@ -196,7 +197,7 @@ class StatsRegistry
   private:
     void checkNewName(const std::string& name) const;
 
-    mutable std::mutex mutex_;
+    mutable lockdep::OrderedMutex mutex_{lockdep::LockClass::stats_registry};
     std::map<std::string, const stat_t*> counters_;
     std::map<std::string, const atomic_stat_t*> atomicCounters_;
     std::map<std::string, gauge_fn> gauges_;

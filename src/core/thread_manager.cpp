@@ -1,3 +1,4 @@
+#include "common/lockdep.h"
 #include "core/thread_manager.h"
 
 #include <algorithm>
@@ -32,7 +33,7 @@ ThreadManager::~ThreadManager()
         if (t.joinable())
             t.join();
     }
-    std::scoped_lock lock(appThreadsMutex_);
+    lockdep::Guard lock(appThreadsMutex_);
     for (auto& t : appThreads_) {
         if (t.joinable())
             t.join();
@@ -53,7 +54,7 @@ ThreadManager::start()
     shutdownDone_ = false;
     lcpThreads_.clear();
     {
-        std::scoped_lock lock(appThreadsMutex_);
+        lockdep::Guard lock(appThreadsMutex_);
         appThreads_.clear();
     }
 
@@ -82,7 +83,7 @@ ThreadManager::launchMain(thread_func_t func, void* arg)
     // thread exists, like any spawned thread (see handleSpawn).
     if (host::HostScheduler* sched = sim_.hostScheduler())
         sched->expectThread(0);
-    std::scoped_lock lock(appThreadsMutex_);
+    lockdep::Guard lock(appThreadsMutex_);
     appThreads_.emplace_back([this, func, arg] {
         appTrampoline(0, func, arg, 0, /*is_main=*/true);
     });
@@ -108,7 +109,7 @@ ThreadManager::waitForShutdown()
         if (t.joinable())
             t.join();
     }
-    std::scoped_lock lock(appThreadsMutex_);
+    lockdep::Guard lock(appThreadsMutex_);
     for (auto& t : appThreads_) {
         if (t.joinable())
             t.join();
@@ -200,7 +201,7 @@ ThreadManager::lcpLoop(proc_id_t proc)
             auto* arg = reinterpret_cast<void*>(body.arg);
             tile_id_t tile = body.tile;
             cycle_t clock = hdr.timestamp;
-            std::scoped_lock lock(appThreadsMutex_);
+            lockdep::Guard lock(appThreadsMutex_);
             appThreads_.emplace_back([this, tile, func, arg, clock] {
                 appTrampoline(tile, func, arg, clock, /*is_main=*/false);
             });
@@ -262,7 +263,7 @@ ThreadManager::mcpLoop()
         // One uncontended lock per dispatched message buys the
         // telemetry plane (waitSets()) a consistent read of the futex
         // queues, join waiters, and tile table.
-        std::scoped_lock state_lock(mcpStateMutex_);
+        lockdep::Guard state_lock(mcpStateMutex_);
         NetPacket pkt = NetPacket::deserialize(buf.data);
         SysMsgHeader hdr = peekHeader(pkt.payload);
         switch (hdr.type) {
@@ -604,7 +605,7 @@ ThreadManager::totalSyscalls() const
 void
 ThreadManager::saveState(snapshot::SnapshotWriter& w) const
 {
-    std::scoped_lock lock(mcpStateMutex_);
+    lockdep::Guard lock(mcpStateMutex_);
     if (!futexQueues_.empty() || !joinWaiters_.empty())
         throw snapshot::SnapshotError(
             "snapshot: cannot checkpoint with blocked threads "
@@ -660,7 +661,7 @@ obs::telemetry::WaitSetSnapshot
 ThreadManager::waitSets() const
 {
     obs::telemetry::WaitSetSnapshot out;
-    std::scoped_lock lock(mcpStateMutex_);
+    lockdep::Guard lock(mcpStateMutex_);
     out.busyTiles = busyTiles_;
     out.shutdownRequested = shutdownRequested_;
     out.futexes.reserve(futexQueues_.size());

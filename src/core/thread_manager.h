@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/fixed_types.h"
+#include "common/lockdep.h"
 #include "common/stats.h"
 #include "core/sys_msg.h"
 #include "network/net_packet.h"
@@ -146,13 +147,14 @@ class ThreadManager
     std::vector<std::thread> lcpThreads_;
 
     /** App host threads, created by LCPs; guarded by appThreadsMutex_. */
-    std::mutex appThreadsMutex_;
+    lockdep::OrderedMutex appThreadsMutex_{lockdep::LockClass::app_threads};
     std::vector<std::thread> appThreads_;
 
     // ---- MCP state: written only by the MCP thread, which holds
     // mcpStateMutex_ across each message dispatch so waitSets() can
     // read a consistent snapshot from telemetry host threads. ----
-    mutable std::mutex mcpStateMutex_;
+    mutable lockdep::OrderedMutex mcpStateMutex_{
+        lockdep::LockClass::mcp_state};
     std::vector<TileState> tileState_;
     std::unordered_map<tile_id_t, cycle_t> exitClock_;
     std::unordered_map<tile_id_t, std::vector<tile_id_t>> joinWaiters_;

@@ -1,3 +1,4 @@
+#include "common/lockdep.h"
 #include "host/scheduler.h"
 
 #include <chrono>
@@ -82,7 +83,7 @@ HostScheduler::blockedState(BlockKind kind)
 void
 HostScheduler::expectThread(tile_id_t tile)
 {
-    std::unique_lock lock(mutex_);
+    lockdep::UniqueLock lock(mutex_);
     ThreadRec& r = threads_[tile];
     if (r.state == ThreadState::Absent) {
         r.state = ThreadState::Expected;
@@ -99,7 +100,7 @@ HostScheduler::expectThread(tile_id_t tile)
 void
 HostScheduler::registerThread(tile_id_t tile, const CoreModel* core)
 {
-    std::unique_lock lock(mutex_);
+    lockdep::UniqueLock lock(mutex_);
     ThreadRec& r = threads_[tile];
     if (r.state == ThreadState::Expected ||
         r.state == ThreadState::Granted) {
@@ -115,14 +116,14 @@ HostScheduler::registerThread(tile_id_t tile, const CoreModel* core)
 void
 HostScheduler::start(tile_id_t tile)
 {
-    std::unique_lock lock(mutex_);
+    lockdep::UniqueLock lock(mutex_);
     waitGrant(lock, tile);
 }
 
 void
 HostScheduler::finishThread(tile_id_t tile)
 {
-    std::unique_lock lock(mutex_);
+    lockdep::UniqueLock lock(mutex_);
     ThreadRec& r = threads_[tile];
     GRAPHITE_ASSERT(r.state == ThreadState::Running);
     --used_;
@@ -145,7 +146,7 @@ HostScheduler::finishThread(tile_id_t tile)
 void
 HostScheduler::resetForRun()
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     GRAPHITE_ASSERT(used_ == 0);
     cursor_ = 0;
 }
@@ -164,7 +165,7 @@ HostScheduler::quantumCheck(tile_id_t tile)
         return;
     quanta_.fetch_add(1, std::memory_order_relaxed);
 
-    std::unique_lock lock(mutex_);
+    lockdep::UniqueLock lock(mutex_);
     r.quantumStart = now;
     if (cfg_.skewSlack > 0 && now > cfg_.skewSlack) {
         if (parkLocked(lock, tile, now - cfg_.skewSlack) > 0)
@@ -183,7 +184,7 @@ HostScheduler::quantumCheck(tile_id_t tile)
 void
 HostScheduler::beginBlock(tile_id_t tile, BlockKind kind)
 {
-    std::unique_lock lock(mutex_);
+    lockdep::UniqueLock lock(mutex_);
     GRAPHITE_ASSERT(threads_[tile].state == ThreadState::Running);
     releaseSlotLocked(tile, blockedState(kind));
 }
@@ -191,7 +192,7 @@ HostScheduler::beginBlock(tile_id_t tile, BlockKind kind)
 void
 HostScheduler::endBlock(tile_id_t tile)
 {
-    std::unique_lock lock(mutex_);
+    lockdep::UniqueLock lock(mutex_);
     ThreadRec& r = threads_[tile];
     switch (r.state) {
       case ThreadState::BlockedSys:
@@ -217,7 +218,7 @@ HostScheduler::notifyUnblocked(tile_id_t tile, BlockKind kind)
 {
     if (!deterministic())
         return;
-    std::unique_lock lock(mutex_);
+    lockdep::UniqueLock lock(mutex_);
     ThreadRec& r = threads_[tile];
     if (r.state == blockedState(kind)) {
         r.state = ThreadState::Ready;
@@ -232,7 +233,7 @@ HostScheduler::requestFence(tile_id_t tile)
 {
     if (!deterministic())
         return;
-    std::unique_lock lock(mutex_);
+    lockdep::UniqueLock lock(mutex_);
     ThreadRec& r = threads_[tile];
     std::uint64_t ticket = ++r.fenceTicket;
     r.cv.wait(lock, [&] { return r.fenceDone >= ticket; });
@@ -243,7 +244,7 @@ HostScheduler::requestDispatched(tile_id_t tile)
 {
     if (!deterministic())
         return;
-    std::unique_lock lock(mutex_);
+    lockdep::UniqueLock lock(mutex_);
     ++threads_[tile].fenceDone;
     threads_[tile].cv.notify_one();
 }
@@ -253,13 +254,13 @@ HostScheduler::requestDispatched(tile_id_t tile)
 std::uint64_t
 HostScheduler::skewPark(tile_id_t tile, cycle_t wake_clock)
 {
-    std::unique_lock lock(mutex_);
+    lockdep::UniqueLock lock(mutex_);
     GRAPHITE_ASSERT(threads_[tile].state == ThreadState::Running);
     return parkLocked(lock, tile, wake_clock);
 }
 
 std::uint64_t
-HostScheduler::parkLocked(std::unique_lock<std::mutex>& lock,
+HostScheduler::parkLocked(lockdep::UniqueLock& lock,
                           tile_id_t tile, cycle_t wake_clock)
 {
     if (minActiveClockLocked() >= wake_clock)
@@ -362,7 +363,7 @@ HostScheduler::grantLocked()
 }
 
 void
-HostScheduler::waitGrant(std::unique_lock<std::mutex>& lock,
+HostScheduler::waitGrant(lockdep::UniqueLock& lock,
                          tile_id_t tile)
 {
     ThreadRec& r = threads_[tile];
@@ -378,7 +379,7 @@ HostScheduler::waitGrant(std::unique_lock<std::mutex>& lock,
 PoolGauges
 HostScheduler::gauges() const
 {
-    std::unique_lock lock(mutex_);
+    lockdep::UniqueLock lock(mutex_);
     PoolGauges g;
     g.slots = slots_;
     for (const ThreadRec& r : threads_) {

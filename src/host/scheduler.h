@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "common/fixed_types.h"
+#include "common/lockdep.h"
 #include "common/stats.h"
 
 namespace graphite
@@ -238,7 +239,7 @@ class HostScheduler
          * to go back to sleep, and on an oversubscribed host that
          * thundering herd dominates scheduling cost.
          */
-        std::condition_variable cv;
+        lockdep::CondVar cv;
     };
 
     static ThreadState blockedState(BlockKind kind);
@@ -253,10 +254,10 @@ class HostScheduler
     void grantLocked();
 
     /** Wait until this tile holds a slot; transitions to Running. */
-    void waitGrant(std::unique_lock<std::mutex>& lock, tile_id_t tile);
+    void waitGrant(lockdep::UniqueLock& lock, tile_id_t tile);
 
     /** skewPark body with mutex_ already held. */
-    std::uint64_t parkLocked(std::unique_lock<std::mutex>& lock,
+    std::uint64_t parkLocked(lockdep::UniqueLock& lock,
                              tile_id_t tile, cycle_t wake_clock);
 
     /** Release the calling thread's slot into @p next state. */
@@ -267,7 +268,7 @@ class HostScheduler
     const SchedulerConfig cfg_;
     const int slots_; ///< 1 in deterministic mode
 
-    mutable std::mutex mutex_;
+    mutable lockdep::OrderedMutex mutex_{lockdep::LockClass::sched_pool};
     std::vector<ThreadRec> threads_;
     int used_ = 0;          ///< slots currently granted
     tile_id_t cursor_ = 0;  ///< round-robin grant cursor

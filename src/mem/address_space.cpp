@@ -1,3 +1,4 @@
+#include "common/lockdep.h"
 #include "mem/address_space.h"
 
 #include "common/log.h"
@@ -39,7 +40,7 @@ MemoryManager::MemoryManager(tile_id_t total_tiles,
 addr_t
 MemoryManager::brk(addr_t new_brk)
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     if (new_brk == 0)
         return heapBrk_;
     if (new_brk < AddressSpaceLayout::HEAP_BASE ||
@@ -54,7 +55,7 @@ MemoryManager::mmap(std::uint64_t length)
 {
     if (length == 0)
         fatal("mmap: zero length");
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     std::uint64_t aligned = (length + 4095) & ~std::uint64_t{4095};
     if (mmapNext_ + aligned > AddressSpaceLayout::MMAP_END)
         fatal("mmap: target dynamic segment exhausted ({} bytes "
@@ -71,7 +72,7 @@ MemoryManager::mmap(std::uint64_t length)
 void
 MemoryManager::munmap(addr_t addr, std::uint64_t length)
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     auto it = mmapRegions_.find(addr);
     if (it == mmapRegions_.end())
         fatal("munmap: {} is not a mapped region start", addr);
@@ -90,7 +91,7 @@ MemoryManager::allocate(std::uint64_t size)
         size = 1;
     std::uint64_t aligned = (size + 15) & ~std::uint64_t{15};
 
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     // First fit in the free list.
     for (auto it = freeList_.begin(); it != freeList_.end(); ++it) {
         if (it->second >= aligned) {
@@ -119,7 +120,7 @@ MemoryManager::allocate(std::uint64_t size)
 void
 MemoryManager::deallocate(addr_t addr)
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     auto it = liveBlocks_.find(addr);
     if (it == liveBlocks_.end())
         fatal("free of unallocated target pointer {}", addr);
@@ -156,21 +157,21 @@ MemoryManager::stackBase(tile_id_t tile) const
 stat_t
 MemoryManager::bytesAllocated() const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     return bytesAllocated_;
 }
 
 stat_t
 MemoryManager::allocationCount() const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     return allocCount_;
 }
 
 stat_t
 MemoryManager::liveBytes() const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     stat_t total = 0;
     for (const auto& [addr, size] : liveBlocks_)
         total += size;
@@ -182,7 +183,7 @@ MemoryManager::liveBytes() const
 stat_t
 MemoryManager::liveBlockCount() const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     return static_cast<stat_t>(liveBlocks_.size() +
                                mmapRegions_.size());
 }
@@ -219,7 +220,7 @@ loadAddrMap(snapshot::SnapshotReader& r,
 void
 MemoryManager::saveState(snapshot::SnapshotWriter& w) const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     w.u64(heapBrk_);
     w.u64(mmapNext_);
     w.u64(bytesAllocated_);
@@ -232,7 +233,7 @@ MemoryManager::saveState(snapshot::SnapshotWriter& w) const
 void
 MemoryManager::loadState(snapshot::SnapshotReader& r)
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     heapBrk_ = r.u64();
     mmapNext_ = r.u64();
     bytesAllocated_ = r.u64();

@@ -22,6 +22,7 @@
 #include <mutex>
 
 #include "common/fixed_types.h"
+#include "common/lockdep.h"
 #include "common/stats.h"
 
 namespace graphite
@@ -120,7 +121,7 @@ class MemoryManager
     tile_id_t totalTiles_;
     std::uint64_t stackSize_;
 
-    mutable std::mutex mutex_;
+    mutable lockdep::OrderedMutex mutex_{lockdep::LockClass::address_space};
     addr_t heapBrk_ = AddressSpaceLayout::HEAP_BASE;
     addr_t mmapNext_ = AddressSpaceLayout::MMAP_BASE;
     /** Free list: start -> size, coalesced on free. */

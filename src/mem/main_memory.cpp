@@ -1,3 +1,4 @@
+#include "common/lockdep.h"
 #include "mem/main_memory.h"
 
 #include <algorithm>
@@ -21,7 +22,7 @@ MainMemory::Page*
 MainMemory::findPage(addr_t page_addr) const
 {
     Bucket& b = bucketFor(page_addr);
-    std::scoped_lock lock(b.mutex);
+    lockdep::Guard lock(b.mutex);
     auto it = b.pages.find(page_addr);
     return it == b.pages.end() ? nullptr : it->second.get();
 }
@@ -30,7 +31,7 @@ MainMemory::Page&
 MainMemory::ensurePage(addr_t page_addr)
 {
     Bucket& b = bucketFor(page_addr);
-    std::scoped_lock lock(b.mutex);
+    lockdep::Guard lock(b.mutex);
     auto& slot = b.pages[page_addr];
     if (!slot)
         slot = std::make_unique<Page>();
@@ -79,7 +80,7 @@ MainMemory::pagesAllocated() const
 {
     size_t total = 0;
     for (const Bucket& b : buckets_) {
-        std::scoped_lock lock(b.mutex);
+        lockdep::Guard lock(b.mutex);
         total += b.pages.size();
     }
     return total;
@@ -91,7 +92,7 @@ MainMemory::saveState(snapshot::SnapshotWriter& w) const
     // Sorted order: re-serializing restored memory is byte-identical.
     std::map<addr_t, const Page*> sorted;
     for (const Bucket& b : buckets_) {
-        std::scoped_lock lock(b.mutex);
+        lockdep::Guard lock(b.mutex);
         for (const auto& [addr, page] : b.pages)
             sorted.emplace(addr, page.get());
     }
@@ -106,7 +107,7 @@ void
 MainMemory::loadState(snapshot::SnapshotReader& r)
 {
     for (Bucket& b : buckets_) {
-        std::scoped_lock lock(b.mutex);
+        lockdep::Guard lock(b.mutex);
         b.pages.clear();
     }
     std::uint64_t count = r.u64();

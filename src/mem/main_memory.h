@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/fixed_types.h"
+#include "common/lockdep.h"
 
 namespace graphite
 {
@@ -43,6 +44,12 @@ class MainMemory
     static constexpr std::uint64_t PAGE_SIZE = 4096;
     /** Page-table shards (power of two; leaf locks, never nested). */
     static constexpr std::uint64_t NUM_BUCKETS = 64;
+
+    MainMemory()
+    {
+        for (std::uint64_t i = 0; i < NUM_BUCKETS; ++i)
+            buckets_[i].mutex.setInstance(static_cast<std::int64_t>(i));
+    }
 
     /** Copy @p size bytes at @p addr into @p buf. Untouched pages read 0. */
     void read(addr_t addr, void* buf, size_t size) const;
@@ -67,7 +74,8 @@ class MainMemory
     /** One independently-locked slice of the page table. */
     struct Bucket
     {
-        mutable std::mutex mutex;
+        mutable lockdep::OrderedMutex mutex{
+            lockdep::LockClass::main_memory_bucket};
         std::unordered_map<addr_t, std::unique_ptr<Page>> pages;
     };
 

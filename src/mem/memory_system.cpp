@@ -1,3 +1,4 @@
+#include "common/lockdep.h"
 #include "mem/memory_system.h"
 
 #include <algorithm>
@@ -85,6 +86,13 @@ MemorySystem::MemorySystem(const ClusterTopology& topo,
       tiles_(topo.totalTiles()),
       shards_(topo.totalTiles())
 {
+    // Stamp lock instances: ORDERED classes (lock_order.def) require
+    // ascending acquisition, keyed by tile/home id.
+    for (tile_id_t t = 0; t < topo.totalTiles(); ++t) {
+        tiles_[t].mutex.setInstance(t);
+        shards_[t].mutex.setInstance(t);
+        shards_[t].versionMutex.setInstance(t);
+    }
     lineSize_ = cfg.getInt("perf_model/l2_cache/line_size", 64);
     l1Latency_ = cfg.getInt("perf_model/l1_dcache/access_latency", 1);
     l2Latency_ = cfg.getInt("perf_model/l2_cache/access_latency", 9);
@@ -184,23 +192,23 @@ MemorySystem::msg(tile_id_t src, tile_id_t dst, size_t payload_bytes,
 
 // ------------------------------------------------------------------ locking
 
-std::unique_lock<std::mutex>
+lockdep::UniqueLock
 MemorySystem::globalGuard()
 {
     // Compatibility mode: one big lock, as before the shard split. The
     // fine-grained locks below it are then uncontended by construction.
-    return sharded_ ? std::unique_lock<std::mutex>()
-                    : std::unique_lock<std::mutex>(globalMutex_);
+    return sharded_ ? lockdep::UniqueLock()
+                    : lockdep::UniqueLock(globalMutex_);
 }
 
-std::unique_lock<std::mutex>
-MemorySystem::lockShard(Shard& shard)
+lockdep::UniqueLock
+MemorySystem::lockShard(Shard& shard, const char* file, int line)
 {
-    std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
-    if (!lock.owns_lock()) {
+    lockdep::UniqueLock lock(shard.mutex, std::defer_lock);
+    if (!lock.try_lock(file, line)) {
         shardLockContended_.fetch_add(1, std::memory_order_relaxed);
         auto t0 = std::chrono::steady_clock::now();
-        lock.lock();
+        lock.lock(file, line);
         auto waited = std::chrono::steady_clock::now() - t0;
         shardLockWaitNs_.fetch_add(
             static_cast<stat_t>(
@@ -213,14 +221,14 @@ MemorySystem::lockShard(Shard& shard)
     return lock;
 }
 
-std::unique_lock<std::mutex>
-MemorySystem::lockTile(TileMemory& tm)
+lockdep::UniqueLock
+MemorySystem::lockTile(TileMemory& tm, const char* file, int line)
 {
-    std::unique_lock<std::mutex> lock(tm.mutex, std::try_to_lock);
-    if (!lock.owns_lock()) {
+    lockdep::UniqueLock lock(tm.mutex, std::defer_lock);
+    if (!lock.try_lock(file, line)) {
         tileLockContended_.fetch_add(1, std::memory_order_relaxed);
         auto t0 = std::chrono::steady_clock::now();
-        lock.lock();
+        lock.lock(file, line);
         auto waited = std::chrono::steady_clock::now() - t0;
         tileLockWaitNs_.fetch_add(
             static_cast<stat_t>(
@@ -237,7 +245,7 @@ void
 MemorySystem::holdTileLockForTest(tile_id_t tile, std::uint64_t ns,
                                   std::atomic<bool>* held)
 {
-    std::scoped_lock lock(tiles_[tile].mutex);
+    lockdep::Guard lock(tiles_[tile].mutex);
     if (held != nullptr)
         held->store(true, std::memory_order_release);
     std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
@@ -247,7 +255,7 @@ void
 MemorySystem::holdShardLockForTest(tile_id_t tile, std::uint64_t ns,
                                    std::atomic<bool>* held)
 {
-    std::scoped_lock lock(shards_[tile].mutex);
+    lockdep::Guard lock(shards_[tile].mutex);
     if (held != nullptr)
         held->store(true, std::memory_order_release);
     std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
@@ -262,7 +270,7 @@ MemorySystem::bumpVersions(addr_t addr, size_t size)
         return;
     addr_t line = lineAlign(addr);
     Shard& sh = shards_[homeTile(line)];
-    std::scoped_lock vl(sh.versionMutex);
+    lockdep::Guard vl(sh.versionMutex);
     auto& versions = sh.wordVersions[line];
     if (versions.empty())
         versions.resize(lineSize_ / WORD_BYTES, 0);
@@ -282,7 +290,7 @@ MemorySystem::snapshotLoss(tile_id_t tile, addr_t line_addr,
     LostLine& lost = tiles_[tile].lostLines[line_addr];
     lost.reason = reason;
     Shard& sh = shards_[homeTile(line_addr)];
-    std::scoped_lock vl(sh.versionMutex);
+    lockdep::Guard vl(sh.versionMutex);
     auto it = sh.wordVersions.find(line_addr);
     if (it != sh.wordVersions.end())
         lost.versions = it->second;
@@ -308,7 +316,7 @@ MemorySystem::classifyMiss(tile_id_t tile, addr_t line_addr, addr_t addr,
     // was written (version bumped) since we lost the line.
     const LostLine& lost = it->second;
     Shard& sh = shards_[homeTile(line_addr)];
-    std::scoped_lock vl(sh.versionMutex);
+    lockdep::Guard vl(sh.versionMutex);
     auto vit = sh.wordVersions.find(line_addr);
     if (vit == sh.wordVersions.end())
         return MissClass::FalseSharing;
@@ -838,7 +846,7 @@ MemorySystem::accessLine(tile_id_t tile, MemAccessType type, addr_t addr,
             shard_ids.push_back(homeTile(*planned_victim));
         sortUnique(shard_ids);
 
-        std::vector<std::unique_lock<std::mutex>> shard_locks;
+        std::vector<lockdep::UniqueLock> shard_locks;
         shard_locks.reserve(shard_ids.size());
         for (tile_id_t id : shard_ids)
             shard_locks.push_back(lockShard(shards_[id]));
@@ -853,7 +861,7 @@ MemorySystem::accessLine(tile_id_t tile, MemAccessType type, addr_t addr,
         }
         sortUnique(tile_ids);
 
-        std::vector<std::unique_lock<std::mutex>> tile_locks;
+        std::vector<lockdep::UniqueLock> tile_locks;
         tile_locks.reserve(tile_ids.size());
         for (tile_id_t id : tile_ids)
             tile_locks.push_back(lockTile(tiles_[id]));
@@ -1063,7 +1071,7 @@ MemorySystem::atomicRmw(tile_id_t tile, addr_t addr, size_t size,
             shard_ids.push_back(homeTile(*planned_victim));
         sortUnique(shard_ids);
 
-        std::vector<std::unique_lock<std::mutex>> shard_locks;
+        std::vector<lockdep::UniqueLock> shard_locks;
         shard_locks.reserve(shard_ids.size());
         for (tile_id_t id : shard_ids)
             shard_locks.push_back(lockShard(shards_[id]));
@@ -1078,7 +1086,7 @@ MemorySystem::atomicRmw(tile_id_t tile, addr_t addr, size_t size,
         }
         sortUnique(tile_ids);
 
-        std::vector<std::unique_lock<std::mutex>> tile_locks;
+        std::vector<lockdep::UniqueLock> tile_locks;
         tile_locks.reserve(tile_ids.size());
         for (tile_id_t id : tile_ids)
             tile_locks.push_back(lockTile(tiles_[id]));
@@ -1140,7 +1148,7 @@ MemorySystem::demoteLineLocked(DirectoryEntry& entry, addr_t line_addr)
         for (tile_id_t s : entry.sharers())
             holder_ids.push_back(s);
     sortUnique(holder_ids);
-    std::vector<std::unique_lock<std::mutex>> tile_locks;
+    std::vector<lockdep::UniqueLock> tile_locks;
     tile_locks.reserve(holder_ids.size());
     for (tile_id_t id : holder_ids)
         tile_locks.push_back(lockTile(tiles_[id]));
@@ -1294,11 +1302,11 @@ MemorySystem::validateCoherence()
     // the same global order transactions use, so this composes with
     // concurrent traffic.
     auto global = globalGuard();
-    std::vector<std::unique_lock<std::mutex>> shard_locks;
+    std::vector<lockdep::UniqueLock> shard_locks;
     shard_locks.reserve(shards_.size());
     for (Shard& sh : shards_)
         shard_locks.push_back(lockShard(sh));
-    std::vector<std::unique_lock<std::mutex>> tile_locks;
+    std::vector<lockdep::UniqueLock> tile_locks;
     tile_locks.reserve(tiles_.size());
     for (TileMemory& tm : tiles_)
         tile_locks.push_back(lockTile(tm));
@@ -1402,7 +1410,7 @@ MemorySystem::saveState(snapshot::SnapshotWriter& w)
 {
     w.u64(static_cast<std::uint64_t>(tiles_.size()));
     for (TileMemory& tm : tiles_) {
-        std::scoped_lock lock(tm.mutex);
+        lockdep::Guard lock(tm.mutex);
         w.b(tm.l1i != nullptr);
         if (tm.l1i)
             tm.l1i->saveState(w);
@@ -1444,10 +1452,10 @@ MemorySystem::saveState(snapshot::SnapshotWriter& w)
     }
 
     for (Shard& sh : shards_) {
-        std::scoped_lock lock(sh.mutex);
+        lockdep::Guard lock(sh.mutex);
         sh.directory->saveState(w);
         sh.dram->saveState(w);
-        std::scoped_lock vl(sh.versionMutex);
+        lockdep::Guard vl(sh.versionMutex);
         std::map<addr_t, const std::vector<std::uint32_t>*> vers;
         for (const auto& [a, vv] : sh.wordVersions)
             vers.emplace(a, &vv);
@@ -1479,7 +1487,7 @@ MemorySystem::loadState(snapshot::SnapshotReader& r)
                    "configured {})",
                    tiles, tiles_.size()));
     for (TileMemory& tm : tiles_) {
-        std::scoped_lock lock(tm.mutex);
+        lockdep::Guard lock(tm.mutex);
         auto load_l1 = [&](std::unique_ptr<Cache>& l1,
                            const char* which) {
             bool present = r.b();
@@ -1527,10 +1535,10 @@ MemorySystem::loadState(snapshot::SnapshotReader& r)
     }
 
     for (Shard& sh : shards_) {
-        std::scoped_lock lock(sh.mutex);
+        lockdep::Guard lock(sh.mutex);
         sh.directory->loadState(r);
         sh.dram->loadState(r);
-        std::scoped_lock vl(sh.versionMutex);
+        lockdep::Guard vl(sh.versionMutex);
         sh.wordVersions.clear();
         std::uint64_t entries = r.u64();
         for (std::uint64_t i = 0; i < entries; ++i) {

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "common/fixed_types.h"
+#include "common/lockdep.h"
 #include "common/stats.h"
 #include "mem/address_space.h"
 #include "mem/cache.h"
@@ -309,7 +310,7 @@ class MemorySystem
     struct TileMemory
     {
         /** Level-1 lock: caches, stats, and classification state. */
-        std::mutex mutex;
+        lockdep::OrderedMutex mutex{lockdep::LockClass::mem_tile};
         std::unique_ptr<Cache> l1i;
         std::unique_ptr<Cache> l1d;
         std::unique_ptr<Cache> l2;
@@ -328,11 +329,11 @@ class MemorySystem
      */
     struct Shard
     {
-        std::mutex mutex;
+        lockdep::OrderedMutex mutex{lockdep::LockClass::mem_shard};
         std::unique_ptr<Directory> directory;
         std::unique_ptr<DramController> dram;
         /** Leaf lock for the word-version shard (classification). */
-        std::mutex versionMutex;
+        lockdep::OrderedMutex versionMutex{lockdep::LockClass::mem_version};
         /** Per-line, per-word write version counters, lines homed here. */
         std::unordered_map<addr_t, std::vector<std::uint32_t>>
             wordVersions;
@@ -344,16 +345,20 @@ class MemorySystem
     addr_t lineAlign(addr_t a) const { return a & ~(lineSize_ - 1); }
 
     /** The whole-engine mutex when `mem/host_concurrency = global`. */
-    std::unique_lock<std::mutex> globalGuard();
+    lockdep::UniqueLock globalGuard();
 
     /** Acquire a shard lock, recording contention statistics. */
-    std::unique_lock<std::mutex> lockShard(Shard& shard);
+    lockdep::UniqueLock lockShard(Shard& shard,
+                                  const char* file = __builtin_FILE(),
+                                  int line = __builtin_LINE());
 
     /**
      * Acquire a tile's level-1 lock, recording contention statistics
      * (try-lock first; only a lost race counts as contended).
      */
-    std::unique_lock<std::mutex> lockTile(TileMemory& tm);
+    lockdep::UniqueLock lockTile(TileMemory& tm,
+                                 const char* file = __builtin_FILE(),
+                                 int line = __builtin_LINE());
 
     /**
      * Model one coherence message; returns its network latency. When
@@ -449,7 +454,8 @@ class MemorySystem
     bool mesi_ = false;
     bool sharded_ = true;
     std::atomic<bool> fastForward_{false};
-    std::mutex globalMutex_; ///< only used when !sharded_
+    lockdep::OrderedMutex globalMutex_{
+        lockdep::LockClass::mem_global}; ///< only used when !sharded_
     std::vector<TileMemory> tiles_;
     std::vector<Shard> shards_;
     HistogramStat accessLatency_;

@@ -1,3 +1,4 @@
+#include "common/lockdep.h"
 #include "network/global_progress.h"
 
 #include "common/log.h"
@@ -17,7 +18,7 @@ GlobalProgress::GlobalProgress(size_t window_size)
 void
 GlobalProgress::observe(cycle_t timestamp)
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     if (count_ < window_.size()) {
         ++count_;
     } else {
@@ -31,7 +32,7 @@ GlobalProgress::observe(cycle_t timestamp)
 cycle_t
 GlobalProgress::estimate() const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     if (count_ == 0)
         return 0;
     return static_cast<cycle_t>(sum_ / count_);
@@ -40,14 +41,14 @@ GlobalProgress::estimate() const
 size_t
 GlobalProgress::samples() const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     return count_;
 }
 
 void
 GlobalProgress::saveState(snapshot::SnapshotWriter& w) const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     w.u64(static_cast<std::uint64_t>(window_.size()));
     for (cycle_t c : window_)
         w.u64(c);
@@ -61,7 +62,7 @@ GlobalProgress::saveState(snapshot::SnapshotWriter& w) const
 void
 GlobalProgress::loadState(snapshot::SnapshotReader& r)
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     std::uint64_t size = r.u64();
     if (size != window_.size())
         throw snapshot::SnapshotError(

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/fixed_types.h"
+#include "common/lockdep.h"
 
 namespace graphite
 {
@@ -54,7 +55,7 @@ class GlobalProgress
     /** @} */
 
   private:
-    mutable std::mutex mutex_;
+    mutable lockdep::OrderedMutex mutex_{lockdep::LockClass::global_progress};
     std::vector<cycle_t> window_;
     size_t next_ = 0;
     size_t count_ = 0;

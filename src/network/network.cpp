@@ -1,3 +1,4 @@
+#include "common/lockdep.h"
 #include "network/network.h"
 
 #include "common/config.h"
@@ -228,7 +229,7 @@ Network::send(PacketType type, tile_id_t dst,
 bool
 Network::popPending(PacketType type, NetPacket& out)
 {
-    std::scoped_lock lock(stashMutex_);
+    lockdep::Guard lock(stashMutex_);
     auto& q = stash_[static_cast<int>(type)];
     if (q.empty())
         return false;
@@ -264,7 +265,7 @@ Network::recv(PacketType type)
                                     "net.recv", pkt.time);
             return pkt;
         }
-        std::scoped_lock lock(stashMutex_);
+        lockdep::Guard lock(stashMutex_);
         stash_[static_cast<int>(pkt.type)].push_back(std::move(pkt));
     }
 }
@@ -284,7 +285,7 @@ Network::tryRecv(PacketType type, NetPacket& out)
             out = std::move(pkt);
             return true;
         }
-        std::scoped_lock lock(stashMutex_);
+        lockdep::Guard lock(stashMutex_);
         stash_[static_cast<int>(pkt.type)].push_back(std::move(pkt));
     }
     return false;

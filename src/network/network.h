@@ -28,6 +28,7 @@
 #include <mutex>
 
 #include "common/fixed_types.h"
+#include "common/lockdep.h"
 #include "network/global_progress.h"
 #include "network/net_packet.h"
 #include "network/network_model.h"
@@ -175,7 +176,7 @@ class Network
     NetworkFabric& fabric_;
     Transport& transport_;
     /** Per-type stash for packets received while waiting on another type. */
-    std::mutex stashMutex_;
+    lockdep::OrderedMutex stashMutex_{lockdep::LockClass::network_stash};
     std::array<std::deque<NetPacket>, NUM_PACKET_TYPES> stash_;
 };
 

@@ -1,3 +1,4 @@
+#include "common/lockdep.h"
 #include "network/queue_model.h"
 
 #include <algorithm>
@@ -45,7 +46,7 @@ QueueModel::enqueue(cycle_t arrival_time, cycle_t processing_time)
         }
     }
 
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     ++requests_;
     // Finite buffering / back-pressure: the backlog seen by any packet
     // is bounded, so a burst cannot drive latencies without bound.
@@ -70,42 +71,42 @@ QueueModel::enqueue(cycle_t arrival_time, cycle_t processing_time)
 cycle_t
 QueueModel::queueClock() const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     return queueClock_;
 }
 
 stat_t
 QueueModel::totalRequests() const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     return requests_;
 }
 
 stat_t
 QueueModel::totalQueueDelay() const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     return totalDelay_;
 }
 
 stat_t
 QueueModel::clampedArrivals() const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     return clamped_;
 }
 
 stat_t
 QueueModel::saturations() const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     return saturations_;
 }
 
 void
 QueueModel::saveState(snapshot::SnapshotWriter& w) const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     w.u64(queueClock_);
     w.u64(requests_);
     w.u64(totalDelay_);
@@ -116,7 +117,7 @@ QueueModel::saveState(snapshot::SnapshotWriter& w) const
 void
 QueueModel::loadState(snapshot::SnapshotReader& r)
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     queueClock_ = r.u64();
     requests_ = r.u64();
     totalDelay_ = r.u64();

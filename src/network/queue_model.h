@@ -22,6 +22,7 @@
 #include <mutex>
 
 #include "common/fixed_types.h"
+#include "common/lockdep.h"
 #include "common/stats.h"
 
 namespace graphite
@@ -86,7 +87,7 @@ class QueueModel
     cycle_t outlierWindow_;
     cycle_t maxBacklog_;
     stat_t saturations_ = 0;
-    mutable std::mutex mutex_;
+    mutable lockdep::OrderedMutex mutex_{lockdep::LockClass::queue_model};
     cycle_t queueClock_ = 0;
     stat_t requests_ = 0;
     stat_t totalDelay_ = 0;

@@ -1,3 +1,4 @@
+#include "common/lockdep.h"
 #include "obs/metrics_sampler.h"
 
 #include <algorithm>
@@ -36,7 +37,7 @@ MetricsSampler::configure(const StatsRegistry* registry, cycle_t interval,
 {
     if (interval == 0)
         fatal("metrics: interval must be positive");
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     registry_ = registry;
     interval_ = interval;
     outPath_ = std::move(out_path);
@@ -69,7 +70,7 @@ MetricsSampler::maybeSample()
     if (now < next)
         return;
 
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     if (registry_ == nullptr || finalized_)
         return;
     if (now < nextSample_.load(std::memory_order_relaxed))
@@ -134,21 +135,21 @@ MetricsSampler::sampleLocked(cycle_t now)
 std::size_t
 MetricsSampler::rowCount() const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     return rows_.size();
 }
 
 std::vector<std::string>
 MetricsSampler::columns() const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     return columns_;
 }
 
 MetricsSampler::Row
 MetricsSampler::row(std::size_t i) const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     GRAPHITE_ASSERT(i < rows_.size());
     return rows_[i];
 }
@@ -156,7 +157,7 @@ MetricsSampler::row(std::size_t i) const
 std::string
 MetricsSampler::render() const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     return renderLocked();
 }
 
@@ -204,7 +205,7 @@ MetricsSampler::renderLocked() const
 void
 MetricsSampler::finalize()
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     if (finalized_ || registry_ == nullptr)
         return;
     // Tail interval: whatever accumulated since the last boundary. A

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/fixed_types.h"
+#include "common/lockdep.h"
 #include "common/stats.h"
 
 namespace graphite
@@ -116,7 +117,7 @@ class MetricsSampler
 
     static std::atomic<bool> enabledFlag_;
 
-    mutable std::mutex mutex_;
+    mutable lockdep::OrderedMutex mutex_{lockdep::LockClass::metrics_sampler};
     const StatsRegistry* registry_ = nullptr;
     cycle_t interval_ = 0;
     std::string outPath_;

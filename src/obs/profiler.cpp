@@ -1,3 +1,4 @@
+#include "common/lockdep.h"
 #include "obs/profiler.h"
 
 #include <algorithm>
@@ -28,7 +29,7 @@ HostProfiler::setEnabled(bool on)
 HostProfiler::Site&
 HostProfiler::site(const char* name)
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     for (const auto& s : sites_) {
         if (std::strcmp(s->name, name) == 0)
             return *s;
@@ -40,7 +41,7 @@ HostProfiler::site(const char* name)
 void
 HostProfiler::reset()
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     for (const auto& s : sites_) {
         s->calls.store(0, std::memory_order_relaxed);
         s->totalNs.store(0, std::memory_order_relaxed);
@@ -58,7 +59,7 @@ HostProfiler::report() const
     };
     std::vector<Entry> entries;
     {
-        std::scoped_lock lock(mutex_);
+        lockdep::Guard lock(mutex_);
         for (const auto& s : sites_) {
             std::uint64_t calls =
                 s->calls.load(std::memory_order_relaxed);

@@ -29,6 +29,7 @@
 #include <mutex>
 #include <string>
 #include <vector>
+#include "common/lockdep.h"
 
 namespace graphite
 {
@@ -79,7 +80,7 @@ class HostProfiler
   private:
     static std::atomic<bool> enabledFlag_;
 
-    mutable std::mutex mutex_;
+    mutable lockdep::OrderedMutex mutex_{lockdep::LockClass::profiler};
     std::vector<std::unique_ptr<Site>> sites_;
 };
 

@@ -1,3 +1,4 @@
+#include "common/lockdep.h"
 #include "obs/span/span_sink.h"
 
 #include <algorithm>
@@ -72,7 +73,7 @@ SpanSink::instance()
 void
 SpanSink::configure(tile_id_t total_tiles, const Options& opt)
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     opt_ = opt;
     if (opt_.reservoirCapacity == 0)
         opt_.reservoirCapacity = 1;
@@ -125,14 +126,14 @@ SpanSink::setEnabled(bool on)
 void
 SpanSink::attachProgress(std::function<cycle_t()> progress)
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     progress_ = std::move(progress);
 }
 
 void
 SpanSink::detachSources()
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     progress_ = nullptr;
 }
 
@@ -182,7 +183,7 @@ SpanSink::complete(const SpanRecord& rec_in)
 
     bool flow = false;
     {
-        std::scoped_lock lock(mutex_);
+        lockdep::Guard lock(mutex_);
         if (progress_)
             rec.skew = static_cast<std::int64_t>(rec.end) -
                        static_cast<std::int64_t>(progress_());
@@ -288,21 +289,21 @@ SpanSink::emitFlow(const SpanRecord& rec)
 std::vector<SpanRecord>
 SpanSink::sampled() const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     return reservoir_;
 }
 
 std::vector<SpanRecord>
 SpanSink::slowest() const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     return slowest_;
 }
 
 std::size_t
 SpanSink::sampledCount() const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     return reservoir_.size();
 }
 
@@ -337,7 +338,7 @@ appendSpanJson(std::ostringstream& os, const SpanRecord& r,
 std::string
 SpanSink::renderJsonl() const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     std::ostringstream os;
 
     for (const SpanRecord& r : reservoir_)
@@ -446,7 +447,7 @@ void
 SpanSink::reset()
 {
     setEnabled(false);
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     progress_ = nullptr;
     totalTiles_ = 0;
     meshWidth_ = 1;

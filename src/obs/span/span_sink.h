@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/fixed_types.h"
+#include "common/lockdep.h"
 #include "common/stats.h"
 #include "obs/span/span.h"
 
@@ -162,7 +163,7 @@ class SpanSink
     std::vector<atomic_stat_t> distCycles_;
     HistogramStat hist_[NUM_SPAN_KINDS][NUM_SPAN_STAGES];
 
-    mutable std::mutex mutex_;
+    mutable lockdep::OrderedMutex mutex_{lockdep::LockClass::span_sink};
     std::vector<SpanRecord> reservoir_;
     std::uint64_t reservoirSeen_ = 0;
     std::uint64_t rngState_ = 0x9e3779b97f4a7c15ull;

@@ -6,6 +6,8 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "common/lockdep.h"
+
 namespace graphite
 {
 namespace obs
@@ -110,6 +112,9 @@ crashHandler(int sig)
         writeAllFd(fd, buf, fmtI64(buf, sig));
         writeStr(fd, ") ===\n");
         FlightRecorder::instance().dumpToFd(fd);
+        // Which thread held/awaited which lock when we died — written
+        // with the same write(2)-only discipline (see lockdep.h).
+        lockdep::dumpHeldSetsToFd(fd);
         ::close(fd);
     }
     ::raise(sig);

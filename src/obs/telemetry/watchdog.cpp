@@ -1,3 +1,4 @@
+#include "common/lockdep.h"
 #include "obs/telemetry/watchdog.h"
 
 #include <chrono>
@@ -32,7 +33,7 @@ ProgressWatchdog::start(WatchdogConfig cfg, StatusSource source)
     if (cfg_.dumpBeats < 0)
         cfg_.dumpBeats = 0;
     {
-        std::scoped_lock lock(stateMutex_);
+        lockdep::Guard lock(stateMutex_);
         stopRequested_ = false;
         haveBeat_ = false;
         beatsInVerdict_ = 0;
@@ -51,7 +52,7 @@ ProgressWatchdog::stop()
     if (!running_.exchange(false, std::memory_order_acq_rel))
         return;
     {
-        std::scoped_lock lock(stateMutex_);
+        lockdep::Guard lock(stateMutex_);
         stopRequested_ = true;
     }
     stopCv_.notify_all();
@@ -65,7 +66,7 @@ ProgressWatchdog::view() const
     WatchdogView v;
     v.enabled = true;
     {
-        std::scoped_lock lock(stateMutex_);
+        lockdep::Guard lock(stateMutex_);
         v.verdict = verdict_;
     }
     v.beats = beatsCount_.load(std::memory_order_relaxed);
@@ -79,7 +80,7 @@ ProgressWatchdog::view() const
 void
 ProgressWatchdog::timerLoop()
 {
-    std::unique_lock lock(stateMutex_);
+    lockdep::UniqueLock lock(stateMutex_);
     while (!stopRequested_) {
         if (stopCv_.wait_for(lock,
                              std::chrono::milliseconds(cfg_.intervalMs),
@@ -104,7 +105,7 @@ ProgressWatchdog::beatOnce()
     const char* verdict;
     bool escalateNow = false;
     {
-        std::scoped_lock lock(stateMutex_);
+        lockdep::Guard lock(stateMutex_);
         if (!haveBeat_) {
             lastBeat_ = std::move(cur);
             haveBeat_ = true;
@@ -203,7 +204,7 @@ ProgressWatchdog::renderDump() const
     std::ostringstream os;
     os << "=== watchdog diagnostic dump ===\n";
     {
-        std::scoped_lock lock(stateMutex_);
+        lockdep::Guard lock(stateMutex_);
         os << "verdict: " << verdict_ << " (after "
            << beatsCount_.load(std::memory_order_relaxed)
            << " beats, interval " << cfg_.intervalMs << " ms)\n";
@@ -236,6 +237,14 @@ ProgressWatchdog::renderDump() const
                << (t.running ? "running" : "blocked") << "\n";
         }
     }
+
+    // Lockdep held-sets: which host thread holds which lock classes
+    // (and is blocked acquiring what), with acquisition sites — the
+    // difference between "it hangs" and "thread A holds mem_shard[3]
+    // from memory_system.cpp:210 while waiting for sched_pool".
+    std::string held = lockdep::renderHeldSets("  ");
+    if (!held.empty())
+        os << "lock held-sets (lockdep):\n" << held;
 
     WatchdogView wd = view();
     os << "status: " << renderStatusJson(source_, &wd) << "\n";
@@ -271,7 +280,7 @@ ProgressWatchdog::escalate()
     writeDump(text);
     const char* verdict;
     {
-        std::scoped_lock lock(stateMutex_);
+        lockdep::Guard lock(stateMutex_);
         verdict = verdict_;
     }
     warnc("obs", "watchdog: {} detected; diagnostic dump written to {}",

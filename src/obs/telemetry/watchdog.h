@@ -38,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/lockdep.h"
 #include "common/stats.h"
 #include "obs/telemetry/status.h"
 
@@ -130,8 +131,9 @@ class ProgressWatchdog
 
     std::thread thread_;
     std::atomic<bool> running_{false};
-    mutable std::mutex stateMutex_; ///< guards lastBeat_/verdict_ state
-    std::condition_variable stopCv_;
+    mutable lockdep::OrderedMutex stateMutex_{
+        lockdep::LockClass::watchdog_state}; ///< guards lastBeat_/verdict_
+    lockdep::CondVar stopCv_;
     bool stopRequested_ = false;
 
     Beat lastBeat_;

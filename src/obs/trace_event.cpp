@@ -1,3 +1,4 @@
+#include "common/lockdep.h"
 #include "obs/trace_event.h"
 
 #include <algorithm>
@@ -23,11 +24,12 @@ TraceSink::instance()
 void
 TraceSink::configure(std::uint32_t num_lanes, std::size_t capacity)
 {
-    std::scoped_lock lock(configMutex_);
+    lockdep::Guard lock(configMutex_);
     lanes_.clear();
     lanes_.reserve(num_lanes);
     for (std::uint32_t i = 0; i < num_lanes; ++i) {
         auto lane = std::make_unique<Lane>();
+        lane->mutex.setInstance(i);
         lane->events.reserve(capacity);
         lanes_.push_back(std::move(lane));
     }
@@ -43,7 +45,7 @@ TraceSink::setEnabled(bool on)
 void
 TraceSink::setLaneName(std::uint32_t lane, std::string name)
 {
-    std::scoped_lock lock(configMutex_);
+    lockdep::Guard lock(configMutex_);
     if (lane < lanes_.size())
         lanes_[lane]->name = std::move(name);
 }
@@ -58,7 +60,7 @@ TraceSink::record(const TraceEvent& ev)
     if (ev.lane >= lanes_.size())
         return;
     Lane& lane = *lanes_[ev.lane];
-    std::scoped_lock lock(lane.mutex);
+    lockdep::Guard lock(lane.mutex);
     if (lane.events.size() >= capacity_) {
         ++lane.dropped;
         return;
@@ -133,10 +135,10 @@ TraceSink::flow(char phase, std::uint32_t lane, const char* name,
 std::size_t
 TraceSink::recorded() const
 {
-    std::scoped_lock lock(configMutex_);
+    lockdep::Guard lock(configMutex_);
     std::size_t total = 0;
     for (const auto& lane : lanes_) {
-        std::scoped_lock ll(lane->mutex);
+        lockdep::Guard ll(lane->mutex);
         total += lane->events.size();
     }
     return total;
@@ -145,10 +147,10 @@ TraceSink::recorded() const
 std::size_t
 TraceSink::dropped() const
 {
-    std::scoped_lock lock(configMutex_);
+    lockdep::Guard lock(configMutex_);
     std::size_t total = 0;
     for (const auto& lane : lanes_) {
-        std::scoped_lock ll(lane->mutex);
+        lockdep::Guard ll(lane->mutex);
         total += lane->dropped;
     }
     return total;
@@ -184,7 +186,7 @@ appendEscaped(std::ostringstream& os, std::string_view s)
 std::string
 TraceSink::toJson() const
 {
-    std::scoped_lock lock(configMutex_);
+    lockdep::Guard lock(configMutex_);
     std::ostringstream os;
     os << "{\"traceEvents\":[";
     bool first = true;
@@ -193,7 +195,7 @@ TraceSink::toJson() const
 
     for (std::size_t li = 0; li < lanes_.size(); ++li) {
         const Lane& lane = *lanes_[li];
-        std::scoped_lock ll(lane.mutex);
+        lockdep::Guard ll(lane.mutex);
         total_dropped += lane.dropped;
 
         if (!lane.name.empty()) {
@@ -270,7 +272,7 @@ void
 TraceSink::reset()
 {
     setEnabled(false);
-    std::scoped_lock lock(configMutex_);
+    lockdep::Guard lock(configMutex_);
     lanes_.clear();
     capacity_ = 0;
 }

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/fixed_types.h"
+#include "common/lockdep.h"
 
 namespace graphite
 {
@@ -112,7 +113,7 @@ class TraceSink
   private:
     struct Lane
     {
-        mutable std::mutex mutex;
+        mutable lockdep::OrderedMutex mutex{lockdep::LockClass::trace_lane};
         std::vector<TraceEvent> events; ///< reserve(capacity), append-only
         std::uint64_t dropped = 0;
         std::string name;
@@ -122,7 +123,8 @@ class TraceSink
 
     static std::atomic<bool> enabledFlag_;
 
-    mutable std::mutex configMutex_; ///< guards lanes_ vector shape
+    mutable lockdep::OrderedMutex configMutex_{
+        lockdep::LockClass::trace_config}; ///< guards lanes_ vector shape
     std::vector<std::unique_ptr<Lane>> lanes_;
     std::size_t capacity_ = 0;
 };

@@ -125,6 +125,13 @@ CoreModel::CoreModel(tile_id_t tile, const Config& cfg)
               1, cfg.getInt("perf_model/core/store_buffer_size", 8)),
           0)
 {
+    // Only the paper's in-order core is modeled; reject a config that
+    // silently asks for something else.
+    std::string core_type =
+        cfg.getString("perf_model/core/type", "in_order");
+    if (core_type != "in_order")
+        fatal("perf_model/core/type must be 'in_order', got '{}'",
+              core_type);
 }
 
 void

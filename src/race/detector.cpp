@@ -1,3 +1,4 @@
+#include "common/lockdep.h"
 #include "race/detector.h"
 
 #include <algorithm>
@@ -116,11 +117,11 @@ Detector::configure(const Config& cfg, tile_id_t total_tiles)
     reportOut_ = cfg.getString("race/report_out", "");
 
     for (Shard& s : shards_) {
-        std::scoped_lock lock(s.mutex);
+        lockdep::Guard lock(s.mutex);
         s.lines.clear();
     }
     {
-        std::scoped_lock lock(syncMutex_);
+        lockdep::Guard lock(syncMutex_);
         threads_.assign(static_cast<std::size_t>(total_tiles),
                         ThreadState{});
         for (ThreadState& t : threads_)
@@ -133,12 +134,12 @@ Detector::configure(const Config& cfg, tile_id_t total_tiles)
         channels_.clear();
     }
     {
-        std::scoped_lock lock(recordsMutex_);
+        lockdep::Guard lock(recordsMutex_);
         records_.clear();
         recordIndex_.clear();
     }
     {
-        std::scoped_lock lock(sitesMutex_);
+        lockdep::Guard lock(sitesMutex_);
         siteNames_.assign(1, "?");
         siteIds_.clear();
     }
@@ -158,7 +159,7 @@ Detector::setSite(const char* name)
         return t_site;
     std::uint32_t id;
     {
-        std::scoped_lock lock(sitesMutex_);
+        lockdep::Guard lock(sitesMutex_);
         auto [it, inserted] = siteIds_.try_emplace(
             name, static_cast<std::uint32_t>(siteNames_.size()));
         if (inserted)
@@ -173,7 +174,7 @@ Detector::setSite(const char* name)
 std::string
 Detector::siteName(std::uint32_t id) const
 {
-    std::scoped_lock lock(sitesMutex_);
+    lockdep::Guard lock(sitesMutex_);
     if (id < siteNames_.size())
         return siteNames_[id];
     return "?";
@@ -251,7 +252,7 @@ Detector::checkWord(tile_id_t tile, const std::vector<std::uint64_t>& vc,
                                          (WORDS_PER_LINE - 1));
     Shard& shard =
         shards_[mix64(line_addr >> 6) & (NUM_SHARDS - 1)];
-    std::scoped_lock lock(shard.mutex);
+    lockdep::Guard lock(shard.mutex);
 
     auto it = shard.lines.find(line_addr);
     if (it == shard.lines.end()) {
@@ -371,7 +372,7 @@ Detector::clearRange(addr_t addr, std::uint64_t size)
     addr_t last = (addr + size - 1) & ~addr_t{LINE_BYTES - 1};
     for (addr_t a = first;; a += LINE_BYTES) {
         Shard& shard = shards_[mix64(a >> 6) & (NUM_SHARDS - 1)];
-        std::scoped_lock lock(shard.mutex);
+        lockdep::Guard lock(shard.mutex);
         if (shard.lines.erase(a) != 0)
             lineCount_.fetch_sub(1, std::memory_order_relaxed);
         if (a >= last)
@@ -384,7 +385,7 @@ Detector::clearRange(addr_t addr, std::uint64_t size)
 void
 Detector::onAtomic(tile_id_t tile, addr_t addr, bool release)
 {
-    std::scoped_lock lock(syncMutex_);
+    lockdep::Guard lock(syncMutex_);
     ThreadState& t = threads_[tile];
     auto it = syncVc_.find(addr);
     if (it != syncVc_.end())
@@ -400,7 +401,7 @@ Detector::onAtomic(tile_id_t tile, addr_t addr, bool release)
 void
 Detector::acquireAddr(tile_id_t tile, addr_t addr)
 {
-    std::scoped_lock lock(syncMutex_);
+    lockdep::Guard lock(syncMutex_);
     auto it = syncVc_.find(addr);
     if (it != syncVc_.end())
         join(threads_[tile].vc, it->second);
@@ -410,7 +411,7 @@ Detector::acquireAddr(tile_id_t tile, addr_t addr)
 void
 Detector::releaseAddr(tile_id_t tile, addr_t addr)
 {
-    std::scoped_lock lock(syncMutex_);
+    lockdep::Guard lock(syncMutex_);
     ThreadState& t = threads_[tile];
     join(syncVc_[addr], t.vc);
     ++t.vc[tile];
@@ -421,7 +422,7 @@ std::uint64_t
 Detector::barrierArrive(tile_id_t tile, addr_t barrier,
                         std::uint32_t total)
 {
-    std::scoped_lock lock(syncMutex_);
+    lockdep::Guard lock(syncMutex_);
     ThreadState& t = threads_[tile];
     BarrierState& st = barriers_[barrier];
     join(st.pending, t.vc);
@@ -444,7 +445,7 @@ Detector::barrierArrive(tile_id_t tile, addr_t barrier,
 void
 Detector::barrierLeave(tile_id_t tile, addr_t barrier, std::uint64_t gen)
 {
-    std::scoped_lock lock(syncMutex_);
+    lockdep::Guard lock(syncMutex_);
     auto bit = barriers_.find(barrier);
     GRAPHITE_ASSERT(bit != barriers_.end());
     auto git = bit->second.released.find(gen);
@@ -458,7 +459,7 @@ Detector::edge(tile_id_t from, tile_id_t to)
 {
     if (from < 0 || to < 0 || from >= totalTiles_ || to >= totalTiles_)
         return;
-    std::scoped_lock lock(syncMutex_);
+    lockdep::Guard lock(syncMutex_);
     ThreadState& f = threads_[from];
     join(threads_[to].vc, f.vc);
     ++f.vc[from];
@@ -468,14 +469,14 @@ Detector::edge(tile_id_t from, tile_id_t to)
 void
 Detector::threadStart(tile_id_t tile)
 {
-    std::scoped_lock lock(syncMutex_);
+    lockdep::Guard lock(syncMutex_);
     ++threads_[tile].vc[tile];
 }
 
 void
 Detector::msgSendEdge(tile_id_t from, tile_id_t to)
 {
-    std::scoped_lock lock(syncMutex_);
+    lockdep::Guard lock(syncMutex_);
     ThreadState& f = threads_[from];
     std::uint64_t key =
         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from))
@@ -489,7 +490,7 @@ Detector::msgSendEdge(tile_id_t from, tile_id_t to)
 void
 Detector::msgRecvEdge(tile_id_t from, tile_id_t to)
 {
-    std::scoped_lock lock(syncMutex_);
+    lockdep::Guard lock(syncMutex_);
     std::uint64_t key =
         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from))
          << 32) |
@@ -519,7 +520,7 @@ Detector::report(RaceKind kind, addr_t addr, epoch_t prev,
                             (static_cast<std::uint64_t>(prev_site)
                              << 32) ^
                             cur_site);
-    std::scoped_lock lock(recordsMutex_);
+    lockdep::Guard lock(recordsMutex_);
     auto it = recordIndex_.find(key);
     if (it != recordIndex_.end()) {
         ++records_[it->second].count;
@@ -544,7 +545,7 @@ Detector::report(RaceKind kind, addr_t addr, epoch_t prev,
 std::vector<RaceRecord>
 Detector::records() const
 {
-    std::scoped_lock lock(recordsMutex_);
+    lockdep::Guard lock(recordsMutex_);
     return records_;
 }
 

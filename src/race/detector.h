@@ -71,6 +71,7 @@
 #include <vector>
 
 #include "common/fixed_types.h"
+#include "common/lockdep.h"
 #include "common/stats.h"
 
 namespace graphite
@@ -306,7 +307,7 @@ class Detector
 
     struct Shard
     {
-        std::mutex mutex;
+        lockdep::OrderedMutex mutex{lockdep::LockClass::race_shadow};
         std::unordered_map<addr_t, ShadowLine> lines;
     };
 
@@ -320,7 +321,11 @@ class Detector
         std::map<std::uint64_t, std::vector<std::uint64_t>> released;
     };
 
-    Detector() = default;
+    Detector()
+    {
+        for (std::size_t i = 0; i < NUM_SHARDS; ++i)
+            shards_[i].mutex.setInstance(static_cast<std::int64_t>(i));
+    }
 
     void checkWord(tile_id_t tile, const std::vector<std::uint64_t>& vc,
                    addr_t word_addr, bool is_write, std::uint32_t site,
@@ -346,7 +351,7 @@ class Detector
     std::array<Shard, NUM_SHARDS> shards_;
 
     /** Guards thread VCs, sync clocks, barriers, and channels. */
-    mutable std::mutex syncMutex_;
+    mutable lockdep::OrderedMutex syncMutex_{lockdep::LockClass::race_sync};
     std::vector<ThreadState> threads_;
     std::unordered_map<addr_t, std::vector<std::uint64_t>> syncVc_;
     std::unordered_map<addr_t, BarrierState> barriers_;
@@ -355,11 +360,11 @@ class Detector
                        std::deque<std::vector<std::uint64_t>>>
         channels_;
 
-    mutable std::mutex recordsMutex_;
+    mutable lockdep::OrderedMutex recordsMutex_{lockdep::LockClass::race_records};
     std::vector<RaceRecord> records_;
     std::unordered_map<std::uint64_t, std::size_t> recordIndex_;
 
-    mutable std::mutex sitesMutex_;
+    mutable lockdep::OrderedMutex sitesMutex_{lockdep::LockClass::race_sites};
     std::vector<std::string> siteNames_;
     std::unordered_map<std::string, std::uint32_t> siteIds_;
 

@@ -1,3 +1,4 @@
+#include "common/lockdep.h"
 #include "sync/skew_tracker.h"
 
 #include <algorithm>
@@ -18,7 +19,7 @@ SkewTracker::SkewTracker(std::uint64_t min_period_us)
 void
 SkewTracker::attachCores(std::vector<SkewSource> cores)
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     cores_ = std::move(cores);
 }
 
@@ -26,7 +27,7 @@ void
 SkewTracker::maybeSnapshot()
 {
     auto now = std::chrono::steady_clock::now();
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     if (cores_.empty())
         return;
     auto elapsed_us =
@@ -77,14 +78,14 @@ SkewTracker::maybeSnapshot()
 size_t
 SkewTracker::sampleCount() const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     return snaps_.size();
 }
 
 std::vector<SkewTracker::Interval>
 SkewTracker::analyze(int num_intervals) const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     std::vector<Interval> out;
     if (snaps_.empty() || num_intervals <= 0)
         return out;

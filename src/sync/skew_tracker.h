@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/fixed_types.h"
+#include "common/lockdep.h"
 
 namespace graphite
 {
@@ -84,7 +85,7 @@ class SkewTracker
 
     std::chrono::steady_clock::time_point start_;
     std::uint64_t minPeriodUs_;
-    mutable std::mutex mutex_;
+    mutable lockdep::OrderedMutex mutex_{lockdep::LockClass::skew_tracker};
     std::vector<SkewSource> cores_;
     std::chrono::steady_clock::time_point lastSnap_;
     std::vector<Snapshot> snaps_;

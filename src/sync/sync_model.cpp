@@ -1,3 +1,4 @@
+#include "common/lockdep.h"
 #include "sync/sync_model.h"
 
 #include <algorithm>
@@ -46,7 +47,7 @@ LaxBarrierSync::LaxBarrierSync(cycle_t quantum, tile_id_t total_tiles)
 void
 LaxBarrierSync::threadStart(CoreModel& core)
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     ++active_;
     cycle_t c = core.cycle();
     nextTarget_[core.tileId()] = (c / quantum_ + 1) * quantum_;
@@ -84,21 +85,21 @@ LaxBarrierSync::leave()
 void
 LaxBarrierSync::threadExit(CoreModel&)
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     leave();
 }
 
 void
 LaxBarrierSync::threadBlocked(CoreModel&)
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     leave();
 }
 
 void
 LaxBarrierSync::threadUnblocked(CoreModel& core)
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     ++active_;
     // The clock may have been forwarded arbitrarily far while blocked;
     // re-align the next barrier target to the first boundary ahead.
@@ -111,7 +112,7 @@ LaxBarrierSync::arrive(tile_id_t tile, cycle_t now)
 {
     GRAPHITE_PROFILE_SCOPE("sync.barrier_wait");
     auto t0 = std::chrono::steady_clock::now();
-    std::unique_lock lock(mutex_);
+    lockdep::UniqueLock lock(mutex_);
     ++waiting_;
     bool blocked = false;
     if (waiting_ == active_) {
@@ -156,7 +157,7 @@ LaxBarrierSync::periodicSync(CoreModel& core)
     tile_id_t tile = core.tileId();
     while (true) {
         {
-            std::scoped_lock lock(mutex_);
+            lockdep::Guard lock(mutex_);
             if (core.cycle() < nextTarget_[tile])
                 return;
             nextTarget_[tile] += quantum_;
@@ -183,7 +184,7 @@ LaxP2PSync::LaxP2PSync(tile_id_t total_tiles, cycle_t slack,
 void
 LaxP2PSync::threadStart(CoreModel& core)
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     cores_[core.tileId()] = &core;
     nextCheck_[core.tileId()] = core.cycle() + interval_;
 }
@@ -191,21 +192,21 @@ LaxP2PSync::threadStart(CoreModel& core)
 void
 LaxP2PSync::threadExit(CoreModel& core)
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     cores_[core.tileId()] = nullptr;
 }
 
 void
 LaxP2PSync::threadBlocked(CoreModel& core)
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     cores_[core.tileId()] = nullptr;
 }
 
 void
 LaxP2PSync::threadUnblocked(CoreModel& core)
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     cores_[core.tileId()] = &core;
     nextCheck_[core.tileId()] = core.cycle() + interval_;
 }
@@ -218,7 +219,7 @@ LaxP2PSync::periodicSync(CoreModel& core)
     cycle_t partner_clock = 0;
     bool found = false;
     {
-        std::scoped_lock lock(mutex_);
+        lockdep::Guard lock(mutex_);
         if (my_clock < nextCheck_[tile])
             return;
         nextCheck_[tile] = my_clock + interval_;
@@ -332,7 +333,7 @@ LaxBarrierSync::loadState(snapshot::SnapshotReader& r)
 void
 LaxP2PSync::saveState(snapshot::SnapshotWriter& w) const
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     w.u64(rng_.state());
     w.u64(static_cast<std::uint64_t>(nextCheck_.size()));
     for (cycle_t c : nextCheck_)
@@ -342,7 +343,7 @@ LaxP2PSync::saveState(snapshot::SnapshotWriter& w) const
 void
 LaxP2PSync::loadState(snapshot::SnapshotReader& r)
 {
-    std::scoped_lock lock(mutex_);
+    lockdep::Guard lock(mutex_);
     rng_.setState(r.u64());
     std::uint64_t n = r.u64();
     if (n != nextCheck_.size())

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/fixed_types.h"
+#include "common/lockdep.h"
 #include "common/rng.h"
 #include "common/stats.h"
 
@@ -151,8 +152,8 @@ class LaxBarrierSync : public SyncModel
     void releaseWaitersLocked();
 
     cycle_t quantum_;
-    std::mutex mutex_;
-    std::condition_variable cv_;
+    lockdep::OrderedMutex mutex_{lockdep::LockClass::sync_barrier};
+    lockdep::CondVar cv_;
     int active_ = 0;
     int waiting_ = 0;
     std::uint64_t epoch_ = 0;
@@ -199,7 +200,8 @@ class LaxP2PSync : public SyncModel
     cycle_t interval_;
     std::chrono::steady_clock::time_point start_;
 
-    mutable std::mutex mutex_; ///< guards cores_ and rng_
+    mutable lockdep::OrderedMutex mutex_{
+        lockdep::LockClass::sync_p2p}; ///< guards cores_ and rng_
     std::vector<CoreModel*> cores_; ///< active cores, nullptr when off
     Rng rng_;
     /** Next local check threshold per tile. */

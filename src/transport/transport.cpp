@@ -1,3 +1,4 @@
+#include "common/lockdep.h"
 #include "transport/transport.h"
 
 #include "common/log.h"
@@ -9,8 +10,10 @@ InProcessTransport::InProcessTransport(const ClusterTopology& topo)
     : topo_(topo)
 {
     boxes_.reserve(topo_.numEndpoints());
-    for (endpoint_id_t i = 0; i < topo_.numEndpoints(); ++i)
+    for (endpoint_id_t i = 0; i < topo_.numEndpoints(); ++i) {
         boxes_.push_back(std::make_unique<Mailbox>());
+        boxes_.back()->mutex.setInstance(i);
+    }
 }
 
 void
@@ -21,7 +24,7 @@ InProcessTransport::send(endpoint_id_t src, endpoint_id_t dst,
     GRAPHITE_ASSERT(dst >= 0 && dst < topo_.numEndpoints());
 
     {
-        std::scoped_lock lock(statsMutex_);
+        lockdep::Guard lock(statsMutex_);
         bool same = topo_.processForEndpoint(src) ==
                     topo_.processForEndpoint(dst);
         if (same) {
@@ -35,7 +38,7 @@ InProcessTransport::send(endpoint_id_t src, endpoint_id_t dst,
 
     Mailbox& box = *boxes_[dst];
     {
-        std::scoped_lock lock(box.mutex);
+        lockdep::Guard lock(box.mutex);
         box.queue.push_back(TransportBuffer{src, dst, std::move(data)});
     }
     box.cv.notify_one();
@@ -46,7 +49,7 @@ InProcessTransport::recv(endpoint_id_t dst)
 {
     GRAPHITE_ASSERT(dst >= 0 && dst < topo_.numEndpoints());
     Mailbox& box = *boxes_[dst];
-    std::unique_lock lock(box.mutex);
+    lockdep::UniqueLock lock(box.mutex);
     box.cv.wait(lock,
                 [&] { return !box.queue.empty() || shutdown_.load(); });
     if (box.queue.empty())
@@ -61,7 +64,7 @@ InProcessTransport::tryRecv(endpoint_id_t dst, TransportBuffer& out)
 {
     GRAPHITE_ASSERT(dst >= 0 && dst < topo_.numEndpoints());
     Mailbox& box = *boxes_[dst];
-    std::scoped_lock lock(box.mutex);
+    lockdep::Guard lock(box.mutex);
     if (box.queue.empty())
         return false;
     out = std::move(box.queue.front());
@@ -74,7 +77,7 @@ InProcessTransport::pending(endpoint_id_t dst) const
 {
     GRAPHITE_ASSERT(dst >= 0 && dst < topo_.numEndpoints());
     const Mailbox& box = *boxes_[dst];
-    std::scoped_lock lock(box.mutex);
+    lockdep::Guard lock(box.mutex);
     return box.queue.size();
 }
 
@@ -94,7 +97,7 @@ InProcessTransport::shutdown()
     for (auto& box : boxes_) {
         // Take the lock so no receiver can miss the flag between its
         // predicate check and wait.
-        std::scoped_lock lock(box->mutex);
+        lockdep::Guard lock(box->mutex);
         box->cv.notify_all();
     }
 }
@@ -102,28 +105,28 @@ InProcessTransport::shutdown()
 stat_t
 InProcessTransport::intraProcessMessages() const
 {
-    std::scoped_lock lock(statsMutex_);
+    lockdep::Guard lock(statsMutex_);
     return intraMsgs_;
 }
 
 stat_t
 InProcessTransport::interProcessMessages() const
 {
-    std::scoped_lock lock(statsMutex_);
+    lockdep::Guard lock(statsMutex_);
     return interMsgs_;
 }
 
 stat_t
 InProcessTransport::intraProcessBytes() const
 {
-    std::scoped_lock lock(statsMutex_);
+    lockdep::Guard lock(statsMutex_);
     return intraBytes_;
 }
 
 stat_t
 InProcessTransport::interProcessBytes() const
 {
-    std::scoped_lock lock(statsMutex_);
+    lockdep::Guard lock(statsMutex_);
     return interBytes_;
 }
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/fixed_types.h"
+#include "common/lockdep.h"
 #include "common/stats.h"
 #include "transport/cluster_topology.h"
 
@@ -115,15 +116,17 @@ class InProcessTransport : public Transport
   private:
     struct Mailbox
     {
-        mutable std::mutex mutex;
-        std::condition_variable cv;
+        mutable lockdep::OrderedMutex mutex{
+            lockdep::LockClass::transport_mailbox};
+        lockdep::CondVar cv;
         std::deque<TransportBuffer> queue;
     };
 
     ClusterTopology topo_;
     std::vector<std::unique_ptr<Mailbox>> boxes_;
     std::atomic<bool> shutdown_{false};
-    mutable std::mutex statsMutex_;
+    mutable lockdep::OrderedMutex statsMutex_{
+        lockdep::LockClass::transport_stats};
     stat_t intraMsgs_ = 0;
     stat_t interMsgs_ = 0;
     stat_t intraBytes_ = 0;

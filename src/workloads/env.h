@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/fixed_types.h"
+#include "common/lockdep.h"
 #include "core/api.h"
 
 namespace graphite
@@ -125,7 +126,7 @@ class NativeBarrier
     void
     wait()
     {
-        std::unique_lock lock(mutex_);
+        lockdep::UniqueLock lock(mutex_);
         std::uint64_t gen = gen_;
         if (++count_ == total_) {
             count_ = 0;
@@ -137,8 +138,8 @@ class NativeBarrier
     }
 
   private:
-    std::mutex mutex_;
-    std::condition_variable cv_;
+    lockdep::OrderedMutex mutex_{lockdep::LockClass::workload_env};
+    lockdep::CondVar cv_;
     int total_;
     int count_ = 0;
     std::uint64_t gen_ = 0;
@@ -215,10 +216,25 @@ class NativeEnv
         delete reinterpret_cast<NativeBarrier*>(b);
     }
 
-    Ptr makeMutex() { return reinterpret_cast<Ptr>(new std::mutex); }
-    void lock(Ptr m) { reinterpret_cast<std::mutex*>(m)->lock(); }
-    void unlock(Ptr m) { reinterpret_cast<std::mutex*>(m)->unlock(); }
-    void freeMutex(Ptr m) { delete reinterpret_cast<std::mutex*>(m); }
+    // Target-program mutexes: the app owns the nesting discipline, so
+    // the class carries the MULTI flag (see lock_order.def).
+    Ptr makeMutex()
+    {
+        return reinterpret_cast<Ptr>(new lockdep::OrderedMutex(
+            lockdep::LockClass::app_target));
+    }
+    void lock(Ptr m)
+    {
+        reinterpret_cast<lockdep::OrderedMutex*>(m)->lock();
+    }
+    void unlock(Ptr m)
+    {
+        reinterpret_cast<lockdep::OrderedMutex*>(m)->unlock();
+    }
+    void freeMutex(Ptr m)
+    {
+        delete reinterpret_cast<lockdep::OrderedMutex*>(m);
+    }
 
   private:
     int self_;

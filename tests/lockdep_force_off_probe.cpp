@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Compiled with -DGRAPHITE_LOCKDEP_FORCE_OFF into the otherwise armed
+ * test binary: proves the disabled lockdep variant compiles against
+ * the exact same call sites (the ld_on / ld_off inline namespaces keep
+ * the symbols distinct, so both variants link into one binary) and
+ * that the wrappers add no per-object state.  The header's
+ * static_asserts pin sizeof(OrderedMutex) == sizeof(std::mutex) at
+ * compile time; this function exercises the full API surface at
+ * runtime — including a deliberate lock-order inversion, which the
+ * disabled build must silently permit.
+ */
+
+#include "common/lockdep.h"
+
+#include <chrono>
+
+static_assert(GRAPHITE_LOCKDEP_ON == 0,
+              "probe TU must see the disabled lockdep variant");
+
+bool
+lockdepForceOffProbeExercise()
+{
+    using namespace graphite::lockdep;
+
+    OrderedMutex a(LockClass::race_records);
+    OrderedMutex b(LockClass::span_sink);
+
+    // Deliberate inversion (b before a, then a before b): the
+    // disabled build carries no held-set and must not care.
+    {
+        Guard gb(b);
+        Guard ga(a);
+    }
+    {
+        Guard ga(a);
+        Guard gb(b);
+    }
+
+    OrderedMutex sharded(LockClass::mem_shard, 3);
+    sharded.setInstance(7); // no-op pass-through
+    {
+        UniqueLock l(sharded, std::try_to_lock);
+        if (!l.owns_lock())
+            return false;
+    }
+
+    CondVar cv;
+    UniqueLock l(a);
+    cv.wait_for(l, std::chrono::milliseconds(1));
+    cv.notify_all();
+
+    bool api_inert = mode() == Mode::Off && violationCount() == 0 &&
+                     lastReport().empty() && heldSnapshot().empty() &&
+                     renderHeldSets().empty();
+    return api_inert && l.owns_lock() &&
+           sizeof(OrderedMutex) == sizeof(std::mutex);
+}

@@ -593,8 +593,18 @@ waitSetMain(void* p)
 
     // Host-side poll: the snapshot is taken from this (application)
     // thread exactly the way the telemetry server's thread would.
+    // Each iteration burns a full quantum so the quantum check can
+    // hand the execution slot to the workers — with one host thread
+    // (hardware_concurrency == 1) a sim thread that only polls
+    // host-side would otherwise monopolize the slot and starve the
+    // workers before they ever reach futexWait. Wall-clock deadline,
+    // not an iteration cap, so a loaded host cannot exhaust it.
     ThreadManager& tm = Simulator::current()->threadManager();
-    for (int i = 0; i < 5000 && !probe->observed; ++i) {
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!probe->observed &&
+           std::chrono::steady_clock::now() < deadline) {
+        api::exec(InstrClass::IntAlu, 20000); // >= host/quantum_cycles
         WaitSetSnapshot ws = tm.waitSets();
         for (const auto& q : ws.futexes) {
             if (q.addr == probe->gate && q.waiters.size() == 2) {

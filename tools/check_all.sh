@@ -2,7 +2,10 @@
 # One-stop local analysis gate (what CI runs as `ctest -L analysis`):
 #
 #   1. configure + build the default tree;
-#   2. quick unit/system tests (ctest -L quick);
+#   2. static audits: tools/lock_audit.py (lock hierarchy discipline)
+#      and tools/config_audit.py (config keys vs documentation);
+#      then quick unit/system tests (ctest -L quick) and the lockdep
+#      runtime gate (ctest -L lockdep);
 #      ... then the telemetry plane (ctest -L telemetry): unit suite +
 #      the end-to-end HTTP scrape probe;
 #   3. clang-tidy over every first-party TU (SKIPs when the toolchain
@@ -23,8 +26,18 @@ step "configure + build ($BUILD)"
 cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j "$JOBS"
 
+step "static audits (lock hierarchy + config keys)"
+# Hard gate: raw mutexes outside the lockdep layer, undeclared lock
+# classes, a cyclic lock_order.def, undocumented or dead config keys
+# all fail the build here before anything runs.
+python3 tools/lock_audit.py
+python3 tools/config_audit.py
+
 step "quick tests"
 ctest --test-dir "$BUILD" -L quick --output-on-failure -j "$JOBS"
+
+step "lockdep gate (planted-inversion + disabled-build checks)"
+ctest --test-dir "$BUILD" -L lockdep --output-on-failure
 
 step "telemetry plane"
 # Unit suite plus the end-to-end probe (CLI + HTTP scrape cross-check).
