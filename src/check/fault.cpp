@@ -81,6 +81,8 @@ FaultPlan::parseMode(const std::string& name)
         return FaultMode::LostWriteback;
     if (name == "skip_release_fence")
         return FaultMode::SkipReleaseFence;
+    if (name == "late_delivery")
+        return FaultMode::LateDelivery;
     fatal("check/inject_fault: unknown mode '{}'", name);
 }
 
@@ -93,6 +95,7 @@ FaultPlan::modeName(FaultMode mode)
       case FaultMode::StaleDramFill: return "stale_dram_fill";
       case FaultMode::LostWriteback: return "lost_writeback";
       case FaultMode::SkipReleaseFence: return "skip_release_fence";
+      case FaultMode::LateDelivery: return "late_delivery";
     }
     return "?";
 }
@@ -100,6 +103,11 @@ FaultPlan::modeName(FaultMode mode)
 const std::vector<FaultMode>&
 FaultPlan::allModes()
 {
+    // LateDelivery is deliberately absent: it perturbs only packet
+    // timestamps, never data, so the differential sweep's fingerprint
+    // cannot detect it — the accuracy observatory's violation counter
+    // does (tests/test_accuracy.cpp). Listing it here would fail the
+    // fuzz detection drill, which requires a fingerprint mismatch.
     static const std::vector<FaultMode> modes = {
         FaultMode::DropInvalidation,
         FaultMode::StaleDramFill,

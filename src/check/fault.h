@@ -10,7 +10,8 @@
  *
  * Config keys (see graphite.cfg [check]):
  *   check/inject_fault      none | drop_invalidation | stale_dram_fill |
- *                           lost_writeback | skip_release_fence
+ *                           lost_writeback | skip_release_fence |
+ *                           late_delivery
  *   check/fault_after       opportunities to let pass before firing
  *                           (spares setup traffic; default 4)
  *   check/fault_addr_below  only fire on lines below this address
@@ -49,6 +50,10 @@ enum class FaultMode : std::uint8_t
     StaleDramFill,     ///< DRAM fill returns one flipped bit
     LostWriteback,     ///< dirty L2 eviction never reaches memory
     SkipReleaseFence,  ///< atomic RMW skips the L1 write-through sync
+    LateDelivery,      ///< packet stamped with its send time (timing
+                       ///< only, data intact) — plants a guaranteed
+                       ///< causality violation for the accuracy
+                       ///< observatory's detection tests
 };
 
 /** Process-global fault schedule. */

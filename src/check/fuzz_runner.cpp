@@ -598,6 +598,7 @@ sampleMatrix(std::uint64_t seed, int variants)
             pt.concurrency = "sharded";
             pt.race = true;
             pt.spans = true;
+            pt.accuracy = true;
             pt.syncModel = SYNCS[rng.nextBounded(3)];
             pt.directoryType = DIRS[rng.nextBounded(3)];
             pt.lineSize = LINES[rng.nextBounded(2)];
@@ -609,10 +610,11 @@ sampleMatrix(std::uint64_t seed, int variants)
             pt.lineSize = LINES[rng.nextBounded(2)];
         }
         pt.slack = rng.nextBounded(2) == 0 ? 2000 : 100000;
-        pt.name = strfmt("p{}_{}_{}_l{}_{}{}{}", pt.processes,
+        pt.name = strfmt("p{}_{}_{}_l{}_{}{}{}{}", pt.processes,
                          pt.syncModel, pt.directoryType, pt.lineSize,
                          pt.concurrency, pt.race ? "_race" : "",
-                         pt.spans ? "_span" : "");
+                         pt.spans ? "_span" : "",
+                         pt.accuracy ? "_acc" : "");
         points.push_back(std::move(pt));
     }
     return points;
@@ -645,6 +647,7 @@ makeFuzzConfig(const ConfigPoint& pt, std::uint64_t seed,
     cfg.setInt("rng/seed", static_cast<std::int64_t>(seed | 1));
     cfg.setBool("race/enabled", pt.race);
     cfg.setBool("obs/spans_enabled", pt.spans);
+    cfg.setBool("accuracy/enabled", pt.accuracy);
     // The runner applies the full invariant suite itself, with richer
     // reporting than the shutdown fatal().
     cfg.setBool("check/validate_at_shutdown", false);

@@ -112,6 +112,11 @@ struct ConfigPoint
      *  timing-neutral: an armed run must reproduce the baseline's
      *  architectural fingerprint bit for bit. */
     bool spans = false;
+    /** Arm the accuracy observatory (src/obs/accuracy) without a
+     *  report file. Same fingerprint-equality argument as spans:
+     *  causality detection only reads clocks, so an armed run must be
+     *  architecturally indistinguishable from the baseline. */
+    bool accuracy = false;
 };
 
 /** The fixed reference point every variant is compared against. */

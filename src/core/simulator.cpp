@@ -7,6 +7,7 @@
 #include "common/log.h"
 #include "common/strfmt.h"
 #include "common/table.h"
+#include "obs/accuracy/accuracy.h"
 #include "obs/observability.h"
 #include "obs/profiler.h"
 #include "obs/span/span_sink.h"
@@ -62,6 +63,15 @@ Simulator::Simulator(Config cfg)
     for (tile_id_t t = 0; t < topo_.totalTiles(); ++t)
         tiles_.push_back(
             std::make_unique<Tile>(t, cfg_, *fabric_, *transport_));
+
+    // Hand the accuracy observatory live clock pointers so delivery
+    // hooks can compare event timestamps against receiver clocks. The
+    // clocks are detached again in Observability::finalize(), before
+    // the tiles die.
+    if (obs::accuracy::AccuracyObservatory::armed())
+        for (tile_id_t t = 0; t < topo_.totalTiles(); ++t)
+            obs::accuracy::AccuracyObservatory::instance().attachClock(
+                t, tiles_[t]->core().clockPtr());
 
     threads_ = std::make_unique<ThreadManager>(*this);
 
@@ -250,6 +260,44 @@ Simulator::registerStats()
                 strfmt("span.stage.{}_cycles", obs::spanStageName(stage)),
                 spans->stageCyclesCounter(stage));
         }
+    }
+
+    if (obs::accuracy::AccuracyObservatory::armed()) {
+        auto* acc = &obs::accuracy::AccuracyObservatory::instance();
+        stats_.registerCounter("accuracy.deliveries",
+                               acc->deliveriesCounter());
+        stats_.registerCounter("accuracy.violations",
+                               acc->violationsCounter());
+        stats_.registerGauge("accuracy.worst_magnitude_cycles",
+                             [acc] { return acc->worstMagnitude(); });
+        stats_.registerHistogram("accuracy.magnitude",
+                                 acc->magnitudeHistogram());
+        for (int p = 0; p < obs::accuracy::NUM_VIOLATION_POINTS; ++p) {
+            auto point = static_cast<obs::accuracy::ViolationPoint>(p);
+            stats_.registerGauge(
+                strfmt("accuracy.violations.{}",
+                       obs::accuracy::violationPointName(point)),
+                [acc, point] { return acc->pointViolations(point); });
+        }
+        stats_.registerHistogram(
+            "accuracy.net_latency.app",
+            acc->netLatencyHistogram(
+                static_cast<int>(PacketType::App)));
+        stats_.registerHistogram(
+            "accuracy.net_latency.memory",
+            acc->netLatencyHistogram(
+                static_cast<int>(PacketType::Memory)));
+        stats_.registerHistogram(
+            "accuracy.net_latency.system",
+            acc->netLatencyHistogram(
+                static_cast<int>(PacketType::System)));
+        stats_.registerGauge("sync.skew_pair_max_cycles",
+                             [acc] { return acc->pairSkewMax(); });
+        stats_.registerGauge("sync.skew_pair_mean_cycles", [acc] {
+            return static_cast<stat_t>(acc->pairSkewMean());
+        });
+        stats_.registerGauge("sync.skew_pair_samples",
+                             [acc] { return acc->pairSamples(); });
     }
 
     ThreadManager* threads = threads_.get();

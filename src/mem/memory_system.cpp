@@ -171,7 +171,8 @@ MemorySystem::homeTile(addr_t addr) const
 
 cycle_t
 MemorySystem::msg(tile_id_t src, tile_id_t dst, size_t payload_bytes,
-                  cycle_t send_time, NetBreakdown* bd)
+                  cycle_t send_time, NetBreakdown* bd,
+                  obs::accuracy::ViolationPoint point)
 {
     // Fast-forward skips the whole modelEx call: the network model's
     // routed totals and the fabric's locality counters move together
@@ -187,6 +188,13 @@ MemorySystem::msg(tile_id_t src, tile_id_t dst, size_t payload_bytes,
                         send_time);
     if (bd != nullptr)
         *bd = b;
+    // Every coherence leg funnels through here, so this one hook gives
+    // the accuracy observatory transaction-completion coverage: the
+    // modeled arrival time is compared against the destination tile's
+    // local clock (pure observation, never feeds back into timing).
+    if (obs::accuracy::AccuracyObservatory::armed())
+        obs::accuracy::AccuracyObservatory::instance().onDelivery(
+            point, src, dst, send_time + b.total);
     return b.total;
 }
 
@@ -409,7 +417,8 @@ MemorySystem::handleL2Eviction(tile_id_t tile, const Eviction& ev,
             static_cast<std::uint64_t>(home));
         NetBreakdown nbd;
         cycle_t m = msg(tile, home, lineSize_ + CTRL_BYTES, now,
-                        span ? &nbd : nullptr);
+                        span ? &nbd : nullptr,
+                        obs::accuracy::ViolationPoint::MemWriteback);
         DramController::Breakdown dbd{};
         if (!fastForward())
             dbd = shards_[home].dram->accessEx(now,
@@ -432,7 +441,8 @@ MemorySystem::handleL2Eviction(tile_id_t tile, const Eviction& ev,
         // Clean eviction notification keeps the directory precise.
         NetBreakdown nbd;
         cycle_t m = msg(tile, home, CTRL_BYTES, now,
-                        span ? &nbd : nullptr);
+                        span ? &nbd : nullptr,
+                        obs::accuracy::ViolationPoint::MemWriteback);
         if (span) {
             markNet(&*span, nbd, now, /*reply=*/false);
             span->finish(now + m);
@@ -554,10 +564,14 @@ MemorySystem::fetchLineLocked(tile_id_t tile, addr_t line_addr,
                         check::FaultMode::DropInvalidation, line_addr))
                     continue; // injected fault: sharer keeps stale copy
                 ++tm.stats.invalidationsSent;
-                cycle_t rt = msg(home, s, CTRL_BYTES, now + lat);
+                cycle_t rt =
+                    msg(home, s, CTRL_BYTES, now + lat, nullptr,
+                        obs::accuracy::ViolationPoint::MemInvalidation);
                 invalidateTile(s, line_addr, /*coherence=*/true,
                                nullptr);
-                rt += msg(s, home, CTRL_BYTES, now + lat + rt);
+                rt +=
+                    msg(s, home, CTRL_BYTES, now + lat + rt, nullptr,
+                        obs::accuracy::ViolationPoint::MemInvalidation);
                 max_rt = std::max(max_rt, rt);
             }
             // One mark for the whole overlapped batch: charging the
@@ -600,7 +614,9 @@ MemorySystem::fetchLineLocked(tile_id_t tile, addr_t line_addr,
         // coalesce into one Recall mark (add() merges the adjacent
         // same-stage slices).
         {
-            cycle_t m = msg(home, owner, CTRL_BYTES, now + lat);
+            cycle_t m =
+                msg(home, owner, CTRL_BYTES, now + lat, nullptr,
+                    obs::accuracy::ViolationPoint::MemRecall);
             if (sb)
                 sb->add(obs::SpanStage::Recall, now + lat, m);
             lat += m;
@@ -622,7 +638,8 @@ MemorySystem::fetchLineLocked(tile_id_t tile, addr_t line_addr,
         }
         {
             cycle_t m =
-                msg(owner, home, lineSize_ + CTRL_BYTES, now + lat);
+                msg(owner, home, lineSize_ + CTRL_BYTES, now + lat,
+                    nullptr, obs::accuracy::ViolationPoint::MemRecall);
             if (sb)
                 sb->add(obs::SpanStage::Recall, now + lat, m);
             lat += m;
@@ -681,10 +698,14 @@ MemorySystem::fetchLineLocked(tile_id_t tile, addr_t line_addr,
             tile_id_t victim = *r.evicted;
             GRAPHITE_ASSERT(victim != tile);
             ++tm.stats.invalidationsSent;
-            cycle_t rt = msg(home, victim, CTRL_BYTES, now + lat);
+            cycle_t rt =
+                msg(home, victim, CTRL_BYTES, now + lat, nullptr,
+                    obs::accuracy::ViolationPoint::MemInvalidation);
             invalidateTile(victim, line_addr, /*coherence=*/true,
                            nullptr);
-            rt += msg(victim, home, CTRL_BYTES, now + lat + rt);
+            rt +=
+                msg(victim, home, CTRL_BYTES, now + lat + rt, nullptr,
+                    obs::accuracy::ViolationPoint::MemInvalidation);
             if (sb)
                 sb->add(obs::SpanStage::Invalidation, now + lat, rt);
             lat += rt;
@@ -695,7 +716,8 @@ MemorySystem::fetchLineLocked(tile_id_t tile, addr_t line_addr,
     if (upgrade) {
         NetBreakdown nbd;
         cycle_t m = msg(home, tile, CTRL_BYTES, now + lat,
-                        sb ? &nbd : nullptr);
+                        sb ? &nbd : nullptr,
+                        obs::accuracy::ViolationPoint::MemReply);
         if (sb)
             markNet(sb, nbd, now + lat, /*reply=*/true);
         lat += m;
@@ -703,7 +725,8 @@ MemorySystem::fetchLineLocked(tile_id_t tile, addr_t line_addr,
     } else {
         NetBreakdown nbd;
         cycle_t m = msg(home, tile, lineSize_ + CTRL_BYTES, now + lat,
-                        sb ? &nbd : nullptr);
+                        sb ? &nbd : nullptr,
+                        obs::accuracy::ViolationPoint::MemReply);
         if (sb)
             markNet(sb, nbd, now + lat, /*reply=*/true);
         lat += m;

@@ -51,6 +51,7 @@
 #include "mem/dram_controller.h"
 #include "mem/main_memory.h"
 #include "network/network.h"
+#include "obs/accuracy/accuracy.h"
 
 namespace graphite
 {
@@ -363,10 +364,14 @@ class MemorySystem
     /**
      * Model one coherence message; returns its network latency. When
      * @p bd is non-null the latency decomposition is reported through
-     * it (span-stage attribution; same totals either way).
+     * it (span-stage attribution; same totals either way). @p point
+     * names the protocol leg for the accuracy observatory's causality
+     * check at the modeled completion time.
      */
     cycle_t msg(tile_id_t src, tile_id_t dst, size_t payload_bytes,
-                cycle_t send_time, NetBreakdown* bd = nullptr);
+                cycle_t send_time, NetBreakdown* bd = nullptr,
+                obs::accuracy::ViolationPoint point =
+                    obs::accuracy::ViolationPoint::MemRequest);
 
     /** One-line access; addr..addr+size must stay within a line. */
     AccessResult accessLine(tile_id_t tile, MemAccessType type,

@@ -1,9 +1,11 @@
 #include "common/lockdep.h"
 #include "network/network.h"
 
+#include "check/fault.h"
 #include "common/config.h"
 #include "common/log.h"
 #include "common/strfmt.h"
+#include "obs/accuracy/accuracy.h"
 #include "obs/span/span.h"
 #include "snapshot/snapshot.h"
 #include "obs/span/span_sink.h"
@@ -11,6 +13,40 @@
 
 namespace graphite
 {
+
+namespace
+{
+
+/** Map a packet type onto its accuracy-observatory violation point. */
+obs::accuracy::ViolationPoint
+recvPoint(PacketType type)
+{
+    switch (type) {
+      case PacketType::App: return obs::accuracy::ViolationPoint::NetApp;
+      case PacketType::Memory:
+        return obs::accuracy::ViolationPoint::NetMemory;
+      default: return obs::accuracy::ViolationPoint::NetSystem;
+    }
+}
+
+/**
+ * Causality check at the delivery demux: a packet whose timestamp is
+ * already in the receiving tile's past is a lax-sync violation. Pure
+ * observation — reads clocks, bumps observatory atomics, never touches
+ * the packet (see DESIGN.md "Accuracy observatory").
+ */
+void
+observeDelivery(const NetPacket& pkt, tile_id_t receiver)
+{
+    if (!obs::accuracy::AccuracyObservatory::armed())
+        return;
+    if (pkt.sender == INVALID_TILE_ID)
+        return; // transport shutdown marker, not a modeled event
+    obs::accuracy::AccuracyObservatory::instance().onDelivery(
+        recvPoint(pkt.type), pkt.sender, receiver, pkt.time);
+}
+
+} // namespace
 
 // ------------------------------------------------------------ NetworkFabric
 
@@ -198,6 +234,19 @@ Network::send(PacketType type, tile_id_t dst,
     NetBreakdown bd = fabric_.modelEx(type, tile_, dst, bytes, send_time);
     cycle_t latency = bd.total;
     pkt.time = send_time + latency;
+    if (obs::accuracy::AccuracyObservatory::armed())
+        obs::accuracy::AccuracyObservatory::instance().onNetLatency(
+            static_cast<int>(type), latency);
+    // Planted causality violation: stamp the packet with its *send*
+    // time, as if the network delivered it with zero modeled latency.
+    // Timing-only — payload and delivery order are untouched — so the
+    // differential fingerprint stays clean while the accuracy
+    // observatory must flag the receiver-past timestamp.
+    if (check::FaultPlan::armed() &&
+        check::FaultPlan::instance().shouldFire(
+            check::FaultMode::LateDelivery,
+            static_cast<addr_t>(dst)))
+        pkt.time = send_time;
     if (type == PacketType::App) {
         fabric_.noteAppSend();
         if (obs::SpanSink::enabled()) {
@@ -243,6 +292,7 @@ Network::recv(PacketType type)
 {
     NetPacket out;
     if (popPending(type, out)) {
+        observeDelivery(out, tile_);
         obs::TraceSink::instant(static_cast<std::uint32_t>(tile_),
                                 "net.recv", out.time);
         return out;
@@ -261,6 +311,7 @@ Network::recv(PacketType type)
         if (pkt.type == PacketType::App)
             fabric_.noteAppDelivered();
         if (pkt.type == type) {
+            observeDelivery(pkt, tile_);
             obs::TraceSink::instant(static_cast<std::uint32_t>(tile_),
                                     "net.recv", pkt.time);
             return pkt;
@@ -273,8 +324,10 @@ Network::recv(PacketType type)
 bool
 Network::tryRecv(PacketType type, NetPacket& out)
 {
-    if (popPending(type, out))
+    if (popPending(type, out)) {
+        observeDelivery(out, tile_);
         return true;
+    }
     TransportBuffer buf;
     while (transport_.tryRecv(fabric_.topology().tileEndpoint(tile_),
                               buf)) {
@@ -282,6 +335,7 @@ Network::tryRecv(PacketType type, NetPacket& out)
         if (pkt.type == PacketType::App)
             fabric_.noteAppDelivered();
         if (pkt.type == type) {
+            observeDelivery(pkt, tile_);
             out = std::move(pkt);
             return true;
         }

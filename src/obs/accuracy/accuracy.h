@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Accuracy observatory: causality-violation detection and lax-sync
+ * error attribution (paper §3.6, §4.3).
+ *
+ * Lax synchronization deliberately lets tiles run on skewed clocks:
+ * "regardless of the time-stamp of a packet, the network forwards
+ * messages immediately and delivers them in the order they are
+ * received". The price is that a packet or coherence message may carry
+ * a timestamp *earlier* than the receiver's local clock — a causality
+ * violation, the unit of lax-sync simulation error. This observatory
+ * makes that error measurable on every run:
+ *
+ *  - every network delivery and memory-transaction leg is checked
+ *    against the destination tile's live clock; violations are counted
+ *    and their magnitudes (receiver clock − event time, in cycles)
+ *    histogrammed per interaction point;
+ *  - a lock-free per-tile-pair skew matrix accumulates the max/mean
+ *    clock skew observed at interaction points (deliveries, LaxP2P
+ *    partner checks, skew-tracker snapshots);
+ *  - per-channel network delivery-latency histograms feed the
+ *    accuracy-diff harness (tools/accuracy_report.py) with the P50/P95
+ *    latencies it compares across sync models.
+ *
+ * Detection is timing-neutral by construction: hooks only *read* tile
+ * clocks and modeled event times and bump observatory-private atomics;
+ * no simulated clock, packet timestamp, or protocol decision is ever
+ * touched (proven by the `_acc` fuzz variant's fingerprint equality).
+ *
+ * Config keys (see graphite.cfg [accuracy]):
+ *   accuracy/enabled            arm detection without a report file
+ *   accuracy/out                JSONL report path (implies enabled)
+ *   accuracy/flight_min_cycles  min violation magnitude recorded into
+ *                               the flight recorder (worst offenders)
+ *
+ * Like obs::Observability and check::FaultPlan, the observatory is
+ * process-global, re-configured by each Simulator's constructor, with
+ * a single relaxed atomic load guarding the fully disarmed hot path.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fixed_types.h"
+#include "common/stats.h"
+
+namespace graphite
+{
+
+class Config;
+
+namespace obs
+{
+namespace accuracy
+{
+
+/**
+ * Where a stale-timestamp event was observed. Network points classify
+ * by packet type at the Network::recv demux; memory points classify by
+ * coherence-transaction leg at the modeled arrival of each message.
+ */
+enum class ViolationPoint : std::uint8_t
+{
+    NetApp = 0,      ///< application packet at the recv demux
+    NetSystem,       ///< system (MCP) packet at the recv demux
+    NetMemory,       ///< physically transported memory packet
+    MemRequest,      ///< requester -> home directory request
+    MemInvalidation, ///< home -> sharer invalidation (and its ack)
+    MemRecall,       ///< home -> owner recall (and the data return)
+    MemReply,        ///< home -> requester data/ack reply
+    MemWriteback,    ///< evicting tile -> home writeback / evict notify
+};
+
+inline constexpr int NUM_VIOLATION_POINTS = 8;
+
+/** Stable lowercase name ("net_app", "mem_recall", ...). */
+const char* violationPointName(ViolationPoint p);
+
+/** One cell of the per-tile-pair skew matrix, read side. */
+struct PairSkew
+{
+    cycle_t maxSkew = 0;  ///< max |clock(src) − clock(dst)| observed
+    double meanSkew = 0;  ///< mean over samples
+    stat_t samples = 0;   ///< interaction points observed
+};
+
+/**
+ * Process-global accuracy observatory. All hot-path methods are
+ * wait-free (relaxed atomics only) and safe from any host thread.
+ */
+class AccuracyObservatory
+{
+  public:
+    static AccuracyObservatory& instance();
+
+    /** Cheap hot-path guard: is detection armed in this process? */
+    static bool
+    armed()
+    {
+        return armedFlag_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Read the [accuracy] keys and (re)arm; resets all counters,
+     * histograms, the pair matrix, and attached clocks.
+     */
+    void configure(const Config& cfg, tile_id_t total_tiles);
+
+    /**
+     * Attach @p tile's live clock (the core model's atomic). Clocks
+     * belong to a Simulator; they are attached after construction and
+     * detached by finalizeReport() before the Simulator dies.
+     */
+    void attachClock(tile_id_t tile, const std::atomic<cycle_t>* clock);
+
+    /** Drop all attached clock pointers (hooks then observe nothing). */
+    void detachClocks();
+
+    /**
+     * One delivery/completion observed at interaction point @p p:
+     * an event modeled to occur at @p event_time arrives at @p dst
+     * (sent by @p src). Reads the destination clock; when the event
+     * timestamp is already in the receiver's past, records a causality
+     * violation of magnitude (clock − event_time). Also feeds the
+     * (src, dst) skew-matrix cell. Call only when armed().
+     */
+    void onDelivery(ViolationPoint p, tile_id_t src, tile_id_t dst,
+                    cycle_t event_time);
+
+    /**
+     * One modeled network delivery latency on @p channel (the integer
+     * value of the PacketType enum). Feeds the per-channel latency
+     * histograms the accuracy-diff harness compares across sync
+     * models. Call only when armed().
+     */
+    void onNetLatency(int channel, cycle_t latency);
+
+    /**
+     * A direct observation of two tiles' clocks at an interaction
+     * point (LaxP2P partner check, skew-tracker snapshot extremes).
+     * Feeds the (a, b) skew-matrix cell. Call only when armed().
+     */
+    void onPairObserved(tile_id_t a, tile_id_t b, cycle_t clock_a,
+                        cycle_t clock_b);
+
+    /** @name Aggregate accessors (stats registration, tests) @{ */
+    tile_id_t totalTiles() const { return tiles_; }
+    const atomic_stat_t* deliveriesCounter() const { return &deliveries_; }
+    const atomic_stat_t* violationsCounter() const { return &violations_; }
+    stat_t deliveries() const
+    {
+        return deliveries_.load(std::memory_order_relaxed);
+    }
+    stat_t violations() const
+    {
+        return violations_.load(std::memory_order_relaxed);
+    }
+    cycle_t worstMagnitude() const
+    {
+        return worst_.load(std::memory_order_relaxed);
+    }
+    stat_t pointDeliveries(ViolationPoint p) const;
+    stat_t pointViolations(ViolationPoint p) const;
+    const HistogramStat* magnitudeHistogram() const { return &magnitude_; }
+    const HistogramStat* pointMagnitudeHistogram(ViolationPoint p) const;
+    const HistogramStat* netLatencyHistogram(int channel) const;
+    /** @} */
+
+    /** @name Pair-skew matrix accessors @{ */
+    PairSkew pair(tile_id_t src, tile_id_t dst) const;
+    cycle_t pairSkewMax() const
+    {
+        return pairMax_.load(std::memory_order_relaxed);
+    }
+    double pairSkewMean() const;
+    stat_t pairSamples() const
+    {
+        return pairSamples_.load(std::memory_order_relaxed);
+    }
+    /** @} */
+
+    /** Configured report path ("" when none). */
+    const std::string& reportPath() const { return out_; }
+
+    /**
+     * Write the JSONL report (if a path is configured and not yet
+     * written this arming) and detach clocks. Idempotent; called from
+     * Observability::finalize().
+     */
+    void finalizeReport();
+
+    /** Render the JSONL report body (tests; empty when disarmed). */
+    std::string reportJsonl() const;
+
+  private:
+    AccuracyObservatory() = default;
+
+    struct PointState
+    {
+        atomic_stat_t deliveries{0};
+        atomic_stat_t violations{0};
+        HistogramStat magnitude;
+    };
+
+    /** One directional skew-matrix cell (src-major, like the traffic
+     *  matrix in NetworkFabric). */
+    struct PairCell
+    {
+        std::atomic<cycle_t> maxSkew{0};
+        atomic_stat_t sumSkew{0};
+        atomic_stat_t samples{0};
+    };
+
+    void recordPair(tile_id_t src, tile_id_t dst, cycle_t skew);
+
+    static std::atomic<bool> armedFlag_;
+
+    tile_id_t tiles_ = 0;
+    cycle_t flightMin_ = 0;
+    std::string out_;
+    bool reported_ = false;
+
+    std::vector<const std::atomic<cycle_t>*> clocks_;
+
+    atomic_stat_t deliveries_{0};
+    atomic_stat_t violations_{0};
+    std::atomic<cycle_t> worst_{0};
+    HistogramStat magnitude_;
+    PointState points_[NUM_VIOLATION_POINTS];
+    HistogramStat netLatency_[3];
+
+    std::vector<PairCell> pairs_;
+    std::atomic<cycle_t> pairMax_{0};
+    atomic_stat_t pairSum_{0};
+    atomic_stat_t pairSamples_{0};
+};
+
+} // namespace accuracy
+} // namespace obs
+} // namespace graphite

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/log.h"
+#include "obs/accuracy/accuracy.h"
 #include "obs/telemetry/status.h"
 
 namespace graphite
@@ -51,6 +52,8 @@ MetricsSampler::configure(const StatsRegistry* registry, cycle_t interval,
         columns_.push_back(name);
         prevValues_.push_back(value);
     }
+    prevViolations_ =
+        accuracy::AccuracyObservatory::instance().violations();
     lastSampleCycle_ = 0;
     nextSample_.store(interval_, std::memory_order_relaxed);
     rows_.clear();
@@ -111,6 +114,15 @@ MetricsSampler::sampleLocked(cycle_t now)
             }
         }
     }
+
+    // Per-interval causality-violation delta from the accuracy
+    // observatory (always a column; reads 0 while disarmed).
+    stat_t violations =
+        accuracy::AccuracyObservatory::instance().violations();
+    row.causalityViolations = violations >= prevViolations_
+                                  ? violations - prevViolations_
+                                  : 0;
+    prevViolations_ = violations;
 
     auto snap = registry_->snapshot();
     row.deltas.assign(columns_.size(), 0);
@@ -176,6 +188,7 @@ MetricsSampler::renderLocked() const
                << ",\"host_rss_kb\":" << r.hostRssKb
                << ",\"skew_max_cycles\":" << r.skewMax
                << ",\"skew_min_cycles\":" << r.skewMin
+               << ",\"causality_violations\":" << r.causalityViolations
                << ",\"counters\":{";
             for (std::size_t i = 0; i < columns_.size(); ++i) {
                 if (i != 0)
@@ -186,14 +199,16 @@ MetricsSampler::renderLocked() const
         }
     } else {
         os << "interval,start_cycle,end_cycle,wall_seconds,"
-              "host_wall_ms,host_rss_kb,skew_max_cycles,skew_min_cycles";
+              "host_wall_ms,host_rss_kb,skew_max_cycles,skew_min_cycles,"
+              "causality_violations";
         for (const std::string& c : columns_)
             os << "," << c;
         os << "\n";
         for (const Row& r : rows_) {
             os << r.index << "," << r.startCycle << "," << r.endCycle
                << "," << r.wallSeconds << "," << r.hostWallMs << ","
-               << r.hostRssKb << "," << r.skewMax << "," << r.skewMin;
+               << r.hostRssKb << "," << r.skewMax << "," << r.skewMin
+               << "," << r.causalityViolations;
             for (std::int64_t d : r.deltas)
                 os << "," << d;
             os << "\n";

@@ -105,6 +105,9 @@ class MetricsSampler
         stat_t hostRssKb = 0;   ///< host resident set at snapshot, KiB
         double skewMax = 0; ///< max (clock − mean), active tiles, cycles
         double skewMin = 0; ///< min (clock − mean), active tiles, cycles
+        /** Causality violations detected this interval (accuracy
+         *  observatory; 0 while the observatory is disarmed). */
+        stat_t causalityViolations = 0;
         std::vector<std::int64_t> deltas; ///< parallel to columns()
     };
 
@@ -127,6 +130,7 @@ class MetricsSampler
 
     std::vector<std::string> columns_;
     std::vector<stat_t> prevValues_;
+    stat_t prevViolations_ = 0;
     cycle_t lastSampleCycle_ = 0;
     std::atomic<cycle_t> nextSample_{INVALID_CYCLE};
     std::vector<Row> rows_;

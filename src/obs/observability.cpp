@@ -3,6 +3,7 @@
 #include "common/config.h"
 #include "common/log.h"
 #include "common/strfmt.h"
+#include "obs/accuracy/accuracy.h"
 #include "obs/metrics_sampler.h"
 #include "obs/profiler.h"
 #include "obs/span/span_sink.h"
@@ -87,6 +88,11 @@ Observability::configure(const Config& cfg, tile_id_t total_tiles)
     else
         recorder.uninstallCrashHandler();
 
+    // Accuracy observatory: causality-violation detection and the
+    // pair-skew matrix. configure() flushes a previous run's report.
+    accuracy::AccuracyObservatory::instance().configure(cfg,
+                                                        total_tiles);
+
     if (cfg.has("log/filter"))
         setLogFilter(cfg.getString("log/filter"));
 }
@@ -142,6 +148,10 @@ Observability::finalize()
         informc("obs", "wrote {} trace events to {} ({} dropped)",
                 sink.recorded(), tracePath_, sink.dropped());
     }
+
+    // Accuracy report (when armed with a path) + clock detach: the
+    // observatory must never hold clock pointers into a dead Simulator.
+    accuracy::AccuracyObservatory::instance().finalizeReport();
 
     // The self-profiler keeps its data so post-run reports can render
     // it; the next configure() resets the accumulators.

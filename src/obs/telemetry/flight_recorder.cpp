@@ -138,6 +138,7 @@ frEventName(FrEvent e)
       case FrEvent::MissPath: return "miss_path";
       case FrEvent::Writeback: return "writeback";
       case FrEvent::WatchdogFlag: return "watchdog_flag";
+      case FrEvent::Causality: return "causality";
       case FrEvent::Custom: return "custom";
     }
     return "?";

@@ -59,10 +59,12 @@ enum class FrEvent : std::uint8_t
     MissPath,     ///< memory miss-path entry: a=line addr, b=for_write
     Writeback,    ///< dirty L2 eviction: a=line addr, b=home tile
     WatchdogFlag, ///< watchdog stall/deadlock flag: a=verdict code
+    Causality,    ///< worst causality violation: a=magnitude cycles,
+                  ///< b=(src tile << 8) | violation-point id
     Custom        ///< free-form (tests)
 };
 
-inline constexpr int NUM_FR_EVENTS = 13;
+inline constexpr int NUM_FR_EVENTS = 14;
 
 /** Stable short name for an event class ("miss_path", "futex_wait"). */
 const char* frEventName(FrEvent e);

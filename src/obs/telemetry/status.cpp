@@ -6,6 +6,8 @@
 #include <sstream>
 #include <unistd.h>
 
+#include "obs/accuracy/accuracy.h"
+
 namespace graphite
 {
 namespace obs
@@ -153,6 +155,22 @@ renderStatusJson(const StatusSource& src, const WatchdogView* wd)
        << ",";
     os << "\"inflight_packets\":"
        << (src.inflightPackets ? src.inflightPackets() : 0) << ",";
+
+    // Accuracy observatory: lax-sync skew and causality-violation
+    // gauges (disarmed => armed:false with zeroed fields).
+    {
+        const auto& acc = accuracy::AccuracyObservatory::instance();
+        bool armed = accuracy::AccuracyObservatory::armed();
+        os << "\"sync_skew\":{";
+        os << "\"armed\":" << (armed ? "true" : "false") << ",";
+        os << "\"causality_violations\":" << acc.violations() << ",";
+        os << "\"deliveries_checked\":" << acc.deliveries() << ",";
+        os << "\"worst_magnitude_cycles\":" << acc.worstMagnitude()
+           << ",";
+        os << "\"pair_skew_max_cycles\":" << acc.pairSkewMax() << ",";
+        os << "\"pair_skew_mean_cycles\":" << acc.pairSkewMean() << ",";
+        os << "\"pair_samples\":" << acc.pairSamples() << "},";
+    }
 
     // Host execution pool health (scheduler off => enabled:false).
     HostPoolStatus hp;

@@ -93,6 +93,13 @@ class CoreModel
     cycle_t cycle() const { return clock_.load(std::memory_order_relaxed); }
 
     /**
+     * Stable pointer to the local clock for concurrent observers (the
+     * accuracy observatory reads it at delivery points). Valid for the
+     * core's lifetime.
+     */
+    const std::atomic<cycle_t>* clockPtr() const { return &clock_; }
+
+    /**
      * Forward the local clock to @p t on a true synchronization event;
      * no-op when @p t is in the past (lax rule, §3.6.1).
      */

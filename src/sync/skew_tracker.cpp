@@ -3,6 +3,7 @@
 
 #include <algorithm>
 
+#include "obs/accuracy/accuracy.h"
 #include "obs/trace_event.h"
 #include "perf/core_model.h"
 
@@ -41,6 +42,10 @@ SkewTracker::maybeSnapshot()
 
     double sum = 0;
     int n = 0;
+    cycle_t fast_clock = 0;
+    cycle_t slow_clock = 0;
+    tile_id_t fast_tile = INVALID_TILE_ID;
+    tile_id_t slow_tile = INVALID_TILE_ID;
     std::vector<double> clocks;
     clocks.reserve(cores_.size());
     for (const SkewSource& src : cores_) {
@@ -49,12 +54,27 @@ SkewTracker::maybeSnapshot()
         cycle_t c = src.core->cycle();
         if (c == 0)
             continue; // tile never ran
+        if (fast_tile == INVALID_TILE_ID || c > fast_clock) {
+            fast_clock = c;
+            fast_tile = src.core->tileId();
+        }
+        if (slow_tile == INVALID_TILE_ID || c < slow_clock) {
+            slow_clock = c;
+            slow_tile = src.core->tileId();
+        }
         clocks.push_back(static_cast<double>(c));
         sum += static_cast<double>(c);
         ++n;
     }
     if (n < 2)
         return;
+
+    // The envelope extremes define the worst tile pair this snapshot;
+    // feed it to the accuracy observatory's skew matrix.
+    if (obs::accuracy::AccuracyObservatory::armed() &&
+        fast_tile != slow_tile)
+        obs::accuracy::AccuracyObservatory::instance().onPairObserved(
+            fast_tile, slow_tile, fast_clock, slow_clock);
     double mean = sum / n;
     Snapshot s;
     s.wallSeconds =

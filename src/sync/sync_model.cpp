@@ -7,6 +7,7 @@
 #include "common/config.h"
 #include "common/log.h"
 #include "host/scheduler.h"
+#include "obs/accuracy/accuracy.h"
 #include "obs/profiler.h"
 #include "obs/telemetry/flight_recorder.h"
 #include "obs/trace_event.h"
@@ -217,6 +218,7 @@ LaxP2PSync::periodicSync(CoreModel& core)
     tile_id_t tile = core.tileId();
     cycle_t my_clock = core.cycle();
     cycle_t partner_clock = 0;
+    tile_id_t partner = INVALID_TILE_ID;
     bool found = false;
     {
         lockdep::Guard lock(mutex_);
@@ -233,14 +235,20 @@ LaxP2PSync::periodicSync(CoreModel& core)
                 candidates.push_back(t);
         }
         if (!candidates.empty()) {
-            tile_id_t partner =
-                candidates[rng_.nextBounded(candidates.size())];
+            partner = candidates[rng_.nextBounded(candidates.size())];
             partner_clock = cores_[partner]->cycle();
             found = true;
         }
     }
     if (!found)
         return;
+
+    // Each partner check is an interaction point: feed the observed
+    // clock pair to the accuracy observatory's skew matrix (pure
+    // observation, no effect on the park/sleep decision below).
+    if (obs::accuracy::AccuracyObservatory::armed())
+        obs::accuracy::AccuracyObservatory::instance().onPairObserved(
+            tile, partner, my_clock, partner_clock);
 
     if (my_clock > partner_clock && my_clock - partner_clock > slack_) {
         if (sched_ != nullptr) {

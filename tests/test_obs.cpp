@@ -550,7 +550,8 @@ TEST(MetricsSampler, CsvRendering)
     std::string csv = sampler.render();
     EXPECT_NE(csv.find("interval,start_cycle,end_cycle,wall_seconds,"
                        "host_wall_ms,host_rss_kb,"
-                       "skew_max_cycles,skew_min_cycles,x.total"),
+                       "skew_max_cycles,skew_min_cycles,"
+                       "causality_violations,x.total"),
               std::string::npos);
     EXPECT_NE(csv.find("\n0,0,10,"), std::string::npos);
     sampler.finalize();

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Quantify lax-sync simulation error across synchronization models.
+
+Runs the same seeded workloads under each sync model (lax, lax_barrier,
+lax_p2p) with the accuracy observatory armed, then reports every
+headline statistic's relative error against the reference model.
+LaxBarrier is the reference by default: it bounds skew to one quantum,
+so it is the closest thing to a cycle-accurate baseline the lax family
+offers (paper §3.6, Table 3).
+
+Usage:
+    accuracy_report.py --cli build/graphite_cli
+    accuracy_report.py --cli build/graphite_cli \
+        --workloads fft,radix --tiles 8 --size 1024
+    accuracy_report.py --cli build/graphite_cli --reference lax \
+        --out-dir results/
+
+Per workload, the tool prints one table: rows are headline stats
+(cycles, miss rate, latency percentiles, violation counts), columns are
+sync models, cells are relative error vs the reference. The checksum
+row is asserted equal across models — lax sync must never change
+functional results, only timing. Exit is nonzero on a checksum mismatch
+or a failed run, never on large error (error is the measurement, not a
+failure).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SYNC_MODELS = ["lax", "lax_barrier", "lax_p2p"]
+DEFAULT_WORKLOADS = ["fft", "radix"]
+
+
+def fail(msg):
+    print(f"accuracy_report: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_one(cli, workload, model, args, out_path):
+    cmd = [
+        cli, "--workload", workload,
+        "--tiles", str(args.tiles), "--threads", str(args.threads),
+        "--set", f"sync/model={model}",
+        "--set", f"rng/seed={args.seed}",
+        "--accuracy-out", out_path,
+    ]
+    if args.size > 0:
+        cmd += ["--size", str(args.size)]
+    if args.scheduler:
+        cmd += ["--scheduler", args.scheduler]
+    r = subprocess.run(cmd, capture_output=True, text=True, timeout=600)
+    if r.returncode != 0:
+        fail(f"{workload}/{model} exited {r.returncode}:\n"
+             f"{r.stdout}\n{r.stderr}")
+    try:
+        with open(out_path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{workload}/{model}: bad headline JSON: {e}")
+
+
+def rel_err(value, ref):
+    if ref == 0:
+        return "0.00%" if value == 0 else "n/a"
+    return f"{(value - ref) / ref * 100.0:+.2f}%"
+
+
+def render_table(rows):
+    """Minimal aligned-table rendering (mirrors common/table.h)."""
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    out = []
+    for n, r in enumerate(rows):
+        out.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+        if n == 0:
+            out.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(out) + "\n"
+
+
+def report_workload(workload, results, reference):
+    ref = results[reference]
+    stats = [k for k, v in ref.items()
+             if isinstance(v, (int, float)) and k != "checksum"]
+
+    for model, res in results.items():
+        if res["checksum"] != ref["checksum"]:
+            fail(f"{workload}: checksum diverges under {model} "
+                 f"({res['checksum']} vs {ref['checksum']}): lax sync "
+                 f"changed functional results")
+
+    rows = [["stat", f"{reference} (ref)"] +
+            [f"{m} err" for m in results if m != reference]]
+    for stat in stats:
+        row = [stat, f"{ref[stat]:.4g}"]
+        for model, res in results.items():
+            if model == reference:
+                continue
+            if stat in res:
+                row.append(rel_err(res[stat], ref[stat]))
+            else:
+                row.append("n/a")
+        rows.append(row)
+    print(f"\n=== {workload}: relative error vs {reference} ===")
+    print(render_table(rows))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--cli", required=True,
+                    help="path to the graphite_cli binary")
+    ap.add_argument("--workloads",
+                    default=",".join(DEFAULT_WORKLOADS),
+                    help="comma-separated workload list")
+    ap.add_argument("--models", default=",".join(SYNC_MODELS),
+                    help="comma-separated sync model list")
+    ap.add_argument("--reference", default="lax_barrier",
+                    help="sync model the errors are measured against")
+    ap.add_argument("--tiles", type=int, default=8)
+    ap.add_argument("--threads", type=int, default=8)
+    ap.add_argument("--size", type=int, default=-1,
+                    help="problem size (workload default when unset)")
+    ap.add_argument("--seed", type=int, default=42)
+    ap.add_argument("--scheduler", default="",
+                    help="host scheduler mode (e.g. deterministic)")
+    ap.add_argument("--out-dir", default="",
+                    help="keep per-run headline JSONs here")
+    args = ap.parse_args()
+
+    models = [m for m in args.models.split(",") if m]
+    workloads = [w for w in args.workloads.split(",") if w]
+    if args.reference not in models:
+        fail(f"reference '{args.reference}' not in models {models}")
+    if not os.path.exists(args.cli):
+        fail(f"cli not found: {args.cli}")
+
+    keep = bool(args.out_dir)
+    if keep:
+        os.makedirs(args.out_dir, exist_ok=True)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out_dir = args.out_dir if keep else tmp
+        for workload in workloads:
+            results = {}
+            for model in models:
+                path = os.path.join(out_dir,
+                                    f"accuracy_{workload}_{model}.json")
+                results[model] = run_one(args.cli, workload, model,
+                                         args, path)
+            report_workload(workload, results, args.reference)
+
+    print("accuracy_report: PASS (checksums identical across models; "
+          "errors above are the lax-sync accuracy cost)")
+
+
+if __name__ == "__main__":
+    main()

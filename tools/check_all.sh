@@ -43,6 +43,17 @@ step "telemetry plane"
 # Unit suite plus the end-to-end probe (CLI + HTTP scrape cross-check).
 ctest --test-dir "$BUILD" -L telemetry --output-on-failure
 
+step "accuracy observatory (causality detection + report schema)"
+ctest --test-dir "$BUILD" -L accuracy --output-on-failure
+
+step "overhead benchmarks (armed-vs-off budgets)"
+# Fast mode keeps the gate cheap; each bench owns its pass criterion
+# and bench_report.py rolls the BENCH_*.json verdicts into one table.
+(cd "$BUILD" &&
+    GRAPHITE_BENCH_FAST=1 ./bench/micro_accuracy_overhead >/dev/null)
+python3 tools/bench_report.py --dir "$BUILD" \
+    --require micro_accuracy_overhead
+
 step "checkpoint/restore differential"
 # Fingerprint-identical resume: segmented-through-snapshot runs vs
 # uninterrupted runs across config cells and host widths, plus the

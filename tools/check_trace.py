@@ -9,6 +9,7 @@ data rows.
 Usage:
     check_trace.py --trace trace.json [--metrics metrics.csv]
     check_trace.py --spans spans.jsonl
+    check_trace.py --accuracy accuracy.jsonl
     check_trace.py --replay trace.json
     check_trace.py --run-cli PATH_TO_GRAPHITE_CLI
 
@@ -29,6 +30,11 @@ The --replay mode validates a failure-replay trace written by the fuzz
 harness: the structural checks above, plus per-thread non-overlap of
 wait-class scopes (a thread cannot be in two blocking waits at once)
 and the otherData recorded/dropped event accounting.
+
+The --accuracy mode validates the accuracy observatory's JSONL report
+(written via --accuracy-jsonl or accuracy/out): one summary line, one
+line per violation point with known names, violation counts bounded by
+delivery counts, and in-range pair-skew rows.
 
 The --run-cli mode drives the full acceptance path: it runs a small
 workload with tracing, metrics, and spans enabled in a temp directory,
@@ -64,7 +70,11 @@ FIXED_METRICS_COLUMNS = [
     "host_rss_kb",
     "skew_max_cycles",
     "skew_min_cycles",
+    "causality_violations",
 ]
+VIOLATION_POINTS = {"net_app", "net_system", "net_memory",
+                    "mem_request", "mem_invalidation", "mem_recall",
+                    "mem_reply", "mem_writeback"}
 
 
 def fail(msg):
@@ -299,6 +309,89 @@ def check_spans(path):
     return summary
 
 
+def check_accuracy(path):
+    """accuracy.jsonl: summary + per-point + pair-skew schema checks."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = [ln for ln in f.read().splitlines() if ln]
+    except OSError as e:
+        fail(f"{path}: unreadable: {e}. Generate one with "
+             "graphite_cli --accuracy-jsonl PATH.")
+    if not lines:
+        fail(f"{path}: empty accuracy report")
+
+    summary = None
+    points = {}
+    n_pairs = 0
+    for i, line in enumerate(lines):
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: line {i}: not JSON: {e}")
+        kind = rec.get("type")
+        if kind == "accuracy_summary":
+            if i != 0 or summary is not None:
+                fail(f"{path}: line {i}: summary must be the first and "
+                     f"only summary line")
+            summary = rec
+            for key in ("tiles", "deliveries", "violations",
+                        "violation_fraction", "worst_magnitude_cycles",
+                        "pair_skew_max_cycles", "pair_skew_mean_cycles",
+                        "pair_samples"):
+                if key not in rec:
+                    fail(f"{path}: line {i}: summary missing '{key}'")
+            if rec["violations"] > rec["deliveries"]:
+                fail(f"{path}: line {i}: violations "
+                     f"{rec['violations']} > deliveries "
+                     f"{rec['deliveries']}")
+        elif kind == "accuracy_point":
+            for key in ("point", "deliveries", "violations",
+                        "magnitude_p50", "magnitude_p95",
+                        "magnitude_max"):
+                if key not in rec:
+                    fail(f"{path}: line {i}: point missing '{key}'")
+            if rec["point"] not in VIOLATION_POINTS:
+                fail(f"{path}: line {i}: unknown violation point "
+                     f"{rec['point']!r}")
+            if rec["point"] in points:
+                fail(f"{path}: line {i}: duplicate point "
+                     f"{rec['point']!r}")
+            if rec["violations"] > rec["deliveries"]:
+                fail(f"{path}: line {i}: point violations exceed "
+                     f"deliveries")
+            points[rec["point"]] = rec
+        elif kind == "accuracy_pair":
+            n_pairs += 1
+            for key in ("src", "dst", "max_skew_cycles",
+                        "mean_skew_cycles", "samples"):
+                if key not in rec:
+                    fail(f"{path}: line {i}: pair missing '{key}'")
+            if summary is not None:
+                n = summary["tiles"]
+                if not (0 <= rec["src"] < n and 0 <= rec["dst"] < n):
+                    fail(f"{path}: line {i}: pair ({rec['src']},"
+                         f"{rec['dst']}) outside {n} tiles")
+            if rec["samples"] <= 0:
+                fail(f"{path}: line {i}: pair row with no samples")
+            if rec["mean_skew_cycles"] > rec["max_skew_cycles"]:
+                fail(f"{path}: line {i}: pair mean skew above max")
+        else:
+            fail(f"{path}: line {i}: unknown record type {kind!r}")
+    if summary is None:
+        fail(f"{path}: no accuracy_summary row")
+    if set(points) != VIOLATION_POINTS:
+        fail(f"{path}: points missing: "
+             f"{sorted(VIOLATION_POINTS - set(points))}")
+    point_v = sum(p["violations"] for p in points.values())
+    if point_v != summary["violations"]:
+        fail(f"{path}: per-point violations {point_v} != summary "
+             f"{summary['violations']}")
+    print(f"check_trace: {path}: accuracy report OK "
+          f"({summary['violations']} violations / "
+          f"{summary['deliveries']} deliveries, {n_pairs} pair rows)")
+    return summary
+
+
 def run_cli_mode(cli):
     workload = ["--workload", "fft", "--tiles", "8", "--threads", "8",
                 "--size", "256"]
@@ -306,11 +399,13 @@ def run_cli_mode(cli):
         trace = os.path.join(tmp, "trace.json")
         metrics = os.path.join(tmp, "metrics.csv")
         spans = os.path.join(tmp, "spans.jsonl")
+        accuracy = os.path.join(tmp, "accuracy.jsonl")
         cmd = [cli] + workload + [
             "--trace-out", trace,
             "--metrics-out", metrics,
             "--metrics-interval", "10000",
             "--spans-out", spans,
+            "--accuracy-jsonl", accuracy,
         ]
         r = subprocess.run(cmd, capture_output=True, text=True,
                            timeout=300)
@@ -328,6 +423,9 @@ def run_cli_mode(cli):
         summary = check_spans(spans)
         if summary["completed"] == 0:
             fail(f"{spans}: fft run completed no spans")
+        acc = check_accuracy(accuracy)
+        if acc["deliveries"] == 0:
+            fail(f"{accuracy}: fft run checked no deliveries")
 
     # Disabled mode must create no artifact files.
     with tempfile.TemporaryDirectory() as tmp:
@@ -350,6 +448,7 @@ def main():
                     help="failure-replay trace JSON to validate")
     ap.add_argument("--metrics", help="metrics CSV to validate")
     ap.add_argument("--spans", help="spans.jsonl to validate")
+    ap.add_argument("--accuracy", help="accuracy.jsonl to validate")
     ap.add_argument("--run-cli", metavar="PATH",
                     help="run graphite_cli end-to-end and validate")
     args = ap.parse_args()
@@ -358,9 +457,9 @@ def main():
         run_cli_mode(args.run_cli)
         return
     if (not args.trace and not args.metrics and not args.replay
-            and not args.spans):
+            and not args.spans and not args.accuracy):
         ap.error("nothing to do: pass --trace, --replay, --metrics, "
-                 "--spans, or --run-cli")
+                 "--spans, --accuracy, or --run-cli")
     if args.trace:
         check_trace(args.trace)
     if args.replay:
@@ -369,6 +468,8 @@ def main():
         check_metrics(args.metrics)
     if args.spans:
         check_spans(args.spans)
+    if args.accuracy:
+        check_accuracy(args.accuracy)
     print("check_trace: PASS")
 
 

@@ -46,6 +46,17 @@
  *   --telemetry-dump PATH  watchdog/crash diagnostic dump path; also
  *                          escalates the watchdog action to "dump"
  *
+ * Accuracy observatory (see DESIGN.md "Accuracy observatory"):
+ *   --accuracy-out PATH    arm causality-violation detection and write
+ *                          a flat headline-stats JSON after the run —
+ *                          the unit of comparison for the accuracy-diff
+ *                          harness (tools/accuracy_report.py)
+ *   --accuracy-ref PATH    compare this run's headline stats against a
+ *                          reference produced by --accuracy-out and
+ *                          print the per-stat relative error table
+ *   --accuracy-jsonl PATH  write the observatory's violation/skew JSONL
+ *                          report (= accuracy/out)
+ *
  * Checkpoint / fast-forward (see DESIGN.md "Snapshot format"):
  *   --checkpoint-in PATH   restore simulator state before the run; the
  *                          workload continues on the warmed target
@@ -62,16 +73,23 @@
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/config.h"
 #include "common/log.h"
+#include "common/table.h"
 #include "core/simulator.h"
+#include "network/net_packet.h"
+#include "obs/accuracy/accuracy.h"
 #include "obs/observability.h"
 #include "obs/profiler.h"
 #include "race/detector.h"
@@ -83,6 +101,154 @@ using namespace graphite;
 
 namespace
 {
+
+/**
+ * The headline statistics the accuracy-diff harness compares across
+ * sync models: whole-run totals, miss rate, and latency percentiles.
+ * Flat name -> value pairs, stable order.
+ */
+std::vector<std::pair<std::string, double>>
+collectHeadline(const Simulator& sim, const workloads::SimRunResult& r)
+{
+    std::vector<std::pair<std::string, double>> out;
+    out.emplace_back("cycles", static_cast<double>(r.simulatedCycles));
+    out.emplace_back("instructions",
+                     static_cast<double>(r.totalInstructions));
+    const StatsRegistry& reg = sim.stats();
+    double accesses = static_cast<double>(reg.get("mem.accesses_total"));
+    double misses = static_cast<double>(reg.get("mem.l2_misses_total"));
+    out.emplace_back("mem_accesses", accesses);
+    out.emplace_back("mem_l2_misses", misses);
+    out.emplace_back("mem_l2_miss_rate",
+                     accesses > 0 ? misses / accesses : 0.0);
+    if (const HistogramStat* h = reg.histogram("mem.access_latency")) {
+        out.emplace_back("mem_latency_p50", static_cast<double>(
+                                                h->percentileApprox(0.5)));
+        out.emplace_back("mem_latency_p95", static_cast<double>(
+                                                h->percentileApprox(0.95)));
+    }
+    const auto& acc = obs::accuracy::AccuracyObservatory::instance();
+    if (obs::accuracy::AccuracyObservatory::armed()) {
+        const HistogramStat* app = acc.netLatencyHistogram(
+            static_cast<int>(PacketType::App));
+        const HistogramStat* mem = acc.netLatencyHistogram(
+            static_cast<int>(PacketType::Memory));
+        if (app != nullptr && app->count() > 0) {
+            out.emplace_back("net_app_latency_p50",
+                             static_cast<double>(
+                                 app->percentileApprox(0.5)));
+            out.emplace_back("net_app_latency_p95",
+                             static_cast<double>(
+                                 app->percentileApprox(0.95)));
+        }
+        if (mem != nullptr && mem->count() > 0) {
+            out.emplace_back("net_mem_latency_p50",
+                             static_cast<double>(
+                                 mem->percentileApprox(0.5)));
+            out.emplace_back("net_mem_latency_p95",
+                             static_cast<double>(
+                                 mem->percentileApprox(0.95)));
+        }
+        out.emplace_back("causality_violations",
+                         static_cast<double>(acc.violations()));
+        out.emplace_back("deliveries_checked",
+                         static_cast<double>(acc.deliveries()));
+        out.emplace_back("violation_fraction",
+                         acc.deliveries() > 0
+                             ? static_cast<double>(acc.violations()) /
+                                   static_cast<double>(acc.deliveries())
+                             : 0.0);
+        out.emplace_back("worst_violation_cycles",
+                         static_cast<double>(acc.worstMagnitude()));
+        out.emplace_back("pair_skew_max_cycles",
+                         static_cast<double>(acc.pairSkewMax()));
+        out.emplace_back("pair_skew_mean_cycles", acc.pairSkewMean());
+    }
+    return out;
+}
+
+std::string
+renderHeadlineJson(
+    const std::string& workload, const std::string& sync_model,
+    double checksum,
+    const std::vector<std::pair<std::string, double>>& stats)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "{\"workload\":\"" << workload << "\",\"sync_model\":\""
+       << sync_model << "\",\"checksum\":" << checksum;
+    for (const auto& [name, value] : stats)
+        os << ",\"" << name << "\":" << value;
+    os << "}\n";
+    return os.str();
+}
+
+/**
+ * Pull "name": value out of a headline JSON produced by --accuracy-out.
+ * @return true and set @p value when the key is present.
+ */
+bool
+findHeadlineValue(const std::string& json, const std::string& name,
+                  double& value)
+{
+    std::string needle = "\"" + name + "\":";
+    size_t at = json.find(needle);
+    if (at == std::string::npos)
+        return false;
+    value = std::atof(json.c_str() + at + needle.size());
+    return true;
+}
+
+/**
+ * Per-stat relative error of this run against a reference headline
+ * file (the accuracy-diff harness output). @return false when the
+ * reference cannot be read.
+ */
+bool
+printAccuracyDiff(
+    const std::string& ref_path, const std::string& sync_model,
+    const std::vector<std::pair<std::string, double>>& stats)
+{
+    std::ifstream in(ref_path);
+    if (!in) {
+        std::fprintf(stderr,
+                     "accuracy-ref: cannot open '%s'\n",
+                     ref_path.c_str());
+        return false;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string json = buf.str();
+
+    std::string ref_model = "?";
+    size_t at = json.find("\"sync_model\":\"");
+    if (at != std::string::npos) {
+        size_t start = at + std::strlen("\"sync_model\":\"");
+        size_t end = json.find('"', start);
+        if (end != std::string::npos)
+            ref_model = json.substr(start, end - start);
+    }
+
+    TextTable t;
+    t.header({"stat", ref_model + " (ref)", sync_model, "rel err"});
+    for (const auto& [name, value] : stats) {
+        double ref = 0;
+        if (!findHeadlineValue(json, name, ref))
+            continue;
+        std::string err;
+        if (ref != 0.0)
+            err = TextTable::num((value - ref) / ref * 100.0, 2) + "%";
+        else if (value == 0.0)
+            err = "0.00%";
+        else
+            err = "n/a (ref 0)";
+        t.row({name, TextTable::num(ref, 4), TextTable::num(value, 4),
+               err});
+    }
+    std::printf("\n=== accuracy diff vs %s ===\n%s", ref_path.c_str(),
+                t.render().c_str());
+    return true;
+}
 
 [[noreturn]] void
 usage(const char* argv0)
@@ -102,6 +268,8 @@ usage(const char* argv0)
                  "          [--checkpoint-in PATH] [--checkpoint-out"
                  " PATH]\n"
                  "          [--fast-forward] [--ff-detail-at N]\n"
+                 "          [--accuracy-out PATH] [--accuracy-ref PATH]"
+                 " [--accuracy-jsonl PATH]\n"
                  "          [--race [--race-out PATH]] | --list\n",
                  argv0);
     std::exit(2);
@@ -129,6 +297,7 @@ main(int argc, char** argv)
     std::string checkpoint_in, checkpoint_out;
     bool fast_forward = false;
     long long ff_detail_at = -1;
+    std::string accuracy_out, accuracy_ref, accuracy_jsonl;
 
     initLogFilterFromEnv();
 
@@ -200,6 +369,12 @@ main(int argc, char** argv)
             fast_forward = true;
         } else if (arg == "--ff-detail-at") {
             ff_detail_at = std::atoll(next());
+        } else if (arg == "--accuracy-out") {
+            accuracy_out = next();
+        } else if (arg == "--accuracy-ref") {
+            accuracy_ref = next();
+        } else if (arg == "--accuracy-jsonl") {
+            accuracy_jsonl = next();
         } else {
             usage(argv[0]);
         }
@@ -240,6 +415,10 @@ main(int argc, char** argv)
             cfg.setBool("snapshot/fast_forward", true);
         if (ff_detail_at >= 0)
             cfg.setInt("snapshot/ff_detail_at", ff_detail_at);
+        if (!accuracy_out.empty() || !accuracy_ref.empty())
+            cfg.setBool("accuracy/enabled", true);
+        if (!accuracy_jsonl.empty())
+            cfg.set("accuracy/out", accuracy_jsonl);
 
         const workloads::WorkloadInfo& w =
             workloads::findWorkload(workload);
@@ -286,6 +465,27 @@ main(int argc, char** argv)
             if (!match)
                 return 1;
         }
+        std::string sync_model = cfg.getString("sync/model", "lax");
+        if (!accuracy_out.empty() || !accuracy_ref.empty()) {
+            auto headline = collectHeadline(sim, r);
+            if (!accuracy_out.empty()) {
+                std::ofstream out(accuracy_out);
+                if (!out) {
+                    std::fprintf(stderr,
+                                 "accuracy-out: cannot open '%s'\n",
+                                 accuracy_out.c_str());
+                    return 1;
+                }
+                out << renderHeadlineJson(w.name, sync_model,
+                                          r.checksum, headline);
+                std::printf("accuracy out      : %s\n",
+                            accuracy_out.c_str());
+            }
+            if (!accuracy_ref.empty() &&
+                !printAccuracyDiff(accuracy_ref, sync_model, headline))
+                return 1;
+        }
+
         if (stats)
             std::printf("\n%s", sim.statsReport().c_str());
         else if (self_profile)

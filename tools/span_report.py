@@ -16,8 +16,15 @@ occupancy, device latency, coherence round trips — is service. A
 queueing share that grows with load is the signature of a saturated
 resource; the per-stage split then names it.
 
+When --accuracy points at an accuracy observatory JSONL (written via
+graphite_cli --accuracy-jsonl), a causality-context section relates
+the span skews to the run's measured violation counts and worst tile
+pairs. An absent or empty accuracy file degrades to a one-line note —
+span analysis never depends on it.
+
 Usage:
     span_report.py spans.jsonl [--top N] [--kind KIND]
+                   [--accuracy accuracy.jsonl]
 """
 
 import argparse
@@ -185,6 +192,55 @@ def print_intervals(intervals):
     print()
 
 
+def print_accuracy_context(path):
+    """Causality context from an accuracy observatory JSONL; absence is
+    a note, not an error — span analysis stands on its own."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = [ln for ln in f.read().splitlines() if ln]
+    except OSError as err:
+        print(f"(accuracy report unavailable: {path}: {err.strerror}; "
+              "generate one with graphite_cli --accuracy-jsonl PATH)")
+        print()
+        return
+    summary, pairs = None, []
+    for lineno, line in enumerate(lines, 1):
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as err:
+            print(f"(accuracy report unreadable: {path}:{lineno}: "
+                  f"{err.msg}; skipping causality context)")
+            print()
+            return
+        if rec.get("type") == "accuracy_summary":
+            summary = rec
+        elif rec.get("type") == "accuracy_pair":
+            pairs.append(rec)
+    if summary is None:
+        print(f"(accuracy report {path} has no summary row; skipping "
+              "causality context)")
+        print()
+        return
+    print("=== causality context (accuracy observatory) ===")
+    frac = 100.0 * summary["violation_fraction"]
+    print(f"violations      : {fmt_count(summary['violations'])} of "
+          f"{fmt_count(summary['deliveries'])} deliveries "
+          f"({frac:.2f}%)")
+    print(f"worst magnitude : "
+          f"{fmt_count(summary['worst_magnitude_cycles'])} cycles")
+    print(f"pair skew       : max "
+          f"{fmt_count(summary['pair_skew_max_cycles'])}, mean "
+          f"{summary['pair_skew_mean_cycles']:.0f} cycles over "
+          f"{fmt_count(summary['pair_samples'])} samples")
+    pairs.sort(key=lambda p: -p["max_skew_cycles"])
+    for p in pairs[:5]:
+        print(f"  tile {p['src']:>3} -> {p['dst']:>3}: max skew "
+              f"{fmt_count(p['max_skew_cycles'])}, mean "
+              f"{p['mean_skew_cycles']:.0f} "
+              f"({fmt_count(p['samples'])} samples)")
+    print()
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("spans", help="spans.jsonl written via --spans-out")
@@ -193,6 +249,9 @@ def main():
     ap.add_argument("--kind", default=None,
                     help="restrict percentiles/slowest to one kind "
                          "(e.g. read_miss)")
+    ap.add_argument("--accuracy", default=None,
+                    help="accuracy.jsonl for causality context "
+                         "(absence degrades to a note)")
     args = ap.parse_args()
 
     spans, intervals, summary = load(args.spans)
@@ -201,6 +260,8 @@ def main():
     print_percentiles(spans, args.kind)
     print_slowest(spans, args.top, args.kind)
     print_intervals(intervals)
+    if args.accuracy:
+        print_accuracy_context(args.accuracy)
 
 
 if __name__ == "__main__":

@@ -18,18 +18,29 @@ Validation:
   * histogram families are internally consistent: cumulative buckets
     are monotone and the +Inf bucket equals the _count series;
   * /status and /healthz parse as JSON;
+  * /status carries the sync_skew block (accuracy observatory gauges;
+    armed:false with zeroed fields when detection is off);
   * in --cli mode the scraped graphite_sim_cycles_max and
     graphite_sim_instructions_total equal the "simulated cycles" /
-    "instructions" lines of the CLI report, and /status agrees.
+    "instructions" lines of the CLI report, and /status agrees; the
+    run is launched with the accuracy observatory armed and the
+    written accuracy JSONL must agree with the scraped violation
+    count (an absent JSONL is reported cleanly, never a traceback).
 """
 
 import argparse
 import json
+import os
 import re
 import subprocess
 import sys
+import tempfile
 import time
 import urllib.request
+
+SYNC_SKEW_KEYS = ("armed", "causality_violations", "deliveries_checked",
+                  "worst_magnitude_cycles", "pair_skew_max_cycles",
+                  "pair_skew_mean_cycles", "pair_samples")
 
 SAMPLE_RE = re.compile(
     r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"      # metric name
@@ -116,6 +127,17 @@ def scrape(base):
     except json.JSONDecodeError as err:
         fail(f"/status is not JSON: {err}")
 
+    skew = status_doc.get("sync_skew")
+    if not isinstance(skew, dict):
+        fail("/status: missing sync_skew block")
+    for key in SYNC_SKEW_KEYS:
+        if key not in skew:
+            fail(f"/status: sync_skew missing '{key}'")
+    if skew["causality_violations"] > skew["deliveries_checked"]:
+        fail(f"/status: sync_skew violations "
+             f"{skew['causality_violations']} exceed deliveries "
+             f"{skew['deliveries_checked']}")
+
     status, health_text = fetch(base + "/healthz")
     if status != 200:
         fail(f"/healthz returned HTTP {status}")
@@ -129,9 +151,35 @@ def scrape(base):
     return values, status_doc, health_doc
 
 
-def run_cli_mode(cli):
+def load_accuracy_summary(path):
+    """First accuracy_summary line of an accuracy JSONL, or None with a
+    clean diagnostic when the file is absent/unreadable (the run may
+    legitimately not have written one; never traceback over it)."""
+    if not os.path.exists(path):
+        print(f"telemetry_probe: note: accuracy report {path} absent; "
+              "skipping JSONL cross-check")
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for line in f:
+                if not line.strip():
+                    continue
+                rec = json.loads(line)
+                if rec.get("type") == "accuracy_summary":
+                    return rec
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"telemetry_probe: note: accuracy report {path} "
+              f"unreadable ({err}); skipping JSONL cross-check")
+        return None
+    print(f"telemetry_probe: note: accuracy report {path} has no "
+          "summary; skipping JSONL cross-check")
+    return None
+
+
+def run_cli_mode(cli, accuracy_jsonl):
     cmd = [cli, "--workload", "fft", "--tiles", "8", "--threads", "8",
-           "--telemetry-port", "0", "--telemetry-linger", "30"]
+           "--telemetry-port", "0", "--telemetry-linger", "30",
+           "--accuracy-jsonl", accuracy_jsonl]
     proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
                             stderr=subprocess.STDOUT, text=True)
     report = {}
@@ -184,6 +232,29 @@ def run_cli_mode(cli):
             fail(f"/healthz says {health_doc.get('status')!r} after a "
                  "clean run")
 
+        # Accuracy observatory: the scraped gauges, /status, and the
+        # written JSONL report describe the same finished run.
+        skew = status_doc["sync_skew"]
+        if skew["armed"] is not True:
+            fail("/status: sync_skew not armed despite "
+                 "--accuracy-jsonl")
+        scraped_viol = values.get("graphite_accuracy_violations")
+        if scraped_viol is None:
+            fail("/metrics: no graphite_accuracy_violations series "
+                 "despite accuracy being armed")
+        if scraped_viol != skew["causality_violations"]:
+            fail(f"/metrics graphite_accuracy_violations "
+                 f"{scraped_viol} != /status sync_skew "
+                 f"{skew['causality_violations']}")
+        acc = load_accuracy_summary(accuracy_jsonl)
+        if acc is not None:
+            if acc["violations"] != skew["causality_violations"]:
+                fail(f"accuracy JSONL violations {acc['violations']} "
+                     f"!= /status {skew['causality_violations']}")
+            if acc["deliveries"] != skew["deliveries_checked"]:
+                fail(f"accuracy JSONL deliveries {acc['deliveries']} "
+                     f"!= /status {skew['deliveries_checked']}")
+
         # A second scrape must show the request counter advancing.
         before = values.get("graphite_telemetry_http_requests", 0)
         values2, _, _ = scrape(base)
@@ -209,7 +280,9 @@ def main():
     if bool(args.cli) == bool(args.url):
         fail("pass exactly one of --cli or --url")
     if args.cli:
-        run_cli_mode(args.cli)
+        with tempfile.TemporaryDirectory() as tmp:
+            run_cli_mode(args.cli,
+                         os.path.join(tmp, "accuracy.jsonl"))
     else:
         scrape(args.url.rstrip("/"))
 
